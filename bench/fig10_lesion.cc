@@ -1,0 +1,43 @@
+// Figure 10: lesion study on night-street — starting from the full
+// configuration, each optimization is removed individually.
+//
+// Paper result: removing triplet training hurts aggregation the most;
+// removing FPF clustering is catastrophic for limit queries.
+
+#include <cstdio>
+
+#include "ablation_common.h"
+#include "eval/reporting.h"
+#include "util/table.h"
+
+using namespace tasti;
+
+int main() {
+  eval::PrintBanner(
+      "Figure 10: lesion study, night-street (optimizations removed "
+      "individually; labeler invocations, lower is better)");
+  eval::PrintPaperReference(
+      "removing triplet training hurts aggregation; removing FPF "
+      "clustering is critical for limit queries");
+
+  eval::ExperimentConfig config = eval::ExperimentConfig::FromEnv();
+  eval::Workbench bench(data::DatasetId::kNightStreet, config);
+
+  const bench::AblationConfig lesions[] = {
+      {"All", true, true, true},
+      {"- Triplet", false, true, true},
+      {"- FPF train", true, false, true},
+      {"- FPF cluster", true, true, false},
+  };
+
+  TablePrinter table({"configuration", "aggregation calls", "limit calls"});
+  for (const auto& lesion : lesions) {
+    const bench::AblationResult result = bench::RunAblation(&bench, lesion);
+    table.AddRow({lesion.label,
+                  FmtCount(static_cast<long long>(result.agg_invocations)),
+                  FmtCount(static_cast<long long>(result.limit_invocations))});
+  }
+  eval::PrintTable(table);
+  eval::PrintTakeaway("every removed optimization costs performance somewhere");
+  return 0;
+}

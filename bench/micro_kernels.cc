@@ -1,0 +1,194 @@
+// Microbenchmarks (google-benchmark) for the kernels that dominate index
+// construction and query processing: FPF selection, top-k distances,
+// score propagation, embedding inference, and the triplet loss.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/fpf.h"
+#include "cluster/ivf.h"
+#include "cluster/kmeans.h"
+#include "cluster/topk.h"
+#include "core/index.h"
+#include "core/propagation.h"
+#include "core/scorer.h"
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "nn/mlp.h"
+#include "nn/triplet.h"
+#include "util/random.h"
+
+namespace tasti {
+namespace {
+
+nn::Matrix RandomPoints(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix m(n, dim);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return m;
+}
+
+void BM_Fpf(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  nn::Matrix points = RandomPoints(n, 64, 1);
+  for (auto _ : state) {
+    cluster::FpfResult result = cluster::FurthestPointFirst(points, k);
+    benchmark::DoNotOptimize(result.centers.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * k));
+}
+BENCHMARK(BM_Fpf)->Args({10000, 100})->Args({10000, 500})->Args({50000, 100});
+
+void BM_TopK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t reps = static_cast<size_t>(state.range(1));
+  nn::Matrix points = RandomPoints(n, 64, 2);
+  nn::Matrix rep_points = RandomPoints(reps, 64, 3);
+  for (auto _ : state) {
+    cluster::TopKDistances topk = cluster::ComputeTopK(points, rep_points, 5);
+    benchmark::DoNotOptimize(topk.distances.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * reps));
+}
+BENCHMARK(BM_TopK)->Args({10000, 500})->Args({10000, 2000})->Args({50000, 500});
+
+void BM_KMeans(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  nn::Matrix points = RandomPoints(n, 64, 14);
+  for (auto _ : state) {
+    cluster::KMeansOptions opts;
+    opts.num_clusters = k;
+    opts.max_iterations = 10;
+    cluster::KMeansResult result = cluster::KMeans(points, opts);
+    benchmark::DoNotOptimize(result.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * k));
+}
+BENCHMARK(BM_KMeans)->Args({10000, 50})->Args({10000, 200});
+
+void BM_IvfSearchAll(benchmark::State& state) {
+  const size_t reps = static_cast<size_t>(state.range(0));
+  const size_t probes = static_cast<size_t>(state.range(1));
+  nn::Matrix rep_points = RandomPoints(reps, 64, 15);
+  nn::Matrix queries = RandomPoints(10000, 64, 16);
+  cluster::IvfOptions opts;
+  opts.num_probes = probes;
+  cluster::IvfIndex ivf(rep_points, opts);
+  for (auto _ : state) {
+    cluster::TopKDistances topk = ivf.SearchAll(queries, 5);
+    benchmark::DoNotOptimize(topk.distances.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+// Compare against BM_TopK/10000/2000 (the exact path).
+BENCHMARK(BM_IvfSearchAll)->Args({2000, 4})->Args({2000, 8});
+
+void BM_CrackUpdate(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  nn::Matrix points = RandomPoints(n, 64, 4);
+  nn::Matrix reps = RandomPoints(512, 64, 5);
+  cluster::TopKDistances topk = cluster::ComputeTopK(points, reps, 5);
+  for (auto _ : state) {
+    cluster::TopKDistances copy = topk;
+    cluster::UpdateTopKWithNewRep(points, reps, 0, 511, &copy);
+    benchmark::DoNotOptimize(copy.distances.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_CrackUpdate)->Arg(10000)->Arg(100000);
+
+// One small prebuilt index shared by the propagation benchmarks.
+struct PropagationFixture {
+  data::Dataset dataset;
+  core::TastiIndex index;
+  std::vector<double> rep_scores;
+
+  PropagationFixture() {
+    data::DatasetOptions ds_opts;
+    ds_opts.num_records = 20000;
+    dataset = data::MakeNightStreet(ds_opts);
+    core::IndexOptions opts;
+    opts.num_training_records = 200;
+    opts.num_representatives = 1000;
+    opts.embedding_dim = 32;
+    opts.epochs = 5;
+    labeler::SimulatedLabeler oracle(&dataset);
+    labeler::CachingLabeler cache(&oracle);
+    index = core::TastiIndex::Build(dataset, &cache, opts);
+    core::CountScorer scorer(data::ObjectClass::kCar);
+    rep_scores = core::RepresentativeScores(index, scorer);
+  }
+
+  static PropagationFixture& Get() {
+    static PropagationFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_PropagateNumeric(benchmark::State& state) {
+  auto& fixture = PropagationFixture::Get();
+  for (auto _ : state) {
+    auto scores = core::PropagateNumeric(fixture.index, fixture.rep_scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.index.num_records()));
+}
+BENCHMARK(BM_PropagateNumeric);
+
+void BM_PropagateCategorical(benchmark::State& state) {
+  auto& fixture = PropagationFixture::Get();
+  for (auto _ : state) {
+    auto scores = core::PropagateCategorical(fixture.index, fixture.rep_scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.index.num_records()));
+}
+BENCHMARK(BM_PropagateCategorical);
+
+void BM_MlpInference(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  nn::Mlp net = nn::Mlp::MakeEmbeddingNet(64, 128, 64, &rng);
+  nn::Matrix input = RandomPoints(batch, 64, 8);
+  for (auto _ : state) {
+    nn::Matrix out = net.Infer(input);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_MlpInference)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_TripletLoss(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  nn::Matrix a = RandomPoints(batch, 64, 9);
+  nn::Matrix p = RandomPoints(batch, 64, 10);
+  nn::Matrix n = RandomPoints(batch, 64, 11);
+  for (auto _ : state) {
+    nn::TripletLossResult result = nn::TripletLoss(a, p, n, 0.3f);
+    benchmark::DoNotOptimize(result.grad_anchor.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_TripletLoss)->Arg(64)->Arg(1024);
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  nn::Matrix a = RandomPoints(n, 64, 12);
+  nn::Matrix b = RandomPoints(64, 128, 13);
+  nn::Matrix c;
+  for (auto _ : state) {
+    nn::Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * 64 * 128));
+}
+BENCHMARK(BM_Gemm)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace tasti

@@ -1,0 +1,162 @@
+#include "api/session.h"
+
+#include "util/status.h"
+
+namespace tasti::api {
+
+TastiSession::TastiSession(const data::Dataset* dataset,
+                           labeler::TargetLabeler* labeler,
+                           SessionOptions options)
+    : dataset_(dataset), labeler_(labeler), options_(options) {
+  TASTI_CHECK(dataset != nullptr, "TastiSession requires a dataset");
+  TASTI_CHECK(labeler != nullptr, "TastiSession requires a labeler");
+  TASTI_CHECK(labeler->num_records() == dataset->size(),
+              "labeler/dataset record count mismatch");
+}
+
+void TastiSession::EnsureIndex() {
+  if (index_.has_value()) return;
+  const size_t before = labeler_->invocations();
+  labeler::CachingLabeler cache(labeler_);
+  index_ = core::TastiIndex::Build(*dataset_, &cache, options_.index);
+  index_invocations_ = labeler_->invocations() - before;
+  total_invocations_ += index_invocations_;
+}
+
+uint64_t TastiSession::NextSeed() {
+  return options_.seed * 2654435761ULL +
+         static_cast<uint64_t>(++queries_executed_) * 97;
+}
+
+const std::vector<double>& TastiSession::ProxyScores(
+    const core::Scorer& scorer, core::PropagationMode mode) {
+  EnsureIndex();
+  const std::string key =
+      scorer.Name() + "#" + std::to_string(static_cast<int>(mode));
+  auto it = proxy_cache_.find(key);
+  if (it == proxy_cache_.end()) {
+    it = proxy_cache_
+             .emplace(key, core::ComputeProxyScores(*index_, scorer, mode))
+             .first;
+  }
+  return it->second;
+}
+
+void TastiSession::FinishQuery(const labeler::CachingLabeler& cache,
+                               size_t invocations_before) {
+  total_invocations_ += labeler_->invocations() - invocations_before;
+  if (!options_.auto_crack) return;
+  if (index_->CrackFrom(cache) > 0) {
+    // New representatives change every propagated score.
+    proxy_cache_.clear();
+  }
+}
+
+queries::AggregationResult TastiSession::Aggregate(const core::Scorer& statistic,
+                                                   double error_target) {
+  const std::vector<double> proxy = ProxyScores(statistic);
+  const size_t before = labeler_->invocations();
+  labeler::CachingLabeler cache(labeler_);
+  queries::AggregationOptions opts;
+  opts.error_target = error_target;
+  opts.confidence = options_.confidence;
+  opts.seed = NextSeed();
+  queries::AggregationResult result =
+      queries::EstimateMean(proxy, &cache, statistic, opts);
+  FinishQuery(cache, before);
+  return result;
+}
+
+queries::PredicateAggregationResult TastiSession::AggregateWhere(
+    const core::Scorer& predicate, const core::Scorer& statistic,
+    double error_target) {
+  const std::vector<double> proxy = ProxyScores(predicate);
+  const size_t before = labeler_->invocations();
+  labeler::CachingLabeler cache(labeler_);
+  queries::PredicateAggregationOptions opts;
+  opts.error_target = error_target;
+  opts.confidence = options_.confidence;
+  opts.seed = NextSeed();
+  queries::PredicateAggregationResult result = queries::EstimateMeanWithPredicate(
+      proxy, &cache, predicate, statistic, opts);
+  FinishQuery(cache, before);
+  return result;
+}
+
+queries::SupgResult TastiSession::SelectWithRecall(const core::Scorer& predicate,
+                                                   double recall_target,
+                                                   size_t budget) {
+  const std::vector<double> proxy = ProxyScores(predicate);
+  const size_t before = labeler_->invocations();
+  labeler::CachingLabeler cache(labeler_);
+  queries::SupgOptions opts;
+  opts.recall_target = recall_target;
+  opts.confidence = options_.confidence;
+  opts.budget = budget;
+  opts.seed = NextSeed();
+  queries::SupgResult result =
+      queries::SupgRecallSelect(proxy, &cache, predicate, opts);
+  FinishQuery(cache, before);
+  return result;
+}
+
+queries::SupgResult TastiSession::SelectWithPrecision(
+    const core::Scorer& predicate, double precision_target, size_t budget) {
+  const std::vector<double> proxy = ProxyScores(predicate);
+  const size_t before = labeler_->invocations();
+  labeler::CachingLabeler cache(labeler_);
+  queries::SupgPrecisionOptions opts;
+  opts.precision_target = precision_target;
+  opts.confidence = options_.confidence;
+  opts.budget = budget;
+  opts.seed = NextSeed();
+  queries::SupgResult result =
+      queries::SupgPrecisionSelect(proxy, &cache, predicate, opts);
+  FinishQuery(cache, before);
+  return result;
+}
+
+queries::ThresholdSelectResult TastiSession::Select(const core::Scorer& predicate,
+                                                    size_t validation_budget) {
+  const std::vector<double> proxy = ProxyScores(predicate);
+  const size_t before = labeler_->invocations();
+  labeler::CachingLabeler cache(labeler_);
+  queries::ThresholdSelectOptions opts;
+  opts.validation_budget = validation_budget;
+  opts.seed = NextSeed();
+  queries::ThresholdSelectResult result =
+      queries::ThresholdSelect(proxy, &cache, predicate, opts);
+  FinishQuery(cache, before);
+  return result;
+}
+
+queries::LimitResult TastiSession::Limit(const core::Scorer& predicate,
+                                         size_t want) {
+  const std::vector<double> ranking =
+      ProxyScores(predicate, core::PropagationMode::kLimit);
+  const size_t before = labeler_->invocations();
+  labeler::CachingLabeler cache(labeler_);
+  queries::LimitOptions opts;
+  opts.want = want;
+  queries::LimitResult result =
+      queries::LimitQuery(ranking, &cache, predicate, opts);
+  ++queries_executed_;
+  FinishQuery(cache, before);
+  return result;
+}
+
+double TastiSession::EstimateDirect(const core::Scorer& statistic) {
+  return queries::DirectAggregate(ProxyScores(statistic));
+}
+
+const core::TastiIndex& TastiSession::index() {
+  EnsureIndex();
+  return *index_;
+}
+
+core::TastiIndex& TastiSession::mutable_index() {
+  EnsureIndex();
+  return *index_;
+}
+
+}  // namespace tasti::api

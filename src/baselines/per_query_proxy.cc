@@ -1,0 +1,84 @@
+#include "baselines/per_query_proxy.h"
+
+#include <algorithm>
+
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tasti::baselines {
+
+PerQueryProxyResult TrainPerQueryProxy(const nn::Matrix& features,
+                                       labeler::TargetLabeler* labeler,
+                                       const core::Scorer& scorer,
+                                       const ProxyTrainOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "TrainPerQueryProxy requires a labeler");
+  TASTI_CHECK(features.rows() == labeler->num_records(),
+              "features/labeler record count mismatch");
+  TASTI_CHECK(options.num_training_records >= 2, "need at least 2 records");
+
+  Rng rng(options.seed);
+  const size_t n = features.rows();
+  const size_t budget = std::min(options.num_training_records, n);
+
+  // Uniform training sample, annotated by the target labeler.
+  const std::vector<size_t> train_indices = rng.SampleWithoutReplacement(n, budget);
+  std::vector<float> targets;
+  targets.reserve(budget);
+  for (size_t record : train_indices) {
+    targets.push_back(static_cast<float>(scorer.Score(labeler->Label(record))));
+  }
+  const nn::Matrix train_features = features.GatherRows(train_indices);
+
+  // MSE regression with Adam.
+  nn::Mlp model = nn::Mlp::MakeProxyNet(features.cols(), options.hidden_dim, &rng);
+  nn::Adam::Options adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  nn::Adam optimizer(model.Params(), adam_options);
+
+  std::vector<size_t> order(budget);
+  for (size_t i = 0; i < budget; ++i) order[i] = i;
+
+  PerQueryProxyResult result;
+  result.labeler_invocations = budget;
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_mse = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < budget; start += options.batch_size) {
+      const size_t end = std::min(budget, start + options.batch_size);
+      const size_t b = end - start;
+      std::vector<size_t> rows(order.begin() + start, order.begin() + end);
+      const nn::Matrix batch = train_features.GatherRows(rows);
+
+      model.ZeroGrad();
+      const nn::Matrix pred = model.Forward(batch);
+      nn::Matrix grad(b, 1);
+      double mse = 0.0;
+      for (size_t i = 0; i < b; ++i) {
+        const float err = pred.At(i, 0) - targets[rows[i]];
+        mse += err * err;
+        grad.At(i, 0) = 2.0f * err / static_cast<float>(b);
+      }
+      model.Backward(grad);
+      optimizer.Step();
+      epoch_mse += mse / static_cast<double>(b);
+      ++batches;
+    }
+    result.final_mse = batches > 0 ? epoch_mse / batches : 0.0;
+  }
+
+  // Score every record (blockwise, multithreaded).
+  result.scores.assign(n, 0.0);
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    const nn::Matrix block = features.RowSlice(lo, hi);
+    const nn::Matrix pred = model.Infer(block);
+    for (size_t r = lo; r < hi; ++r) result.scores[r] = pred.At(r - lo, 0);
+  }, 512);
+  return result;
+}
+
+}  // namespace tasti::baselines

@@ -1,0 +1,61 @@
+#ifndef TASTI_BASELINES_PER_QUERY_PROXY_H_
+#define TASTI_BASELINES_PER_QUERY_PROXY_H_
+
+/// \file per_query_proxy.h
+/// The prior-work baseline: a query-specific proxy model (BlazeIt's "tiny
+/// ResNet", SUPG's proxies, NoScope's specialized NNs), reimplemented as a
+/// small MLP regressor trained on target-labeler annotations of a uniform
+/// sample of records.
+///
+/// Per the paper's accounting, the annotations used to train the proxy
+/// are charged to the query (or to the BlazeIt TMAS when shared), and a
+/// new model must be trained per query — exactly the costs TASTI removes.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/scorer.h"
+#include "labeler/labeler.h"
+#include "nn/matrix.h"
+
+namespace tasti::baselines {
+
+/// Training configuration for a per-query proxy model.
+struct ProxyTrainOptions {
+  /// Labeler annotations spent on training data (BlazeIt-style TMAS).
+  size_t num_training_records = 5000;
+  /// Proxy models are deliberately tiny — they must be orders of magnitude
+  /// cheaper than the target labeler at inference (the paper's "tiny
+  /// ResNet" / CNN-10 / logistic regression). The embedding DNN (hidden
+  /// 128) is the larger network, as in the paper (ResNet-18 embedder vs
+  /// tiny proxies).
+  size_t hidden_dim = 32;
+  size_t epochs = 30;
+  size_t batch_size = 64;
+  float learning_rate = 1e-3f;
+  /// Fraction of the training sample held out to normalize scores.
+  uint64_t seed = 404;
+};
+
+/// A trained per-query proxy and its costs.
+struct PerQueryProxyResult {
+  /// Proxy scores for every record.
+  std::vector<double> scores;
+  /// Labeler invocations consumed for training data.
+  size_t labeler_invocations = 0;
+  /// Final training mean-squared error.
+  double final_mse = 0.0;
+};
+
+/// Trains an MLP to regress the scorer output from sensor features, then
+/// scores every record. Classification queries (0/1 scorers) use the same
+/// regression, matching how prior systems threshold a scalar output.
+PerQueryProxyResult TrainPerQueryProxy(const nn::Matrix& features,
+                                       labeler::TargetLabeler* labeler,
+                                       const core::Scorer& scorer,
+                                       const ProxyTrainOptions& options);
+
+}  // namespace tasti::baselines
+
+#endif  // TASTI_BASELINES_PER_QUERY_PROXY_H_

@@ -1,0 +1,115 @@
+#include "cluster/fpf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tasti::cluster {
+
+FpfResult FurthestPointFirst(const nn::Matrix& points, size_t k,
+                             size_t start_index) {
+  const size_t n = points.rows();
+  TASTI_CHECK(n > 0, "FPF requires at least one point");
+  TASTI_CHECK(start_index < n, "FPF start index out of range");
+  k = std::min(k, n);
+
+  FpfResult result;
+  result.centers.reserve(k);
+  result.min_distance.assign(n, std::numeric_limits<float>::max());
+  result.assignment.assign(n, 0);
+
+  size_t current = start_index;
+  for (size_t iter = 0; iter < k; ++iter) {
+    result.centers.push_back(current);
+    const uint32_t center_id = static_cast<uint32_t>(iter);
+    // Relax every point against the new center; track the per-shard argmax
+    // of the updated min-distances for the next selection.
+    const size_t num_shards = 64;
+    std::vector<float> shard_best(num_shards, -1.0f);
+    std::vector<size_t> shard_arg(num_shards, 0);
+    const size_t chunk = (n + num_shards - 1) / num_shards;
+    ParallelFor(0, num_shards, [&](size_t s_begin, size_t s_end) {
+      for (size_t s = s_begin; s < s_end; ++s) {
+        const size_t lo = s * chunk;
+        const size_t hi = std::min(n, lo + chunk);
+        float best = -1.0f;
+        size_t arg = lo;
+        for (size_t i = lo; i < hi; ++i) {
+          const float d = nn::Distance(points, i, points, current);
+          if (d < result.min_distance[i]) {
+            result.min_distance[i] = d;
+            result.assignment[i] = center_id;
+          }
+          if (result.min_distance[i] > best) {
+            best = result.min_distance[i];
+            arg = i;
+          }
+        }
+        shard_best[s] = best;
+        shard_arg[s] = arg;
+      }
+    }, 1);
+    float best = -1.0f;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (shard_best[s] > best) {
+        best = shard_best[s];
+        current = shard_arg[s];
+      }
+    }
+    if (best <= 0.0f && iter + 1 < k) {
+      // All points coincide with existing centers; stop early.
+      break;
+    }
+  }
+  return result;
+}
+
+FpfResult FurthestPointFirstSubset(const nn::Matrix& points,
+                                   const std::vector<size_t>& candidates,
+                                   size_t k, size_t start_pos) {
+  TASTI_CHECK(!candidates.empty(), "FPF subset requires candidates");
+  TASTI_CHECK(start_pos < candidates.size(), "FPF subset start out of range");
+  nn::Matrix sub = points.GatherRows(candidates);
+  FpfResult local = FurthestPointFirst(sub, k, start_pos);
+  for (size_t& c : local.centers) c = candidates[c];
+  return local;
+}
+
+std::vector<size_t> MixedFpfRandomSelection(const nn::Matrix& points, size_t k,
+                                            double random_fraction, Rng* rng) {
+  TASTI_CHECK(rng != nullptr, "MixedFpfRandomSelection requires an RNG");
+  TASTI_CHECK(random_fraction >= 0.0 && random_fraction <= 1.0,
+              "random_fraction must be in [0, 1]");
+  const size_t n = points.rows();
+  k = std::min(k, n);
+  const size_t num_random = static_cast<size_t>(std::floor(k * random_fraction));
+  const size_t num_fpf = k - num_random;
+
+  std::vector<size_t> selected;
+  std::unordered_set<size_t> seen;
+  if (num_fpf > 0) {
+    FpfResult fpf = FurthestPointFirst(points, num_fpf,
+                                       static_cast<size_t>(rng->UniformInt(n)));
+    for (size_t c : fpf.centers) {
+      selected.push_back(c);
+      seen.insert(c);
+    }
+  }
+  // Fill the random portion without duplicating FPF picks.
+  while (selected.size() < k && seen.size() < n) {
+    const size_t idx = static_cast<size_t>(rng->UniformInt(n));
+    if (seen.insert(idx).second) selected.push_back(idx);
+  }
+  return selected;
+}
+
+std::vector<size_t> RandomSelection(size_t num_points, size_t k, Rng* rng) {
+  TASTI_CHECK(rng != nullptr, "RandomSelection requires an RNG");
+  return rng->SampleWithoutReplacement(num_points, std::min(k, num_points));
+}
+
+}  // namespace tasti::cluster

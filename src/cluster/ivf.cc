@@ -1,0 +1,130 @@
+#include "cluster/ivf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tasti::cluster {
+
+IvfIndex::IvfIndex(const nn::Matrix& reps, const IvfOptions& options)
+    : options_(options), rep_embeddings_(reps), total_reps_(reps.rows()) {
+  TASTI_CHECK(reps.rows() > 0, "IvfIndex requires representatives");
+  size_t partitions = options.num_partitions;
+  if (partitions == 0) {
+    partitions = std::max<size_t>(
+        1, static_cast<size_t>(std::sqrt(static_cast<double>(reps.rows()))));
+  }
+  partitions = std::min(partitions, reps.rows());
+
+  KMeansOptions kmeans_options;
+  kmeans_options.num_clusters = partitions;
+  kmeans_options.seed = options.seed;
+  KMeansResult kmeans = KMeans(reps, kmeans_options);
+  centroids_ = std::move(kmeans.centroids);
+  lists_.assign(centroids_.rows(), {});
+  for (size_t i = 0; i < reps.rows(); ++i) {
+    lists_[kmeans.assignment[i]].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+void IvfIndex::Search(const nn::Matrix& queries, size_t query_row, size_t k,
+                      std::vector<uint32_t>* rep_ids,
+                      std::vector<float>* distances) const {
+  TASTI_CHECK(rep_ids != nullptr && distances != nullptr,
+              "Search requires output vectors");
+  TASTI_CHECK(queries.cols() == rep_embeddings_.cols(),
+              "query dimension mismatch");
+  const size_t probes = std::min(options_.num_probes, lists_.size());
+
+  // Rank partitions by centroid distance; probe the closest.
+  std::vector<std::pair<float, size_t>> partition_order;
+  partition_order.reserve(lists_.size());
+  for (size_t c = 0; c < lists_.size(); ++c) {
+    partition_order.emplace_back(
+        nn::SquaredDistance(queries, query_row, centroids_, c), c);
+  }
+  std::partial_sort(partition_order.begin(), partition_order.begin() + probes,
+                    partition_order.end());
+
+  // Exact scan over the probed lists with a sorted insertion buffer.
+  std::vector<float> best_d;
+  std::vector<uint32_t> best_id;
+  best_d.reserve(k + 1);
+  best_id.reserve(k + 1);
+  for (size_t p = 0; p < probes; ++p) {
+    for (uint32_t rep : lists_[partition_order[p].second]) {
+      const float d = nn::Distance(queries, query_row, rep_embeddings_, rep);
+      if (best_d.size() == k && d >= best_d.back()) continue;
+      const auto pos = std::upper_bound(best_d.begin(), best_d.end(), d);
+      const size_t at = static_cast<size_t>(pos - best_d.begin());
+      best_d.insert(pos, d);
+      best_id.insert(best_id.begin() + at, rep);
+      if (best_d.size() > k) {
+        best_d.pop_back();
+        best_id.pop_back();
+      }
+    }
+  }
+  *distances = std::move(best_d);
+  *rep_ids = std::move(best_id);
+}
+
+TopKDistances IvfIndex::SearchAll(const nn::Matrix& queries, size_t k) const {
+  const size_t n = queries.rows();
+  const size_t effective_k = std::min(k, total_reps_);
+  TopKDistances topk;
+  topk.k = effective_k;
+  topk.num_records = n;
+  topk.rep_ids.assign(n * effective_k, 0);
+  topk.distances.assign(n * effective_k, std::numeric_limits<float>::max());
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    std::vector<uint32_t> ids;
+    std::vector<float> dists;
+    for (size_t i = lo; i < hi; ++i) {
+      Search(queries, i, effective_k, &ids, &dists);
+      for (size_t j = 0; j < ids.size() && j < effective_k; ++j) {
+        topk.rep_ids[i * effective_k + j] = ids[j];
+        topk.distances[i * effective_k + j] = dists[j];
+      }
+      // Pad short results (under-full probes) with the last found entry so
+      // downstream weighted propagation stays well-defined.
+      for (size_t j = ids.size(); j < effective_k && !ids.empty(); ++j) {
+        topk.rep_ids[i * effective_k + j] = ids.back();
+        topk.distances[i * effective_k + j] = dists.back();
+      }
+    }
+  }, 256);
+  return topk;
+}
+
+void IvfIndex::Add(const nn::Matrix& reps, size_t rep_row, uint32_t rep_id) {
+  TASTI_CHECK(reps.cols() == rep_embeddings_.cols(), "rep dimension mismatch");
+  TASTI_CHECK(rep_row < reps.rows(), "rep_row out of range");
+  TASTI_CHECK(rep_id == total_reps_, "rep ids must be appended in order");
+  // Grow the local copy.
+  nn::Matrix grown(rep_embeddings_.rows() + 1, rep_embeddings_.cols());
+  std::copy(rep_embeddings_.data(),
+            rep_embeddings_.data() + rep_embeddings_.size(), grown.data());
+  grown.SetRow(grown.rows() - 1, reps, rep_row);
+  rep_embeddings_ = std::move(grown);
+
+  // Route to the nearest partition.
+  float best = std::numeric_limits<float>::max();
+  size_t arg = 0;
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    const float d2 =
+        nn::SquaredDistance(rep_embeddings_, total_reps_, centroids_, c);
+    if (d2 < best) {
+      best = d2;
+      arg = c;
+    }
+  }
+  lists_[arg].push_back(rep_id);
+  ++total_reps_;
+}
+
+}  // namespace tasti::cluster

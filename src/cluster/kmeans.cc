@@ -1,0 +1,161 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tasti::cluster {
+
+namespace {
+
+// k-means++ seeding: each new centroid is drawn proportionally to the
+// squared distance from the nearest already-chosen centroid.
+std::vector<size_t> KMeansPlusPlusSeeds(const nn::Matrix& points, size_t k,
+                                        Rng* rng) {
+  const size_t n = points.rows();
+  std::vector<size_t> seeds;
+  seeds.reserve(k);
+  seeds.push_back(static_cast<size_t>(rng->UniformInt(n)));
+  std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  for (size_t round = 1; round < k; ++round) {
+    const size_t latest = seeds.back();
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d2 = nn::SquaredDistance(points, i, points, latest);
+      min_d2[i] = std::min(min_d2[i], d2);
+      total += min_d2[i];
+    }
+    if (total <= 0.0) break;  // fewer distinct points than clusters
+    double target = rng->Uniform() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      if (target < min_d2[i]) {
+        chosen = i;
+        break;
+      }
+      target -= min_d2[i];
+    }
+    seeds.push_back(chosen);
+  }
+  return seeds;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const nn::Matrix& points, const KMeansOptions& options) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  TASTI_CHECK(n > 0, "KMeans requires points");
+  TASTI_CHECK(options.num_clusters > 0, "num_clusters must be positive");
+  const size_t k = std::min(options.num_clusters, n);
+
+  Rng rng(options.seed);
+  const std::vector<size_t> seeds = KMeansPlusPlusSeeds(points, k, &rng);
+
+  KMeansResult result;
+  result.centroids = nn::Matrix(k, dim);
+  for (size_t c = 0; c < seeds.size(); ++c) {
+    result.centroids.SetRow(c, points, seeds[c]);
+  }
+  result.assignment.assign(n, 0);
+
+  double previous_inertia = std::numeric_limits<double>::max();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Assignment step (parallel over points).
+    std::vector<double> inertia_shards(64, 0.0);
+    const size_t chunk = (n + 63) / 64;
+    ParallelFor(0, 64, [&](size_t s_begin, size_t s_end) {
+      for (size_t s = s_begin; s < s_end; ++s) {
+        const size_t lo = s * chunk;
+        const size_t hi = std::min(n, lo + chunk);
+        double local = 0.0;
+        for (size_t i = lo; i < hi; ++i) {
+          float best = std::numeric_limits<float>::max();
+          uint32_t arg = 0;
+          for (size_t c = 0; c < k; ++c) {
+            const float d2 = nn::SquaredDistance(points, i, result.centroids, c);
+            if (d2 < best) {
+              best = d2;
+              arg = static_cast<uint32_t>(c);
+            }
+          }
+          result.assignment[i] = arg;
+          local += best;
+        }
+        inertia_shards[s] = local;
+      }
+    }, 1);
+    double inertia = 0.0;
+    for (double shard : inertia_shards) inertia += shard;
+    result.inertia = inertia / static_cast<double>(n);
+
+    // Update step.
+    nn::Matrix sums(k, dim);
+    std::vector<size_t> counts(k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t c = result.assignment[i];
+      float* row = sums.Row(c);
+      const float* p = points.Row(i);
+      for (size_t d = 0; d < dim; ++d) row[d] += p[d];
+      ++counts[c];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.centroids.SetRow(c, points,
+                                static_cast<size_t>(rng.UniformInt(n)));
+        continue;
+      }
+      float* row = result.centroids.Row(c);
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (size_t d = 0; d < dim; ++d) row[d] = sums.At(c, d) * inv;
+    }
+
+    if (previous_inertia < std::numeric_limits<double>::max() &&
+        previous_inertia - result.inertia <=
+            options.tolerance * std::max(previous_inertia, 1e-12)) {
+      break;
+    }
+    previous_inertia = result.inertia;
+  }
+  return result;
+}
+
+std::vector<size_t> KMeansSelection(const nn::Matrix& points, size_t k,
+                                    uint64_t seed) {
+  KMeansOptions options;
+  options.num_clusters = k;
+  options.seed = seed;
+  const KMeansResult result = KMeans(points, options);
+
+  // Snap each centroid to its nearest distinct dataset member.
+  const size_t actual_k = result.centroids.rows();
+  std::vector<size_t> selected;
+  selected.reserve(actual_k);
+  std::unordered_set<size_t> used;
+  for (size_t c = 0; c < actual_k; ++c) {
+    float best = std::numeric_limits<float>::max();
+    size_t arg = 0;
+    bool found = false;
+    for (size_t i = 0; i < points.rows(); ++i) {
+      if (used.count(i)) continue;
+      const float d2 = nn::SquaredDistance(points, i, result.centroids, c);
+      if (d2 < best) {
+        best = d2;
+        arg = i;
+        found = true;
+      }
+    }
+    if (!found) break;
+    used.insert(arg);
+    selected.push_back(arg);
+  }
+  return selected;
+}
+
+}  // namespace tasti::cluster

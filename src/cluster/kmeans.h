@@ -1,0 +1,58 @@
+#ifndef TASTI_CLUSTER_KMEANS_H_
+#define TASTI_CLUSTER_KMEANS_H_
+
+/// \file kmeans.h
+/// Lloyd's k-means with k-means++ seeding.
+///
+/// Two roles: (a) the coarse quantizer of the IVF approximate-nearest-
+/// neighbor index (ivf.h), and (b) the natural alternative to FPF for
+/// representative selection (an ablation: k-means optimizes the *average*
+/// quantization error, FPF the *maximum* — which is why FPF covers the
+/// rare tail and k-means does not).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/random.h"
+
+namespace tasti::cluster {
+
+/// K-means configuration.
+struct KMeansOptions {
+  size_t num_clusters = 16;
+  size_t max_iterations = 25;
+  /// Relative improvement in mean squared distance below which Lloyd
+  /// iterations stop early.
+  double tolerance = 1e-4;
+  uint64_t seed = 19;
+};
+
+/// K-means output.
+struct KMeansResult {
+  /// Cluster centroids (num_clusters x dim). Centroids are synthetic
+  /// points, not dataset members.
+  nn::Matrix centroids;
+  /// Per-point cluster assignment.
+  std::vector<uint32_t> assignment;
+  /// Mean squared distance to the assigned centroid (the k-means
+  /// objective) after the final iteration.
+  double inertia = 0.0;
+  /// Lloyd iterations actually executed.
+  size_t iterations = 0;
+};
+
+/// Runs k-means++ seeding followed by Lloyd iterations. Deterministic in
+/// options.seed; parallelized over points.
+KMeansResult KMeans(const nn::Matrix& points, const KMeansOptions& options);
+
+/// Selects `k` representatives as the dataset members nearest to the
+/// k-means centroids (medoid snap) — the k-means analogue of FPF
+/// selection, returning record indices like FPF does.
+std::vector<size_t> KMeansSelection(const nn::Matrix& points, size_t k,
+                                    uint64_t seed);
+
+}  // namespace tasti::cluster
+
+#endif  // TASTI_CLUSTER_KMEANS_H_

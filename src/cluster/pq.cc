@@ -1,0 +1,164 @@
+#include "cluster/pq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "util/thread_pool.h"
+
+namespace tasti::cluster {
+
+Result<ProductQuantizer> ProductQuantizer::Train(const nn::Matrix& vectors,
+                                                 const PqOptions& options) {
+  if (vectors.rows() == 0) {
+    return Status::InvalidArgument("PQ training requires vectors");
+  }
+  if (options.num_subspaces == 0 ||
+      vectors.cols() % options.num_subspaces != 0) {
+    return Status::InvalidArgument(
+        "num_subspaces must divide the embedding dimension");
+  }
+  if (options.codebook_size == 0 || options.codebook_size > 256) {
+    return Status::InvalidArgument("codebook_size must be in [1, 256]");
+  }
+
+  ProductQuantizer pq;
+  pq.options_ = options;
+  pq.dim_ = vectors.cols();
+  pq.sub_dim_ = vectors.cols() / options.num_subspaces;
+
+  // Train one k-means codebook per subspace.
+  pq.codebooks_.reserve(options.num_subspaces);
+  for (size_t m = 0; m < options.num_subspaces; ++m) {
+    nn::Matrix sub(vectors.rows(), pq.sub_dim_);
+    for (size_t i = 0; i < vectors.rows(); ++i) {
+      const float* src = vectors.Row(i) + m * pq.sub_dim_;
+      std::copy(src, src + pq.sub_dim_, sub.Row(i));
+    }
+    KMeansOptions kmeans_options;
+    kmeans_options.num_clusters = options.codebook_size;
+    kmeans_options.max_iterations = options.kmeans_iterations;
+    kmeans_options.seed = options.seed * 31 + m;
+    KMeansResult result = KMeans(sub, kmeans_options);
+    pq.codebooks_.push_back(std::move(result.centroids));
+  }
+
+  pq.Encode(vectors);
+
+  // Reconstruction quality over the training set.
+  double total = 0.0;
+  for (size_t i = 0; i < vectors.rows(); ++i) {
+    const nn::Matrix decoded = pq.Decode(i);
+    total += nn::SquaredDistance(vectors, i, decoded, 0);
+  }
+  pq.reconstruction_error_ = total / static_cast<double>(vectors.rows());
+  return pq;
+}
+
+size_t ProductQuantizer::Encode(const nn::Matrix& vectors) {
+  TASTI_CHECK(vectors.cols() == dim_, "PQ encode dimension mismatch");
+  const size_t first = num_codes();
+  const size_t M = options_.num_subspaces;
+  codes_.resize(codes_.size() + vectors.rows() * M);
+  ParallelFor(0, vectors.rows(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      uint8_t* code = codes_.data() + (first + i) * M;
+      for (size_t m = 0; m < M; ++m) {
+        const float* sub = vectors.Row(i) + m * sub_dim_;
+        const nn::Matrix& book = codebooks_[m];
+        float best = std::numeric_limits<float>::max();
+        uint8_t arg = 0;
+        for (size_t c = 0; c < book.rows(); ++c) {
+          float d2 = 0.0f;
+          const float* entry = book.Row(c);
+          for (size_t d = 0; d < sub_dim_; ++d) {
+            const float diff = sub[d] - entry[d];
+            d2 += diff * diff;
+          }
+          if (d2 < best) {
+            best = d2;
+            arg = static_cast<uint8_t>(c);
+          }
+        }
+        code[m] = arg;
+      }
+    }
+  }, 256);
+  return first;
+}
+
+nn::Matrix ProductQuantizer::Decode(size_t id) const {
+  TASTI_CHECK(id < num_codes(), "PQ decode id out of range");
+  nn::Matrix out(1, dim_);
+  const uint8_t* code = codes_.data() + id * options_.num_subspaces;
+  for (size_t m = 0; m < options_.num_subspaces; ++m) {
+    const float* entry = codebooks_[m].Row(code[m]);
+    std::copy(entry, entry + sub_dim_, out.Row(0) + m * sub_dim_);
+  }
+  return out;
+}
+
+std::vector<float> ProductQuantizer::BuildLookupTable(const nn::Matrix& queries,
+                                                      size_t query_row) const {
+  TASTI_CHECK(queries.cols() == dim_, "PQ query dimension mismatch");
+  const size_t M = options_.num_subspaces;
+  const size_t K = options_.codebook_size;
+  std::vector<float> table(M * K, std::numeric_limits<float>::max());
+  for (size_t m = 0; m < M; ++m) {
+    const float* sub = queries.Row(query_row) + m * sub_dim_;
+    const nn::Matrix& book = codebooks_[m];
+    for (size_t c = 0; c < book.rows(); ++c) {
+      const float* entry = book.Row(c);
+      float d2 = 0.0f;
+      for (size_t d = 0; d < sub_dim_; ++d) {
+        const float diff = sub[d] - entry[d];
+        d2 += diff * diff;
+      }
+      table[m * K + c] = d2;
+    }
+  }
+  return table;
+}
+
+float ProductQuantizer::AsymmetricDistance(const std::vector<float>& lookup_table,
+                                           size_t id) const {
+  const size_t M = options_.num_subspaces;
+  const size_t K = options_.codebook_size;
+  const uint8_t* code = codes_.data() + id * M;
+  float d2 = 0.0f;
+  for (size_t m = 0; m < M; ++m) {
+    d2 += lookup_table[m * K + code[m]];
+  }
+  return std::sqrt(d2);
+}
+
+void ProductQuantizer::Search(const nn::Matrix& queries, size_t query_row,
+                              size_t k, std::vector<uint32_t>* ids,
+                              std::vector<float>* distances) const {
+  TASTI_CHECK(ids != nullptr && distances != nullptr,
+              "Search requires output vectors");
+  const std::vector<float> table = BuildLookupTable(queries, query_row);
+  const size_t n = num_codes();
+  k = std::min(k, n);
+  std::vector<float> best_d;
+  std::vector<uint32_t> best_id;
+  best_d.reserve(k + 1);
+  best_id.reserve(k + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const float d = AsymmetricDistance(table, i);
+    if (best_d.size() == k && d >= best_d.back()) continue;
+    const auto pos = std::upper_bound(best_d.begin(), best_d.end(), d);
+    const size_t at = static_cast<size_t>(pos - best_d.begin());
+    best_d.insert(pos, d);
+    best_id.insert(best_id.begin() + at, static_cast<uint32_t>(i));
+    if (best_d.size() > k) {
+      best_d.pop_back();
+      best_id.pop_back();
+    }
+  }
+  *distances = std::move(best_d);
+  *ids = std::move(best_id);
+}
+
+}  // namespace tasti::cluster

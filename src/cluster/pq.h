@@ -1,0 +1,91 @@
+#ifndef TASTI_CLUSTER_PQ_H_
+#define TASTI_CLUSTER_PQ_H_
+
+/// \file pq.h
+/// Product quantization (PQ) for embedding compression.
+///
+/// A TASTI index stores one embedding per record; at the paper's scale
+/// (1M records x 128 float dims) that is ~0.5 GB per camera. PQ splits
+/// each vector into M subvectors and quantizes each against a 256-entry
+/// k-means codebook, compressing to M bytes per record (64x for M=8 on
+/// 128 dims) while supporting asymmetric distance computation (ADC):
+/// exact query vs quantized database distances via a per-query lookup
+/// table. Standard practice in embedding search systems; here used for
+/// the index's record-embedding store.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace tasti::cluster {
+
+/// PQ configuration.
+struct PqOptions {
+  /// Number of subquantizers (bytes per encoded vector). Must divide the
+  /// embedding dimension.
+  size_t num_subspaces = 8;
+  /// Codebook entries per subspace (fits one byte).
+  size_t codebook_size = 256;
+  /// K-means iterations per codebook.
+  size_t kmeans_iterations = 15;
+  uint64_t seed = 37;
+};
+
+/// A trained product quantizer plus the codes of the vectors it encoded.
+class ProductQuantizer {
+ public:
+  /// Trains codebooks on `vectors` (rows) and encodes all of them.
+  /// Returns an error if num_subspaces does not divide the dimension or
+  /// there are no vectors.
+  static Result<ProductQuantizer> Train(const nn::Matrix& vectors,
+                                        const PqOptions& options);
+
+  /// Encodes additional vectors with the trained codebooks (e.g. appended
+  /// records). Codes are appended to the store; returns the id of the
+  /// first new code.
+  size_t Encode(const nn::Matrix& vectors);
+
+  /// Reconstructs (decodes) vector `id` into a 1 x dim matrix.
+  nn::Matrix Decode(size_t id) const;
+
+  /// Asymmetric distance: exact `query` row vs the quantized vector `id`.
+  /// Cheap after BuildLookupTable: M table lookups.
+  float AsymmetricDistance(const std::vector<float>& lookup_table,
+                           size_t id) const;
+
+  /// Per-query lookup table: distance from the query subvectors to every
+  /// codebook entry (M x codebook_size floats).
+  std::vector<float> BuildLookupTable(const nn::Matrix& queries,
+                                      size_t query_row) const;
+
+  /// Exact k nearest encoded vectors of a query under ADC (ascending).
+  void Search(const nn::Matrix& queries, size_t query_row, size_t k,
+              std::vector<uint32_t>* ids, std::vector<float>* distances) const;
+
+  size_t num_codes() const { return codes_.size() / options_.num_subspaces; }
+  size_t dim() const { return dim_; }
+  size_t code_bytes() const { return options_.num_subspaces; }
+
+  /// Mean squared reconstruction error over the training vectors (set by
+  /// Train; a quality diagnostic).
+  double reconstruction_error() const { return reconstruction_error_; }
+
+ private:
+  ProductQuantizer() = default;
+
+  PqOptions options_;
+  size_t dim_ = 0;
+  size_t sub_dim_ = 0;
+  // Codebooks: num_subspaces x (codebook_size x sub_dim), flattened.
+  std::vector<nn::Matrix> codebooks_;
+  // Encoded vectors: num_codes x num_subspaces bytes, row-major.
+  std::vector<uint8_t> codes_;
+  double reconstruction_error_ = 0.0;
+};
+
+}  // namespace tasti::cluster
+
+#endif  // TASTI_CLUSTER_PQ_H_

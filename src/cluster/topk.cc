@@ -1,0 +1,91 @@
+#include "cluster/topk.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tasti::cluster {
+
+TopKDistances ComputeTopK(const nn::Matrix& points, const nn::Matrix& reps,
+                          size_t k) {
+  TASTI_CHECK(points.cols() == reps.cols(), "points/reps dim mismatch");
+  TASTI_CHECK(reps.rows() > 0, "ComputeTopK requires at least one rep");
+  const size_t n = points.rows();
+  const size_t r = reps.rows();
+  k = std::min(k, r);
+
+  TopKDistances topk;
+  topk.k = k;
+  topk.num_records = n;
+  topk.rep_ids.assign(n * k, 0);
+  topk.distances.assign(n * k, std::numeric_limits<float>::max());
+
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    // Per-record selection buffer: a simple insertion list is fastest for
+    // small k (k <= 16 in practice).
+    std::vector<float> best_d(k);
+    std::vector<uint32_t> best_id(k);
+    for (size_t i = lo; i < hi; ++i) {
+      size_t filled = 0;
+      for (size_t j = 0; j < r; ++j) {
+        const float d = nn::Distance(points, i, reps, j);
+        if (filled < k) {
+          // Insert into the sorted prefix.
+          size_t pos = filled;
+          while (pos > 0 && best_d[pos - 1] > d) {
+            best_d[pos] = best_d[pos - 1];
+            best_id[pos] = best_id[pos - 1];
+            --pos;
+          }
+          best_d[pos] = d;
+          best_id[pos] = static_cast<uint32_t>(j);
+          ++filled;
+        } else if (d < best_d[k - 1]) {
+          size_t pos = k - 1;
+          while (pos > 0 && best_d[pos - 1] > d) {
+            best_d[pos] = best_d[pos - 1];
+            best_id[pos] = best_id[pos - 1];
+            --pos;
+          }
+          best_d[pos] = d;
+          best_id[pos] = static_cast<uint32_t>(j);
+        }
+      }
+      for (size_t j = 0; j < k; ++j) {
+        topk.distances[i * k + j] = best_d[j];
+        topk.rep_ids[i * k + j] = best_id[j];
+      }
+    }
+  }, 256);
+  return topk;
+}
+
+void UpdateTopKWithNewRep(const nn::Matrix& points, const nn::Matrix& reps,
+                          size_t rep_row, uint32_t new_rep_id,
+                          TopKDistances* topk) {
+  TASTI_CHECK(topk != nullptr, "UpdateTopKWithNewRep requires a topk");
+  TASTI_CHECK(points.rows() == topk->num_records, "topk record count mismatch");
+  TASTI_CHECK(rep_row < reps.rows(), "rep_row out of range");
+  const size_t k = topk->k;
+  ParallelFor(0, points.rows(), [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const float d = nn::Distance(points, i, reps, rep_row);
+      float* dist = topk->distances.data() + i * k;
+      uint32_t* ids = topk->rep_ids.data() + i * k;
+      if (d >= dist[k - 1]) continue;
+      size_t pos = k - 1;
+      while (pos > 0 && dist[pos - 1] > d) {
+        dist[pos] = dist[pos - 1];
+        ids[pos] = ids[pos - 1];
+        --pos;
+      }
+      dist[pos] = d;
+      ids[pos] = new_rep_id;
+    }
+  }, 512);
+}
+
+}  // namespace tasti::cluster

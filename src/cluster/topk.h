@@ -1,0 +1,43 @@
+#ifndef TASTI_CLUSTER_TOPK_H_
+#define TASTI_CLUSTER_TOPK_H_
+
+/// \file topk.h
+/// Exact k-nearest-representative computation (the "min-k distances" of
+/// Algorithm 1) with incremental updates for index cracking.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace tasti::cluster {
+
+/// For every record, its k nearest representatives (ascending by
+/// distance). Stored flattened: record r's j-th neighbor sits at
+/// index r * k + j.
+struct TopKDistances {
+  size_t k = 0;
+  size_t num_records = 0;
+  std::vector<uint32_t> rep_ids;  ///< indices into the representative list
+  std::vector<float> distances;   ///< Euclidean distances, ascending per record
+
+  uint32_t RepId(size_t record, size_t j) const { return rep_ids[record * k + j]; }
+  float Dist(size_t record, size_t j) const { return distances[record * k + j]; }
+};
+
+/// Computes exact top-k via brute force over all representative rows.
+/// O(n * r * dim), parallelized over records.
+TopKDistances ComputeTopK(const nn::Matrix& points, const nn::Matrix& reps,
+                          size_t k);
+
+/// Incremental cracking update: representative `new_rep_id` with embedding
+/// row `rep_row` of `reps` has been appended; every record's top-k list is
+/// updated in place (one distance evaluation per record).
+void UpdateTopKWithNewRep(const nn::Matrix& points, const nn::Matrix& reps,
+                          size_t rep_row, uint32_t new_rep_id,
+                          TopKDistances* topk);
+
+}  // namespace tasti::cluster
+
+#endif  // TASTI_CLUSTER_TOPK_H_

@@ -1,0 +1,47 @@
+#include "core/drift.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace tasti::core {
+
+DriftReport DetectDrift(const TastiIndex& index, size_t recent_begin,
+                        double ratio_threshold) {
+  TASTI_CHECK(recent_begin > 0 && recent_begin < index.num_records(),
+              "recent_begin must split the records into two non-empty ranges");
+  TASTI_CHECK(ratio_threshold > 0.0, "ratio_threshold must be positive");
+
+  const auto& topk = index.topk();
+  std::vector<double> baseline, recent;
+  baseline.reserve(recent_begin);
+  recent.reserve(index.num_records() - recent_begin);
+  for (size_t i = 0; i < index.num_records(); ++i) {
+    (i < recent_begin ? baseline : recent).push_back(topk.Dist(i, 0));
+  }
+
+  DriftReport report;
+  report.baseline_mean = Mean(baseline);
+  report.recent_mean = Mean(recent);
+  report.baseline_p95 = Quantile(baseline, 0.95);
+  report.recent_p95 = Quantile(recent, 0.95);
+  report.mean_ratio = report.baseline_mean > 0.0
+                          ? report.recent_mean / report.baseline_mean
+                          : 1.0;
+  report.drifted = report.mean_ratio > ratio_threshold;
+  return report;
+}
+
+std::string DriftReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "drift: nearest-rep distance mean %.4f -> %.4f (x%.2f), p95 "
+                "%.4f -> %.4f%s",
+                baseline_mean, recent_mean, mean_ratio, baseline_p95,
+                recent_p95, drifted ? "  ** DRIFT **" : "");
+  return buf;
+}
+
+}  // namespace tasti::core

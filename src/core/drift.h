@@ -1,0 +1,46 @@
+#ifndef TASTI_CORE_DRIFT_H_
+#define TASTI_CORE_DRIFT_H_
+
+/// \file drift.h
+/// Data-drift detection for streaming ingestion.
+///
+/// When new records are appended (TastiIndex::AppendRecords) their
+/// nearest-representative distances tell us whether they resemble the
+/// indexed distribution: a camera whose scene changed (construction,
+/// re-aiming, seasons) produces records far from every representative,
+/// and the index's propagated proxies silently degrade. DetectDrift
+/// compares the nearest-distance distribution of a recent record range
+/// against the baseline and flags when it shifts, signalling that the
+/// operator should crack in fresh labels (cheap) or retrain (rare).
+
+#include <cstddef>
+#include <string>
+
+#include "core/index.h"
+
+namespace tasti::core {
+
+/// Drift comparison between a baseline and a recent record range.
+struct DriftReport {
+  /// Mean nearest-representative distance of the two ranges.
+  double baseline_mean = 0.0;
+  double recent_mean = 0.0;
+  /// 95th-percentile nearest distances.
+  double baseline_p95 = 0.0;
+  double recent_p95 = 0.0;
+  /// recent_mean / baseline_mean (1.0 = no shift).
+  double mean_ratio = 1.0;
+  /// True if the ratio exceeded the configured threshold.
+  bool drifted = false;
+
+  std::string ToString() const;
+};
+
+/// Compares records [recent_begin, num_records) against [0, recent_begin).
+/// `ratio_threshold` is the mean-distance inflation that counts as drift.
+DriftReport DetectDrift(const TastiIndex& index, size_t recent_begin,
+                        double ratio_threshold = 1.3);
+
+}  // namespace tasti::core
+
+#endif  // TASTI_CORE_DRIFT_H_

@@ -1,0 +1,220 @@
+#include "core/index.h"
+
+#include <algorithm>
+
+#include "cluster/fpf.h"
+#include "cluster/ivf.h"
+#include "cluster/kmeans.h"
+#include "embed/pretrained.h"
+#include "embed/triplet_trainer.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace tasti::core {
+
+TastiIndex TastiIndex::Build(const data::Dataset& dataset,
+                             labeler::TargetLabeler* labeler,
+                             const IndexOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "Build requires a labeler");
+  TASTI_CHECK(labeler->num_records() == dataset.size(),
+              "labeler/dataset record count mismatch");
+  TASTI_CHECK(options.num_representatives > 0, "need at least one representative");
+  TASTI_CHECK(options.k > 0, "k must be positive");
+
+  TastiIndex index;
+  index.options_ = options;
+  Rng rng(options.seed);
+
+  const embed::PretrainedEmbedder pretrained(dataset.feature_dim(),
+                                             options.embedding_dim,
+                                             options.seed ^ 0xA5A5A5A5ULL);
+
+  // Step 1-2 (optional): triplet training on FPF-mined data.
+  std::unique_ptr<embed::Embedder> trained;
+  const embed::Embedder* embedder = &pretrained;
+  if (options.use_triplet_training) {
+    WallTimer timer;
+    embed::TripletTrainOptions train_options;
+    train_options.num_training_records = options.num_training_records;
+    train_options.embedding_dim = options.embedding_dim;
+    train_options.hidden_dim = options.hidden_dim;
+    train_options.margin = options.margin;
+    train_options.epochs = options.epochs;
+    train_options.batch_size = options.batch_size;
+    train_options.learning_rate = options.learning_rate;
+    train_options.use_fpf_mining = options.use_fpf_mining;
+    train_options.seed = options.seed * 1315423911ULL + 1;
+    const size_t invocations_before = labeler->invocations();
+    embed::TripletTrainResult trained_result = embed::TrainTripletEmbedder(
+        dataset.features, pretrained, labeler, dataset.closeness, train_options);
+    index.build_stats_.training_invocations =
+        labeler->invocations() - invocations_before;
+    index.build_stats_.final_triplet_loss = trained_result.final_loss;
+    trained = std::move(trained_result.embedder);
+    embedder = trained.get();
+    index.build_stats_.train_seconds = timer.Seconds();
+  }
+
+  // Step 3: embed every record; the index retains the embedder so new
+  // records can be ingested later (streaming).
+  {
+    WallTimer timer;
+    index.embeddings_ = embedder->Embed(dataset.features);
+    index.build_stats_.embed_seconds = timer.Seconds();
+  }
+  if (trained != nullptr) {
+    index.embedder_ = std::move(trained);
+  } else {
+    index.embedder_ = std::make_unique<embed::PretrainedEmbedder>(
+        dataset.feature_dim(), options.embedding_dim,
+        options.seed ^ 0xA5A5A5A5ULL);
+  }
+
+  // Step 4: select cluster representatives.
+  {
+    WallTimer timer;
+    switch (options.rep_selection) {
+      case RepSelectionPolicy::kFpfMixed:
+        index.rep_record_ids_ = cluster::MixedFpfRandomSelection(
+            index.embeddings_, options.num_representatives,
+            options.random_rep_fraction, &rng);
+        break;
+      case RepSelectionPolicy::kRandom:
+        index.rep_record_ids_ = cluster::RandomSelection(
+            dataset.size(), options.num_representatives, &rng);
+        break;
+      case RepSelectionPolicy::kKMeans:
+        index.rep_record_ids_ = cluster::KMeansSelection(
+            index.embeddings_, options.num_representatives,
+            options.seed * 13 + 7);
+        break;
+    }
+    index.build_stats_.cluster_seconds = timer.Seconds();
+  }
+
+  // Annotate representatives with the target labeler.
+  {
+    const size_t invocations_before = labeler->invocations();
+    index.rep_labels_.reserve(index.rep_record_ids_.size());
+    for (size_t record : index.rep_record_ids_) {
+      index.rep_labels_.push_back(labeler->Label(record));
+    }
+    index.build_stats_.rep_invocations =
+        labeler->invocations() - invocations_before;
+  }
+
+  index.rep_embeddings_ = index.embeddings_.GatherRows(index.rep_record_ids_);
+  index.is_rep_.assign(dataset.size(), 0);
+  for (size_t record : index.rep_record_ids_) index.is_rep_[record] = 1;
+
+  // Step 5: min-k distances (exact, or IVF-approximate at scale).
+  {
+    WallTimer timer;
+    if (options.use_ivf) {
+      cluster::IvfOptions ivf_options;
+      ivf_options.num_probes = options.ivf_probes;
+      ivf_options.seed = options.seed * 11 + 3;
+      cluster::IvfIndex ivf(index.rep_embeddings_, ivf_options);
+      index.topk_ = ivf.SearchAll(index.embeddings_, options.k);
+    } else {
+      index.topk_ = cluster::ComputeTopK(index.embeddings_,
+                                         index.rep_embeddings_, options.k);
+    }
+    index.build_stats_.distance_seconds = timer.Seconds();
+  }
+  return index;
+}
+
+namespace {
+// Appends the embedding rows of `records` to `reps` in one allocation.
+nn::Matrix AppendRows(const nn::Matrix& reps, const nn::Matrix& embeddings,
+                      const std::vector<size_t>& records) {
+  nn::Matrix grown(reps.rows() + records.size(), reps.cols());
+  std::copy(reps.data(), reps.data() + reps.size(), grown.data());
+  for (size_t i = 0; i < records.size(); ++i) {
+    grown.SetRow(reps.rows() + i, embeddings, records[i]);
+  }
+  return grown;
+}
+}  // namespace
+
+void TastiIndex::AddRepresentative(size_t record_id, data::LabelerOutput label) {
+  TASTI_CHECK(record_id < num_records(), "record_id out of range");
+  if (is_rep_[record_id]) return;
+  is_rep_[record_id] = 1;
+
+  const uint32_t new_rep_id = static_cast<uint32_t>(rep_record_ids_.size());
+  rep_record_ids_.push_back(record_id);
+  rep_labels_.push_back(std::move(label));
+  rep_embeddings_ = AppendRows(rep_embeddings_, embeddings_, {record_id});
+  cluster::UpdateTopKWithNewRep(embeddings_, rep_embeddings_,
+                                rep_embeddings_.rows() - 1, new_rep_id, &topk_);
+}
+
+size_t TastiIndex::CrackFrom(const labeler::CachingLabeler& cache) {
+  // Collect the new representatives first so the embedding matrix grows
+  // once, not per record.
+  std::vector<size_t> additions;
+  for (size_t record : cache.labeled_indices()) {
+    if (!is_rep_[record]) additions.push_back(record);
+  }
+  if (additions.empty()) return 0;
+
+  const size_t old_count = rep_record_ids_.size();
+  for (size_t record : additions) {
+    is_rep_[record] = 1;
+    rep_record_ids_.push_back(record);
+    rep_labels_.push_back(*cache.CachedLabel(record));
+  }
+  rep_embeddings_ = AppendRows(rep_embeddings_, embeddings_, additions);
+
+  if (additions.size() * 4 > old_count) {
+    // Large cracking batch: a fresh top-k pass is cheaper than per-rep
+    // relaxation.
+    topk_ = cluster::ComputeTopK(embeddings_, rep_embeddings_, topk_.k);
+  } else {
+    for (size_t i = 0; i < additions.size(); ++i) {
+      cluster::UpdateTopKWithNewRep(embeddings_, rep_embeddings_, old_count + i,
+                                    static_cast<uint32_t>(old_count + i),
+                                    &topk_);
+    }
+  }
+  return additions.size();
+}
+
+size_t TastiIndex::AppendRecords(const nn::Matrix& new_features) {
+  TASTI_CHECK(embedder_ != nullptr,
+              "AppendRecords requires the index's embedding network");
+  TASTI_CHECK(new_features.rows() > 0, "no records to append");
+  const size_t first_new = embeddings_.rows();
+
+  const nn::Matrix new_embeddings = embedder_->Embed(new_features);
+  TASTI_CHECK(new_embeddings.cols() == embeddings_.cols(),
+              "appended embedding width mismatch");
+  nn::Matrix grown(embeddings_.rows() + new_embeddings.rows(),
+                   embeddings_.cols());
+  std::copy(embeddings_.data(), embeddings_.data() + embeddings_.size(),
+            grown.data());
+  std::copy(new_embeddings.data(),
+            new_embeddings.data() + new_embeddings.size(),
+            grown.Row(first_new));
+  embeddings_ = std::move(grown);
+  is_rep_.resize(embeddings_.rows(), 0);
+
+  // Min-k lists for the new rows only.
+  const cluster::TopKDistances fresh =
+      cluster::ComputeTopK(new_embeddings, rep_embeddings_, topk_.k);
+  topk_.num_records = embeddings_.rows();
+  topk_.rep_ids.insert(topk_.rep_ids.end(), fresh.rep_ids.begin(),
+                       fresh.rep_ids.end());
+  topk_.distances.insert(topk_.distances.end(), fresh.distances.begin(),
+                         fresh.distances.end());
+  return first_new;
+}
+
+bool TastiIndex::IsRepresentative(size_t record_id) const {
+  TASTI_CHECK(record_id < is_rep_.size(), "record_id out of range");
+  return is_rep_[record_id] != 0;
+}
+
+}  // namespace tasti::core

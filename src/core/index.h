@@ -1,0 +1,137 @@
+#ifndef TASTI_CORE_INDEX_H_
+#define TASTI_CORE_INDEX_H_
+
+/// \file index.h
+/// The TASTI index (paper Algorithm 1 and Figure 1b): per-record
+/// embeddings, annotated cluster representatives, and min-k distances from
+/// every record to its nearest representatives.
+///
+/// Typical usage:
+///
+///   auto dataset = data::MakeNightStreet(opts);
+///   labeler::SimulatedLabeler oracle(&dataset);
+///   labeler::CachingLabeler cache(&oracle);
+///   auto index = core::TastiIndex::Build(dataset, &cache, core::IndexOptions{});
+///   core::CountScorer cars(data::ObjectClass::kCar);
+///   std::vector<double> proxy = core::ComputeProxyScores(index, cars);
+///   // feed `proxy` into queries::* algorithms
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/topk.h"
+#include "core/index_options.h"
+#include "data/dataset.h"
+#include "embed/embedder.h"
+#include "labeler/labeler.h"
+#include "nn/matrix.h"
+
+namespace tasti::core {
+
+/// Wall-clock and budget breakdown of one Build call (Figure 2's bars).
+struct BuildStats {
+  double mine_seconds = 0.0;      ///< pretrained embedding + FPF mining
+  double train_seconds = 0.0;     ///< triplet training epochs
+  double embed_seconds = 0.0;     ///< embedding all records
+  double cluster_seconds = 0.0;   ///< representative selection (FPF)
+  double distance_seconds = 0.0;  ///< min-k distance computation
+  size_t training_invocations = 0;  ///< labeler calls for triplet data
+  size_t rep_invocations = 0;       ///< labeler calls for representatives
+  double final_triplet_loss = 0.0;
+
+  double TotalSeconds() const {
+    return mine_seconds + train_seconds + embed_seconds + cluster_seconds +
+           distance_seconds;
+  }
+  size_t TotalInvocations() const {
+    return training_invocations + rep_invocations;
+  }
+};
+
+/// An immutable-by-default semantic index; cracking appends representatives.
+class TastiIndex {
+ public:
+  /// Builds an index per Algorithm 1. The labeler is charged
+  /// `options.num_training_records` training annotations (if triplet
+  /// training is on) plus one annotation per representative; wrap it in a
+  /// CachingLabeler to avoid double-charging overlapping records.
+  static TastiIndex Build(const data::Dataset& dataset,
+                          labeler::TargetLabeler* labeler,
+                          const IndexOptions& options);
+
+  // --- Read accessors ---
+
+  /// Record indices of the representatives, in representative order.
+  const std::vector<size_t>& rep_record_ids() const { return rep_record_ids_; }
+
+  /// Cached target labeler outputs, aligned with rep_record_ids().
+  const std::vector<data::LabelerOutput>& rep_labels() const {
+    return rep_labels_;
+  }
+
+  /// Embeddings of every record (records x embedding_dim).
+  const nn::Matrix& embeddings() const { return embeddings_; }
+
+  /// Embeddings of the representatives (reps x embedding_dim).
+  const nn::Matrix& rep_embeddings() const { return rep_embeddings_; }
+
+  /// Min-k distances from every record to its nearest representatives.
+  const cluster::TopKDistances& topk() const { return topk_; }
+
+  size_t num_records() const { return embeddings_.rows(); }
+  size_t num_representatives() const { return rep_record_ids_.size(); }
+  size_t k() const { return topk_.k; }
+
+  const BuildStats& build_stats() const { return build_stats_; }
+  const IndexOptions& options() const { return options_; }
+
+  /// The embedding network the index was built with (trained or
+  /// pretrained); used to embed newly appended records. Null only for
+  /// indexes loaded from pre-embedder file versions.
+  const embed::Embedder* embedder() const { return embedder_.get(); }
+
+  // --- Streaming ingestion ---
+
+  /// Appends new records (rows of sensor features): embeds them with the
+  /// stored embedding network and computes their min-k distances. The new
+  /// records start unannotated; labeling them during queries and cracking
+  /// makes them representatives like any others. Returns the index of the
+  /// first appended record. Requires embedder() != nullptr.
+  size_t AppendRecords(const nn::Matrix& new_features);
+
+  // --- Cracking (paper Section 3.3) ---
+
+  /// Adds a record annotated during query execution as a new
+  /// representative and updates every record's min-k list (one distance
+  /// evaluation per record). No-op if the record is already a
+  /// representative.
+  void AddRepresentative(size_t record_id, data::LabelerOutput label);
+
+  /// Bulk-adds every cached annotation of `cache` not yet in the index.
+  /// Returns the number of representatives added.
+  size_t CrackFrom(const labeler::CachingLabeler& cache);
+
+  /// True if the record is currently a representative.
+  bool IsRepresentative(size_t record_id) const;
+
+  // Internal constructor used by serialization; prefer Build.
+  TastiIndex() = default;
+
+  friend class IndexSerializer;
+
+ private:
+  IndexOptions options_;
+  nn::Matrix embeddings_;
+  nn::Matrix rep_embeddings_;
+  std::vector<size_t> rep_record_ids_;
+  std::vector<data::LabelerOutput> rep_labels_;
+  std::vector<uint8_t> is_rep_;  // per record flag
+  cluster::TopKDistances topk_;
+  BuildStats build_stats_;
+  std::unique_ptr<embed::Embedder> embedder_;
+};
+
+}  // namespace tasti::core
+
+#endif  // TASTI_CORE_INDEX_H_

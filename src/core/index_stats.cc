@@ -1,0 +1,49 @@
+#include "core/index_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace tasti::core {
+
+IndexStats ComputeIndexStats(const TastiIndex& index) {
+  IndexStats stats;
+  stats.num_records = index.num_records();
+  stats.num_representatives = index.num_representatives();
+  if (stats.num_records == 0 || stats.num_representatives == 0) return stats;
+
+  const auto& topk = index.topk();
+  std::vector<double> nearest(stats.num_records);
+  std::vector<size_t> cluster_sizes(stats.num_representatives, 0);
+  RunningStats dist_stats;
+  for (size_t i = 0; i < stats.num_records; ++i) {
+    nearest[i] = topk.Dist(i, 0);
+    dist_stats.Add(nearest[i]);
+    ++cluster_sizes[topk.RepId(i, 0)];
+  }
+  stats.mean_nearest_distance = dist_stats.mean();
+  stats.max_nearest_distance = dist_stats.max();
+  stats.p99_nearest_distance = Quantile(nearest, 0.99);
+  stats.largest_cluster =
+      *std::max_element(cluster_sizes.begin(), cluster_sizes.end());
+  stats.empty_clusters = static_cast<size_t>(
+      std::count(cluster_sizes.begin(), cluster_sizes.end(), size_t{0}));
+  stats.mean_cluster_size = static_cast<double>(stats.num_records) /
+                            static_cast<double>(stats.num_representatives);
+  return stats;
+}
+
+std::string IndexStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "index: %zu records, %zu reps | nearest-rep distance "
+                "mean=%.4f p99=%.4f max=%.4f | clusters mean=%.1f largest=%zu "
+                "empty=%zu",
+                num_records, num_representatives, mean_nearest_distance,
+                p99_nearest_distance, max_nearest_distance, mean_cluster_size,
+                largest_cluster, empty_clusters);
+  return buf;
+}
+
+}  // namespace tasti::core

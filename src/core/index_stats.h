@@ -1,0 +1,44 @@
+#ifndef TASTI_CORE_INDEX_STATS_H_
+#define TASTI_CORE_INDEX_STATS_H_
+
+/// \file index_stats.h
+/// Diagnostics over a built index: coverage radii (the quantity the
+/// paper's analysis bounds), cluster-size balance, and per-bucket
+/// annotation coverage. Useful for tuning N2 and for verifying that FPF
+/// reached the rare tail.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/index.h"
+
+namespace tasti::core {
+
+/// Summary statistics of an index's geometry.
+struct IndexStats {
+  /// Distance from each record to its nearest representative: the
+  /// "density of clustering" the theory ties query accuracy to.
+  double mean_nearest_distance = 0.0;
+  double max_nearest_distance = 0.0;   ///< the k-center coverage radius
+  double p99_nearest_distance = 0.0;
+
+  /// Cluster balance (records assigned to each nearest representative).
+  size_t largest_cluster = 0;
+  size_t empty_clusters = 0;  ///< representatives that are nobody's nearest
+  double mean_cluster_size = 0.0;
+
+  size_t num_records = 0;
+  size_t num_representatives = 0;
+
+  /// Renders a short human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes stats from the index's stored min-k distances (no embedding
+/// passes required).
+IndexStats ComputeIndexStats(const TastiIndex& index);
+
+}  // namespace tasti::core
+
+#endif  // TASTI_CORE_INDEX_STATS_H_

@@ -1,0 +1,124 @@
+#include "core/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace tasti::core {
+
+std::vector<double> RepresentativeScores(const TastiIndex& index,
+                                         const Scorer& scorer) {
+  std::vector<double> scores;
+  scores.reserve(index.num_representatives());
+  for (const data::LabelerOutput& label : index.rep_labels()) {
+    scores.push_back(scorer.Score(label));
+  }
+  return scores;
+}
+
+namespace {
+size_t EffectiveK(const TastiIndex& index, const PropagationOptions& options) {
+  const size_t stored = index.k();
+  if (options.k == 0) return stored;
+  return std::min(options.k, stored);
+}
+}  // namespace
+
+std::vector<double> PropagateNumeric(const TastiIndex& index,
+                                     const std::vector<double>& rep_scores,
+                                     const PropagationOptions& options) {
+  TASTI_CHECK(rep_scores.size() == index.num_representatives(),
+              "rep_scores must align with representatives");
+  const size_t n = index.num_records();
+  const size_t k = EffectiveK(index, options);
+  const auto& topk = index.topk();
+  std::vector<double> out(n, 0.0);
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      double weight_sum = 0.0;
+      double score_sum = 0.0;
+      for (size_t j = 0; j < k; ++j) {
+        const double w = 1.0 / std::pow(topk.Dist(i, j) + options.epsilon,
+                                        options.weight_power);
+        weight_sum += w;
+        score_sum += w * rep_scores[topk.RepId(i, j)];
+      }
+      out[i] = weight_sum > 0.0 ? score_sum / weight_sum : 0.0;
+    }
+  }, 2048);
+  return out;
+}
+
+std::vector<double> PropagateCategorical(const TastiIndex& index,
+                                         const std::vector<double>& rep_scores,
+                                         const PropagationOptions& options) {
+  TASTI_CHECK(rep_scores.size() == index.num_representatives(),
+              "rep_scores must align with representatives");
+  const size_t n = index.num_records();
+  const size_t k = EffectiveK(index, options);
+  const auto& topk = index.topk();
+  std::vector<double> out(n, 0.0);
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    // Votes keyed by exact score value; categorical scorers emit a small
+    // discrete set, so a flat map is cheap.
+    std::unordered_map<double, double> votes;
+    for (size_t i = lo; i < hi; ++i) {
+      votes.clear();
+      for (size_t j = 0; j < k; ++j) {
+        const double w = 1.0 / std::pow(topk.Dist(i, j) + options.epsilon,
+                                        options.weight_power);
+        votes[rep_scores[topk.RepId(i, j)]] += w;
+      }
+      double best_score = 0.0;
+      double best_weight = -1.0;
+      for (const auto& [value, weight] : votes) {
+        if (weight > best_weight) {
+          best_weight = weight;
+          best_score = value;
+        }
+      }
+      out[i] = best_score;
+    }
+  }, 2048);
+  return out;
+}
+
+std::vector<double> PropagateLimit(const TastiIndex& index,
+                                   const std::vector<double>& rep_scores,
+                                   bool use_best_of_k) {
+  TASTI_CHECK(rep_scores.size() == index.num_representatives(),
+              "rep_scores must align with representatives");
+  const size_t n = index.num_records();
+  const auto& topk = index.topk();
+  std::vector<double> out(n, 0.0);
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      // Rank by the best-scoring representative within the stored min-k
+      // list: a record sitting next to a high-scoring representative is a
+      // strong candidate even if its single nearest representative scores
+      // low (rare events hide at cluster boundaries). Ties within a score
+      // level break by distance to that representative (paper Section 6.3).
+      double best_score = rep_scores[topk.RepId(i, 0)];
+      double best_dist = topk.Dist(i, 0);
+      const size_t neighbors = use_best_of_k ? topk.k : 1;
+      for (size_t j = 1; j < neighbors; ++j) {
+        const double score = rep_scores[topk.RepId(i, j)];
+        const double dist = topk.Dist(i, j);
+        if (score > best_score ||
+            (score == best_score && dist < best_dist)) {
+          best_score = score;
+          best_dist = dist;
+        }
+      }
+      // Bonus in (0, 1): closer records of the same score rank earlier;
+      // never crosses an integer score boundary.
+      out[i] = best_score + 0.999 / (1.0 + best_dist);
+    }
+  }, 2048);
+  return out;
+}
+
+}  // namespace tasti::core

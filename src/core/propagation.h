@@ -1,0 +1,66 @@
+#ifndef TASTI_CORE_PROPAGATION_H_
+#define TASTI_CORE_PROPAGATION_H_
+
+/// \file propagation.h
+/// Score propagation (paper Section 4.3): exact scores on cluster
+/// representatives are propagated to unannotated records via the stored
+/// min-k distances — inverse-distance-weighted mean for numeric scores,
+/// distance-weighted majority vote for categorical scores, and the
+/// k=1-with-distance-tie-breaking variant used for limit queries
+/// (Section 6.3).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/index.h"
+#include "core/scorer.h"
+
+namespace tasti::core {
+
+/// Propagation parameters.
+struct PropagationOptions {
+  /// Neighbors used; clamped to the index's stored k. 0 means "use all
+  /// stored neighbors".
+  size_t k = 0;
+  /// Distance floor: weights are 1 / (distance + epsilon)^power, so a
+  /// record that is itself a representative is dominated by its own exact
+  /// score.
+  float epsilon = 1e-6f;
+  /// Exponent of the inverse-distance weight. Higher powers sharpen the
+  /// estimate toward the nearest representative, improving tail accuracy
+  /// on rare records at a slight cost in smoothing.
+  float weight_power = 2.0f;
+};
+
+/// Evaluates the scorer on every representative (exact scores).
+std::vector<double> RepresentativeScores(const TastiIndex& index,
+                                         const Scorer& scorer);
+
+/// Inverse-distance-weighted mean propagation for numeric scores.
+/// `rep_scores` must align with index.rep_labels().
+std::vector<double> PropagateNumeric(const TastiIndex& index,
+                                     const std::vector<double>& rep_scores,
+                                     const PropagationOptions& options = {});
+
+/// Distance-weighted majority vote for categorical scores: each record
+/// gets the score value with the largest total weight among its k nearest
+/// representatives.
+std::vector<double> PropagateCategorical(const TastiIndex& index,
+                                         const std::vector<double>& rep_scores,
+                                         const PropagationOptions& options = {});
+
+/// Limit-query propagation: records inherit the best score among their
+/// stored min-k representatives (rare events often sit at cluster
+/// boundaries next to a positive representative), plus a strictly-less-
+/// than-unit bonus decreasing in distance to that representative, so
+/// sorting descending ranks by score first and proximity second. Scores
+/// must be integer-spaced for the tie-break to be order-preserving.
+/// `use_best_of_k = false` restricts to the single nearest representative
+/// (the paper's literal "k = 1 with ties broken by distance").
+std::vector<double> PropagateLimit(const TastiIndex& index,
+                                   const std::vector<double>& rep_scores,
+                                   bool use_best_of_k = true);
+
+}  // namespace tasti::core
+
+#endif  // TASTI_CORE_PROPAGATION_H_

@@ -1,0 +1,34 @@
+#include "core/proxy.h"
+
+#include "util/status.h"
+
+namespace tasti::core {
+
+std::vector<double> ComputeProxyScores(const TastiIndex& index,
+                                       const Scorer& scorer,
+                                       PropagationMode mode,
+                                       const PropagationOptions& options) {
+  const std::vector<double> rep_scores = RepresentativeScores(index, scorer);
+  switch (mode) {
+    case PropagationMode::kNumeric:
+      return PropagateNumeric(index, rep_scores, options);
+    case PropagationMode::kCategorical:
+      return PropagateCategorical(index, rep_scores, options);
+    case PropagationMode::kLimit:
+      return PropagateLimit(index, rep_scores);
+  }
+  TASTI_CHECK(false, "unknown propagation mode");
+  return {};
+}
+
+std::vector<double> ExactScores(const data::Dataset& dataset,
+                                const Scorer& scorer) {
+  std::vector<double> out;
+  out.reserve(dataset.size());
+  for (const data::LabelerOutput& label : dataset.ground_truth) {
+    out.push_back(scorer.Score(label));
+  }
+  return out;
+}
+
+}  // namespace tasti::core

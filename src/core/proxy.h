@@ -1,0 +1,42 @@
+#ifndef TASTI_CORE_PROXY_H_
+#define TASTI_CORE_PROXY_H_
+
+/// \file proxy.h
+/// One-call generation of query-specific proxy scores from a TASTI index
+/// (paper Figure 1c): evaluate the scorer exactly on the representatives,
+/// then propagate.
+
+#include <vector>
+
+#include "core/index.h"
+#include "core/propagation.h"
+#include "core/scorer.h"
+
+namespace tasti::core {
+
+/// How representative scores are propagated to unannotated records.
+enum class PropagationMode {
+  /// Inverse-distance-weighted mean over the k nearest representatives.
+  /// This is the paper's default for numeric scores and its smoothed
+  /// probability estimate for 0/1 predicates (Sections 4.1, 4.3).
+  kNumeric,
+  /// Distance-weighted majority vote (hard categorical outputs).
+  kCategorical,
+  /// k = 1 with distance tie-breaking (limit-query ranking, Section 6.3).
+  kLimit,
+};
+
+/// Generates proxy scores for every record.
+std::vector<double> ComputeProxyScores(const TastiIndex& index,
+                                       const Scorer& scorer,
+                                       PropagationMode mode = PropagationMode::kNumeric,
+                                       const PropagationOptions& options = {});
+
+/// Exact scores for every record via a ground-truth labeler — used by the
+/// evaluation harness to measure proxy quality, never by query processing.
+std::vector<double> ExactScores(const data::Dataset& dataset,
+                                const Scorer& scorer);
+
+}  // namespace tasti::core
+
+#endif  // TASTI_CORE_PROXY_H_

@@ -1,0 +1,5 @@
+// Scorers are header-only (small virtual classes); this file anchors the
+// translation unit so every scorer's vtable has a home.
+#include "core/scorer.h"
+
+namespace tasti::core {}  // namespace tasti::core

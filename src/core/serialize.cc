@@ -1,0 +1,316 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "embed/pretrained.h"
+#include "embed/triplet_trainer.h"
+#include "nn/serialize.h"
+
+
+namespace tasti::core {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x54535449;  // "TSTI"
+constexpr uint32_t kVersion = 2;
+
+// --- primitive writers/readers over a string buffer ---
+
+template <typename T>
+void Put(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>, "Put requires POD");
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool Get(const std::string& in, size_t* at, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>, "Get requires POD");
+  if (*at + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *at, sizeof(T));
+  *at += sizeof(T);
+  return true;
+}
+
+void PutMatrix(std::string* out, const nn::Matrix& m) {
+  Put<uint64_t>(out, m.rows());
+  Put<uint64_t>(out, m.cols());
+  out->append(reinterpret_cast<const char*>(m.data()), m.size() * sizeof(float));
+}
+
+bool GetMatrix(const std::string& in, size_t* at, nn::Matrix* m) {
+  uint64_t rows = 0, cols = 0;
+  if (!Get(in, at, &rows) || !Get(in, at, &cols)) return false;
+  const size_t bytes = static_cast<size_t>(rows * cols) * sizeof(float);
+  if (*at + bytes > in.size()) return false;
+  *m = nn::Matrix(rows, cols);
+  std::memcpy(m->data(), in.data() + *at, bytes);
+  *at += bytes;
+  return true;
+}
+
+template <typename T>
+void PutVector(std::string* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>, "PutVector requires POD");
+  Put<uint64_t>(out, v.size());
+  out->append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(T));
+}
+
+template <typename T>
+bool GetVector(const std::string& in, size_t* at, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!Get(in, at, &n)) return false;
+  const size_t bytes = static_cast<size_t>(n) * sizeof(T);
+  if (*at + bytes > in.size()) return false;
+  v->resize(n);
+  std::memcpy(v->data(), in.data() + *at, bytes);
+  *at += bytes;
+  return true;
+}
+
+// --- LabelerOutput (tag + payload) ---
+
+enum class LabelTag : uint8_t { kVideo = 0, kText = 1, kSpeech = 2 };
+
+void PutLabel(std::string* out, const data::LabelerOutput& label) {
+  if (const auto* video = std::get_if<data::VideoLabel>(&label)) {
+    Put<uint8_t>(out, static_cast<uint8_t>(LabelTag::kVideo));
+    Put<uint32_t>(out, static_cast<uint32_t>(video->boxes.size()));
+    for (const data::Box& box : video->boxes) {
+      Put<uint8_t>(out, static_cast<uint8_t>(box.cls));
+      Put<float>(out, box.x);
+      Put<float>(out, box.y);
+      Put<float>(out, box.w);
+      Put<float>(out, box.h);
+    }
+    return;
+  }
+  if (const auto* text = std::get_if<data::TextLabel>(&label)) {
+    Put<uint8_t>(out, static_cast<uint8_t>(LabelTag::kText));
+    Put<uint8_t>(out, static_cast<uint8_t>(text->op));
+    Put<int32_t>(out, text->num_predicates);
+    return;
+  }
+  const auto& speech = std::get<data::SpeechLabel>(label);
+  Put<uint8_t>(out, static_cast<uint8_t>(LabelTag::kSpeech));
+  Put<uint8_t>(out, static_cast<uint8_t>(speech.gender));
+  Put<int32_t>(out, speech.age_years);
+}
+
+bool GetLabel(const std::string& in, size_t* at, data::LabelerOutput* label) {
+  uint8_t tag = 0;
+  if (!Get(in, at, &tag)) return false;
+  switch (static_cast<LabelTag>(tag)) {
+    case LabelTag::kVideo: {
+      uint32_t count = 0;
+      if (!Get(in, at, &count)) return false;
+      data::VideoLabel video;
+      video.boxes.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t cls = 0;
+        data::Box box;
+        if (!Get(in, at, &cls) || !Get(in, at, &box.x) || !Get(in, at, &box.y) ||
+            !Get(in, at, &box.w) || !Get(in, at, &box.h)) {
+          return false;
+        }
+        box.cls = static_cast<data::ObjectClass>(cls);
+        video.boxes.push_back(box);
+      }
+      *label = std::move(video);
+      return true;
+    }
+    case LabelTag::kText: {
+      uint8_t op = 0;
+      int32_t preds = 0;
+      if (!Get(in, at, &op) || !Get(in, at, &preds)) return false;
+      data::TextLabel text;
+      text.op = static_cast<data::SqlOp>(op);
+      text.num_predicates = preds;
+      *label = text;
+      return true;
+    }
+    case LabelTag::kSpeech: {
+      uint8_t gender = 0;
+      int32_t age = 0;
+      if (!Get(in, at, &gender) || !Get(in, at, &age)) return false;
+      data::SpeechLabel speech;
+      speech.gender = static_cast<data::Gender>(gender);
+      speech.age_years = age;
+      *label = speech;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string IndexSerializer::SerializeToString(const TastiIndex& index) {
+  std::string out;
+  Put<uint32_t>(&out, kMagic);
+  Put<uint32_t>(&out, kVersion);
+
+  // Options (only the fields that affect interpretation of the payload).
+  Put<uint64_t>(&out, index.options().k);
+  Put<uint64_t>(&out, index.options().embedding_dim);
+
+  PutMatrix(&out, index.embeddings_);
+  PutMatrix(&out, index.rep_embeddings_);
+
+  // Representative record ids as u64.
+  std::vector<uint64_t> rep_ids(index.rep_record_ids_.begin(),
+                                index.rep_record_ids_.end());
+  PutVector(&out, rep_ids);
+
+  Put<uint64_t>(&out, index.rep_labels_.size());
+  for (const data::LabelerOutput& label : index.rep_labels_) {
+    PutLabel(&out, label);
+  }
+
+  Put<uint64_t>(&out, index.topk_.k);
+  Put<uint64_t>(&out, index.topk_.num_records);
+  PutVector(&out, index.topk_.rep_ids);
+  PutVector(&out, index.topk_.distances);
+
+  // Embedder block (v2): lets a loaded index ingest new records.
+  if (const auto* pretrained = dynamic_cast<const embed::PretrainedEmbedder*>(
+          index.embedder_.get())) {
+    Put<uint8_t>(&out, 1);
+    Put<uint64_t>(&out, pretrained->in_dim());
+    Put<uint64_t>(&out, pretrained->embedding_dim());
+    Put<uint64_t>(&out, pretrained->seed());
+  } else if (const auto* trained = dynamic_cast<const embed::TrainedEmbedder*>(
+                 index.embedder_.get())) {
+    Put<uint8_t>(&out, 2);
+    Put<uint64_t>(&out, trained->embedding_dim());
+    const std::string blob = nn::SerializeMlp(trained->model());
+    Put<uint64_t>(&out, blob.size());
+    out.append(blob);
+  } else {
+    Put<uint8_t>(&out, 0);  // no embedder (or an unknown custom type)
+  }
+  return out;
+}
+
+Result<TastiIndex> IndexSerializer::DeserializeFromString(
+    const std::string& buffer) {
+  size_t at = 0;
+  uint32_t magic = 0, version = 0;
+  if (!Get(buffer, &at, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic: not a TASTI index");
+  }
+  if (!Get(buffer, &at, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported index version");
+  }
+
+  TastiIndex index;
+  uint64_t k = 0, embedding_dim = 0;
+  if (!Get(buffer, &at, &k) || !Get(buffer, &at, &embedding_dim)) {
+    return Status::InvalidArgument("truncated header");
+  }
+  index.options_.k = k;
+  index.options_.embedding_dim = embedding_dim;
+
+  if (!GetMatrix(buffer, &at, &index.embeddings_) ||
+      !GetMatrix(buffer, &at, &index.rep_embeddings_)) {
+    return Status::InvalidArgument("truncated embedding matrices");
+  }
+
+  std::vector<uint64_t> rep_ids;
+  if (!GetVector(buffer, &at, &rep_ids)) {
+    return Status::InvalidArgument("truncated representative ids");
+  }
+  index.rep_record_ids_.assign(rep_ids.begin(), rep_ids.end());
+
+  uint64_t num_labels = 0;
+  if (!Get(buffer, &at, &num_labels)) {
+    return Status::InvalidArgument("truncated label count");
+  }
+  if (num_labels != rep_ids.size()) {
+    return Status::InvalidArgument("label/representative count mismatch");
+  }
+  index.rep_labels_.resize(num_labels);
+  for (uint64_t i = 0; i < num_labels; ++i) {
+    if (!GetLabel(buffer, &at, &index.rep_labels_[i])) {
+      return Status::InvalidArgument("truncated labels");
+    }
+  }
+
+  uint64_t topk_k = 0, topk_n = 0;
+  if (!Get(buffer, &at, &topk_k) || !Get(buffer, &at, &topk_n) ||
+      !GetVector(buffer, &at, &index.topk_.rep_ids) ||
+      !GetVector(buffer, &at, &index.topk_.distances)) {
+    return Status::InvalidArgument("truncated top-k block");
+  }
+  index.topk_.k = topk_k;
+  index.topk_.num_records = topk_n;
+  if (index.topk_.rep_ids.size() != topk_k * topk_n ||
+      index.topk_.distances.size() != topk_k * topk_n) {
+    return Status::InvalidArgument("top-k block size mismatch");
+  }
+
+  index.is_rep_.assign(index.embeddings_.rows(), 0);
+  for (size_t record : index.rep_record_ids_) {
+    if (record >= index.is_rep_.size()) {
+      return Status::InvalidArgument("representative id out of range");
+    }
+    index.is_rep_[record] = 1;
+  }
+
+  uint8_t embedder_tag = 0;
+  if (!Get(buffer, &at, &embedder_tag)) {
+    return Status::InvalidArgument("truncated embedder block");
+  }
+  switch (embedder_tag) {
+    case 0:
+      break;
+    case 1: {
+      uint64_t in_dim = 0, out_dim = 0, seed = 0;
+      if (!Get(buffer, &at, &in_dim) || !Get(buffer, &at, &out_dim) ||
+          !Get(buffer, &at, &seed)) {
+        return Status::InvalidArgument("truncated pretrained embedder block");
+      }
+      index.embedder_ =
+          std::make_unique<embed::PretrainedEmbedder>(in_dim, out_dim, seed);
+      break;
+    }
+    case 2: {
+      uint64_t dim = 0, blob_size = 0;
+      if (!Get(buffer, &at, &dim) || !Get(buffer, &at, &blob_size) ||
+          at + blob_size > buffer.size()) {
+        return Status::InvalidArgument("truncated trained embedder block");
+      }
+      Result<nn::Mlp> model =
+          nn::DeserializeMlp(buffer.substr(at, blob_size));
+      if (!model.ok()) return model.status();
+      at += blob_size;
+      index.embedder_ = std::make_unique<embed::TrainedEmbedder>(
+          std::move(*model), dim);
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown embedder tag");
+  }
+  return index;
+}
+
+Status IndexSerializer::Save(const TastiIndex& index, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IOError("cannot open for writing: " + path);
+  const std::string buffer = SerializeToString(index);
+  file.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  if (!file) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<TastiIndex> IndexSerializer::Load(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return DeserializeFromString(buffer.str());
+}
+
+}  // namespace tasti::core

@@ -1,0 +1,37 @@
+#ifndef TASTI_CORE_SERIALIZE_H_
+#define TASTI_CORE_SERIALIZE_H_
+
+/// \file serialize.h
+/// Binary (de)serialization of TASTI indexes.
+///
+/// An index is expensive to construct (labeler invocations, triplet
+/// training) and is designed to be reused across queries and sessions;
+/// persistence is therefore part of the core API. The format is a
+/// little-endian tagged binary layout, versioned by a header.
+
+#include <string>
+
+#include "core/index.h"
+#include "util/status.h"
+
+namespace tasti::core {
+
+/// Saves/loads TastiIndex instances. All methods are stateless.
+class IndexSerializer {
+ public:
+  /// Writes the index to `path`. Overwrites existing files.
+  static Status Save(const TastiIndex& index, const std::string& path);
+
+  /// Reads an index from `path`.
+  static Result<TastiIndex> Load(const std::string& path);
+
+  /// Serializes to an in-memory buffer (used by tests and Save).
+  static std::string SerializeToString(const TastiIndex& index);
+
+  /// Parses from an in-memory buffer.
+  static Result<TastiIndex> DeserializeFromString(const std::string& buffer);
+};
+
+}  // namespace tasti::core
+
+#endif  // TASTI_CORE_SERIALIZE_H_

@@ -1,0 +1,121 @@
+#include "data/closeness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasti::data {
+
+bool AllBoxesClose(const VideoLabel& a, const VideoLabel& b, float threshold) {
+  // Greedy bipartite matching: for each box in `a` (processed in order),
+  // claim the nearest unclaimed same-class box in `b`. Greedy is not
+  // optimal matching, but the threshold is coarse and counts are small;
+  // the paper's pseudocode ("all_boxes_close") is equally heuristic.
+  std::vector<bool> claimed(b.boxes.size(), false);
+  const float thr2 = threshold * threshold;
+  for (const Box& box : a.boxes) {
+    int best = -1;
+    float best_d2 = thr2;
+    for (size_t j = 0; j < b.boxes.size(); ++j) {
+      if (claimed[j] || b.boxes[j].cls != box.cls) continue;
+      const float dx = b.boxes[j].x - box.x;
+      const float dy = b.boxes[j].y - box.y;
+      const float d2 = dx * dx + dy * dy;
+      if (d2 <= best_d2) {
+        best_d2 = d2;
+        best = static_cast<int>(j);
+      }
+    }
+    if (best < 0) return false;
+    claimed[best] = true;
+  }
+  return true;
+}
+
+namespace {
+
+// Per-class count capped for bucketing; beyond the cap frames are "many".
+constexpr int kCountCap = 5;
+
+uint64_t VideoBucketKey(const VideoLabel& label,
+                        const std::vector<ObjectClass>& classes) {
+  // Key = per-class (capped count, coarse mean-x bin) packed into 6 bits
+  // per class. Coarse position matters (paper: frames with the same count
+  // but far-apart objects are "far"), count matters most.
+  uint64_t key = 0;
+  for (ObjectClass cls : classes) {
+    int count = 0;
+    float sx = 0.0f;
+    for (const Box& box : label.boxes) {
+      if (box.cls != cls) continue;
+      ++count;
+      sx += box.x;
+    }
+    const int capped = std::min(count, kCountCap);
+    int xbin = 0;
+    if (count > 0) {
+      const float mx = sx / static_cast<float>(count);
+      xbin = std::min(2, std::max(0, static_cast<int>(mx * 3.0f)));
+    }
+    key = key * 64 + static_cast<uint64_t>(capped * 4 + xbin);
+  }
+  return key;
+}
+
+}  // namespace
+
+ClosenessSpec VideoCloseness(std::vector<ObjectClass> classes,
+                             float position_threshold) {
+  ClosenessSpec spec;
+  spec.is_close = [classes, position_threshold](const LabelerOutput& a,
+                                                const LabelerOutput& b) {
+    const auto* va = std::get_if<VideoLabel>(&a);
+    const auto* vb = std::get_if<VideoLabel>(&b);
+    if (va == nullptr || vb == nullptr) return false;
+    for (ObjectClass cls : classes) {
+      if (CountClass(a, cls) != CountClass(b, cls)) return false;
+    }
+    return AllBoxesClose(*va, *vb, position_threshold);
+  };
+  spec.bucket_key = [classes](const LabelerOutput& label) {
+    const auto* video = std::get_if<VideoLabel>(&label);
+    if (video == nullptr) return uint64_t{0};
+    return VideoBucketKey(*video, classes);
+  };
+  return spec;
+}
+
+ClosenessSpec TextCloseness() {
+  ClosenessSpec spec;
+  spec.is_close = [](const LabelerOutput& a, const LabelerOutput& b) {
+    const auto* ta = std::get_if<TextLabel>(&a);
+    const auto* tb = std::get_if<TextLabel>(&b);
+    if (ta == nullptr || tb == nullptr) return false;
+    return ta->op == tb->op && ta->num_predicates == tb->num_predicates;
+  };
+  spec.bucket_key = [](const LabelerOutput& label) {
+    const auto* text = std::get_if<TextLabel>(&label);
+    if (text == nullptr) return uint64_t{0};
+    return static_cast<uint64_t>(text->op) * 8 +
+           static_cast<uint64_t>(text->num_predicates);
+  };
+  return spec;
+}
+
+ClosenessSpec SpeechCloseness() {
+  ClosenessSpec spec;
+  spec.is_close = [](const LabelerOutput& a, const LabelerOutput& b) {
+    const auto* sa = std::get_if<SpeechLabel>(&a);
+    const auto* sb = std::get_if<SpeechLabel>(&b);
+    if (sa == nullptr || sb == nullptr) return false;
+    return sa->gender == sb->gender && sa->AgeBucket() == sb->AgeBucket();
+  };
+  spec.bucket_key = [](const LabelerOutput& label) {
+    const auto* speech = std::get_if<SpeechLabel>(&label);
+    if (speech == nullptr) return uint64_t{0};
+    return static_cast<uint64_t>(speech->gender) * 16 +
+           static_cast<uint64_t>(speech->AgeBucket());
+  };
+  return spec;
+}
+
+}  // namespace tasti::data

@@ -1,0 +1,54 @@
+#ifndef TASTI_DATA_CLOSENESS_H_
+#define TASTI_DATA_CLOSENESS_H_
+
+/// \file closeness.h
+/// User-provided closeness functions over target labeler outputs
+/// (paper Sections 2.3 and 3.1).
+///
+/// Each dataset supplies two views of the same heuristic:
+///  - is_close(a, b): the Boolean closeness predicate from the paper's
+///    pseudocode (used in analysis and tests);
+///  - bucket_key(a): a discretization of the predicate used for triplet
+///    mining — records in the same bucket are "close" (anchor/positive
+///    candidates), records in different buckets are "far" (negatives).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace tasti::data {
+
+using ClosenessFn = std::function<bool(const LabelerOutput&, const LabelerOutput&)>;
+using BucketKeyFn = std::function<uint64_t(const LabelerOutput&)>;
+
+/// A dataset's closeness heuristic in both predicate and bucket form.
+struct ClosenessSpec {
+  ClosenessFn is_close;
+  BucketKeyFn bucket_key;
+};
+
+/// Video closeness (paper Section 2.3): two frames are close iff they have
+/// the same number of boxes per tracked class and every box in one frame
+/// has a corresponding box of the same class within `position_threshold`
+/// (greedy bipartite matching on center distance).
+ClosenessSpec VideoCloseness(std::vector<ObjectClass> classes,
+                             float position_threshold = 0.25f);
+
+/// Text closeness (paper Section 6.1): same SQL operator and same number
+/// of predicates.
+ClosenessSpec TextCloseness();
+
+/// Speech closeness (paper Section 6.1): same gender and same discretized
+/// age bucket.
+ClosenessSpec SpeechCloseness();
+
+/// Greedy matching helper exposed for tests: true iff every box of frame
+/// `a` can be matched to a distinct same-class box of frame `b` within the
+/// threshold (requires equal per-class counts for a symmetric result).
+bool AllBoxesClose(const VideoLabel& a, const VideoLabel& b, float threshold);
+
+}  // namespace tasti::data
+
+#endif  // TASTI_DATA_CLOSENESS_H_

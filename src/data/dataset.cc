@@ -1,0 +1,161 @@
+#include "data/dataset.h"
+
+#include <utility>
+
+#include "data/sensor.h"
+#include "data/speech_sim.h"
+#include "data/text_sim.h"
+#include "data/video_sim.h"
+
+namespace tasti::data {
+
+std::string DatasetName(DatasetId id) {
+  switch (id) {
+    case DatasetId::kNightStreet:
+      return "night-street";
+    case DatasetId::kTaipei:
+      return "taipei";
+    case DatasetId::kAmsterdam:
+      return "amsterdam";
+    case DatasetId::kWikiSql:
+      return "wikisql";
+    case DatasetId::kCommonVoice:
+      return "common-voice";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Dataset MakeVideoDataset(DatasetId id, const VideoSimOptions& sim_options,
+                         const DatasetOptions& options) {
+  Dataset ds;
+  ds.name = DatasetName(id);
+  ds.modality = Modality::kVideo;
+  ds.classes = sim_options.classes;
+
+  VideoSimResult sim = SimulateVideo(sim_options);
+  ds.ground_truth.reserve(sim.labels.size());
+  std::vector<std::vector<float>> content;
+  content.reserve(sim.labels.size());
+  for (size_t i = 0; i < sim.labels.size(); ++i) {
+    // The sensor sees everything in the scene: tracked classes and clutter
+    // (which never reaches the labels or the closeness function).
+    std::vector<float> descriptor =
+        VideoContentDescriptor(sim.labels[i], ds.classes);
+    const std::vector<float> clutter_descriptor =
+        VideoContentDescriptor(sim.clutter[i], sim_options.clutter_classes);
+    descriptor.insert(descriptor.end(), clutter_descriptor.begin(),
+                      clutter_descriptor.end());
+    content.push_back(std::move(descriptor));
+    ds.ground_truth.emplace_back(std::move(sim.labels[i]));
+  }
+
+  SensorModelOptions sensor_options;
+  sensor_options.content_dim = VideoContentDim(ds.classes.size()) +
+                               VideoContentDim(sim_options.clutter_classes.size());
+  sensor_options.nuisance_dim = VideoSimResult::kNuisanceDim;
+  sensor_options.feature_dim = options.feature_dim;
+  sensor_options.seed = options.seed * 31 + 5;
+  SensorModel sensor(sensor_options);
+  ds.features = sensor.Synthesize(content, sim.nuisance, options.seed * 17 + 3);
+
+  ds.closeness = VideoCloseness(ds.classes);
+  return ds;
+}
+
+}  // namespace
+
+Dataset MakeNightStreet(const DatasetOptions& options) {
+  return MakeVideoDataset(DatasetId::kNightStreet,
+                          NightStreetOptions(options.num_records, options.seed),
+                          options);
+}
+
+Dataset MakeTaipei(const DatasetOptions& options) {
+  return MakeVideoDataset(DatasetId::kTaipei,
+                          TaipeiOptions(options.num_records, options.seed + 1),
+                          options);
+}
+
+Dataset MakeAmsterdam(const DatasetOptions& options) {
+  return MakeVideoDataset(DatasetId::kAmsterdam,
+                          AmsterdamOptions(options.num_records, options.seed + 2),
+                          options);
+}
+
+Dataset MakeWikiSql(const DatasetOptions& options) {
+  Dataset ds;
+  ds.name = DatasetName(DatasetId::kWikiSql);
+  ds.modality = Modality::kText;
+
+  TextSimResult sim = SimulateText(WikiSqlOptions(options.num_records,
+                                                  options.seed + 3));
+  std::vector<std::vector<float>> content;
+  content.reserve(sim.labels.size());
+  for (const TextLabel& label : sim.labels) {
+    content.push_back(TextContentDescriptor(label));
+    ds.ground_truth.emplace_back(label);
+  }
+
+  SensorModelOptions sensor_options;
+  sensor_options.content_dim = TextContentDim();
+  sensor_options.nuisance_dim = TextSimResult::kNuisanceDim;
+  sensor_options.feature_dim = options.feature_dim;
+  sensor_options.seed = options.seed * 31 + 11;
+  SensorModel sensor(sensor_options);
+  ds.features = sensor.Synthesize(content, sim.nuisance, options.seed * 17 + 13);
+
+  ds.closeness = TextCloseness();
+  return ds;
+}
+
+Dataset MakeCommonVoice(const DatasetOptions& options) {
+  Dataset ds;
+  ds.name = DatasetName(DatasetId::kCommonVoice);
+  ds.modality = Modality::kSpeech;
+
+  SpeechSimResult sim = SimulateSpeech(CommonVoiceOptions(options.num_records,
+                                                          options.seed + 4));
+  std::vector<std::vector<float>> content;
+  content.reserve(sim.labels.size());
+  for (size_t i = 0; i < sim.labels.size(); ++i) {
+    content.push_back(SpeechContentDescriptor(sim.acoustic[i]));
+    ds.ground_truth.emplace_back(sim.labels[i]);
+  }
+
+  SensorModelOptions sensor_options;
+  sensor_options.content_dim = SpeechContentDim();
+  sensor_options.nuisance_dim = SpeechSimResult::kNuisanceDim;
+  sensor_options.feature_dim = options.feature_dim;
+  sensor_options.seed = options.seed * 31 + 19;
+  SensorModel sensor(sensor_options);
+  ds.features = sensor.Synthesize(content, sim.nuisance, options.seed * 17 + 23);
+
+  ds.closeness = SpeechCloseness();
+  return ds;
+}
+
+Dataset MakeDataset(DatasetId id, const DatasetOptions& options) {
+  switch (id) {
+    case DatasetId::kNightStreet:
+      return MakeNightStreet(options);
+    case DatasetId::kTaipei:
+      return MakeTaipei(options);
+    case DatasetId::kAmsterdam:
+      return MakeAmsterdam(options);
+    case DatasetId::kWikiSql:
+      return MakeWikiSql(options);
+    case DatasetId::kCommonVoice:
+      return MakeCommonVoice(options);
+  }
+  TASTI_CHECK(false, "unknown dataset id");
+  return Dataset{};
+}
+
+std::vector<DatasetId> AllDatasetIds() {
+  return {DatasetId::kNightStreet, DatasetId::kTaipei, DatasetId::kAmsterdam,
+          DatasetId::kWikiSql, DatasetId::kCommonVoice};
+}
+
+}  // namespace tasti::data

@@ -1,0 +1,82 @@
+#ifndef TASTI_DATA_DATASET_H_
+#define TASTI_DATA_DATASET_H_
+
+/// \file dataset.h
+/// Assembled datasets: ground truth + sensor features + closeness spec.
+///
+/// The five datasets mirror the paper's evaluation suite. Each dataset
+/// bundles the hidden ground-truth labels (accessible only through a
+/// TargetLabeler), the sensor features embedding DNNs consume, and the
+/// dataset's closeness heuristic.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/closeness.h"
+#include "data/schema.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace tasti::data {
+
+/// Which modality a dataset carries.
+enum class Modality { kVideo, kText, kSpeech };
+
+/// The paper's five evaluation datasets.
+enum class DatasetId {
+  kNightStreet,
+  kTaipei,
+  kAmsterdam,
+  kWikiSql,
+  kCommonVoice,
+};
+
+std::string DatasetName(DatasetId id);
+
+/// A fully materialized dataset.
+struct Dataset {
+  std::string name;
+  Modality modality = Modality::kVideo;
+
+  /// Ground-truth target labeler outputs, one per record. Query processing
+  /// code must only access these through a labeler::TargetLabeler so that
+  /// invocations are counted.
+  std::vector<LabelerOutput> ground_truth;
+
+  /// Sensor features (records x feature_dim): what embeddings see.
+  nn::Matrix features;
+
+  /// The dataset's closeness heuristic.
+  ClosenessSpec closeness;
+
+  /// Object classes tracked by video datasets (empty otherwise).
+  std::vector<ObjectClass> classes;
+
+  size_t size() const { return ground_truth.size(); }
+  size_t feature_dim() const { return features.cols(); }
+};
+
+/// Common size/seed knobs for dataset construction.
+struct DatasetOptions {
+  size_t num_records = 20000;
+  size_t feature_dim = 64;
+  uint64_t seed = 42;
+};
+
+/// Builds one of the five evaluation datasets.
+Dataset MakeDataset(DatasetId id, const DatasetOptions& options);
+
+/// Convenience wrappers.
+Dataset MakeNightStreet(const DatasetOptions& options);
+Dataset MakeTaipei(const DatasetOptions& options);
+Dataset MakeAmsterdam(const DatasetOptions& options);
+Dataset MakeWikiSql(const DatasetOptions& options);
+Dataset MakeCommonVoice(const DatasetOptions& options);
+
+/// All five dataset ids in the paper's figure order.
+std::vector<DatasetId> AllDatasetIds();
+
+}  // namespace tasti::data
+
+#endif  // TASTI_DATA_DATASET_H_

@@ -1,0 +1,78 @@
+#include "data/schema.h"
+
+namespace tasti::data {
+
+std::string ObjectClassName(ObjectClass cls) {
+  switch (cls) {
+    case ObjectClass::kCar:
+      return "car";
+    case ObjectClass::kBus:
+      return "bus";
+    case ObjectClass::kPerson:
+      return "person";
+    case ObjectClass::kBicycle:
+      return "bicycle";
+  }
+  return "unknown";
+}
+
+std::string SqlOpName(SqlOp op) {
+  switch (op) {
+    case SqlOp::kSelect:
+      return "SELECT";
+    case SqlOp::kCount:
+      return "COUNT";
+    case SqlOp::kMax:
+      return "MAX";
+    case SqlOp::kMin:
+      return "MIN";
+    case SqlOp::kSum:
+      return "SUM";
+    case SqlOp::kAvg:
+      return "AVG";
+  }
+  return "UNKNOWN";
+}
+
+int CountClass(const LabelerOutput& label, ObjectClass cls) {
+  const auto* video = std::get_if<VideoLabel>(&label);
+  if (video == nullptr) return 0;
+  int count = 0;
+  for (const Box& box : video->boxes) {
+    if (box.cls == cls) ++count;
+  }
+  return count;
+}
+
+int CountBoxes(const LabelerOutput& label) {
+  const auto* video = std::get_if<VideoLabel>(&label);
+  if (video == nullptr) return 0;
+  return static_cast<int>(video->boxes.size());
+}
+
+bool HasClassOnLeft(const LabelerOutput& label, ObjectClass cls) {
+  const auto* video = std::get_if<VideoLabel>(&label);
+  if (video == nullptr) return false;
+  for (const Box& box : video->boxes) {
+    if (box.cls == cls && box.x < 0.5f) return true;
+  }
+  return false;
+}
+
+double MeanXPosition(const LabelerOutput& label, ObjectClass cls,
+                     double empty_value) {
+  const auto* video = std::get_if<VideoLabel>(&label);
+  if (video == nullptr) return empty_value;
+  double sum = 0.0;
+  int count = 0;
+  for (const Box& box : video->boxes) {
+    if (box.cls == cls) {
+      sum += box.x;
+      ++count;
+    }
+  }
+  if (count == 0) return empty_value;
+  return sum / count;
+}
+
+}  // namespace tasti::data

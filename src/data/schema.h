@@ -1,0 +1,101 @@
+#ifndef TASTI_DATA_SCHEMA_H_
+#define TASTI_DATA_SCHEMA_H_
+
+/// \file schema.h
+/// The induced schema: the structured outputs a target labeler extracts
+/// from unstructured records (paper Section 2.1).
+///
+/// Three modalities mirror the paper's evaluation:
+///  - video: a set of bounding boxes with object classes and positions
+///    (Mask R-CNN over night-street / taipei / amsterdam);
+///  - text: SQL operator and predicate count per natural-language question
+///    (crowd workers over WikiSQL);
+///  - speech: speaker gender and age (crowd workers over Common Voice).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace tasti::data {
+
+/// Object classes detected in video frames.
+enum class ObjectClass : uint8_t {
+  kCar = 0,
+  kBus = 1,
+  kPerson = 2,
+  kBicycle = 3,
+};
+
+/// Human-readable class name ("car", "bus", ...).
+std::string ObjectClassName(ObjectClass cls);
+
+/// An axis-aligned detection in normalized [0,1] frame coordinates.
+/// (x, y) is the box center.
+struct Box {
+  ObjectClass cls = ObjectClass::kCar;
+  float x = 0.0f;
+  float y = 0.0f;
+  float w = 0.0f;
+  float h = 0.0f;
+};
+
+/// Target labeler output for one video frame.
+struct VideoLabel {
+  std::vector<Box> boxes;
+};
+
+/// SQL operators of the (simulated) WikiSQL annotation schema.
+enum class SqlOp : uint8_t {
+  kSelect = 0,
+  kCount = 1,
+  kMax = 2,
+  kMin = 3,
+  kSum = 4,
+  kAvg = 5,
+};
+
+std::string SqlOpName(SqlOp op);
+constexpr int kNumSqlOps = 6;
+
+/// Target labeler output for one natural-language question.
+struct TextLabel {
+  SqlOp op = SqlOp::kSelect;
+  int num_predicates = 0;
+};
+
+/// Speaker gender of the (simulated) Common Voice annotation schema.
+enum class Gender : uint8_t {
+  kMale = 0,
+  kFemale = 1,
+};
+
+/// Target labeler output for one speech snippet.
+struct SpeechLabel {
+  Gender gender = Gender::kMale;
+  int age_years = 0;
+
+  /// Decade bucket used by the closeness function (paper Section 6.1).
+  int AgeBucket() const { return age_years / 10; }
+};
+
+/// A target labeler output for any modality.
+using LabelerOutput = std::variant<VideoLabel, TextLabel, SpeechLabel>;
+
+/// Number of boxes of the given class (0 for non-video outputs).
+int CountClass(const LabelerOutput& label, ObjectClass cls);
+
+/// Total number of boxes (0 for non-video outputs).
+int CountBoxes(const LabelerOutput& label);
+
+/// True if any box of `cls` has center x < 0.5 (paper Section 6.4's
+/// "objects on the left hand side" predicate). False for non-video outputs.
+bool HasClassOnLeft(const LabelerOutput& label, ObjectClass cls);
+
+/// Mean x-coordinate of boxes of `cls`; `empty_value` when there are none.
+double MeanXPosition(const LabelerOutput& label, ObjectClass cls,
+                     double empty_value = 0.5);
+
+}  // namespace tasti::data
+
+#endif  // TASTI_DATA_SCHEMA_H_

@@ -1,0 +1,156 @@
+#include "data/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tasti::data {
+
+namespace {
+constexpr size_t kPerClassDims = 10;  // count, mx, my, area, 3x2 grid
+
+// Coarse localization: the sensor reports positions only at the grid's
+// resolution (a tiny detector cannot localize precisely), so query
+// boundaries that do not align with grid boundaries (e.g. x < 0.5 against
+// thirds) are ambiguous in feature space — the Figure 7 failure mode for
+// feature-trained proxies.
+float QuantizeThirds(float x) {
+  if (x < 1.0f / 3.0f) return 1.0f / 6.0f;
+  if (x < 2.0f / 3.0f) return 0.5f;
+  return 5.0f / 6.0f;
+}
+float QuantizeHalves(float y) { return y < 0.5f ? 0.25f : 0.75f; }
+}
+
+size_t VideoContentDim(size_t num_classes) { return kPerClassDims * num_classes; }
+
+std::vector<float> VideoContentDescriptor(const VideoLabel& label,
+                                          const std::vector<ObjectClass>& classes) {
+  std::vector<float> out(VideoContentDim(classes.size()), 0.0f);
+  for (size_t ci = 0; ci < classes.size(); ++ci) {
+    const ObjectClass cls = classes[ci];
+    float* d = out.data() + ci * kPerClassDims;
+    int count = 0;
+    float sx = 0.0f, sy = 0.0f, sa = 0.0f;
+    for (const Box& box : label.boxes) {
+      if (box.cls != cls) continue;
+      ++count;
+      sx += box.x;
+      sy += box.y;
+      sa += box.w * box.h;
+      // 3 (x) x 2 (y) occupancy grid; boundaries at thirds, deliberately
+      // not aligned with the frame's midline.
+      const int gx = std::min(2, std::max(0, static_cast<int>(box.x * 3.0f)));
+      const int gy = std::min(1, std::max(0, static_cast<int>(box.y * 2.0f)));
+      d[4 + gy * 3 + gx] += 1.0f;
+    }
+    // Saturating count response: a camera's appearance statistics cannot
+    // resolve high object counts linearly (occlusion, clutter), so frames
+    // with 5 vs 7 objects look nearly alike — the property that makes the
+    // paper's rare-event (limit) queries hard for feature-trained proxies.
+    d[0] = std::tanh(static_cast<float>(count) / 2.5f);
+    if (count > 0) {
+      d[1] = QuantizeThirds(sx / static_cast<float>(count));
+      d[2] = QuantizeHalves(sy / static_cast<float>(count));
+      d[3] = sa / static_cast<float>(count) * 20.0f;
+    }
+    // Hard-saturating occupancy: a cell with 2 objects looks almost like a
+    // cell with 4 (occlusion). Together with the saturating count channel
+    // this collapses high object counts into near-identical descriptors —
+    // the out-of-distribution tail that defeats feature-trained proxies on
+    // real video (rare busy frames carry almost no linear count signal).
+    for (int g = 0; g < 6; ++g) d[4 + g] = std::tanh(d[4 + g] * 1.2f);
+  }
+  return out;
+}
+
+size_t TextContentDim() { return static_cast<size_t>(kNumSqlOps) + 1; }
+
+std::vector<float> TextContentDescriptor(const TextLabel& label) {
+  std::vector<float> out(TextContentDim(), 0.0f);
+  out[static_cast<size_t>(label.op)] = 1.0f;
+  out[kNumSqlOps] = static_cast<float>(label.num_predicates) / 4.0f;
+  return out;
+}
+
+size_t SpeechContentDim() { return 4; }  // pitch, formant, energy, tremor
+
+std::vector<float> SpeechContentDescriptor(const std::vector<float>& acoustic) {
+  return acoustic;
+}
+
+SensorModel::SensorModel(const SensorModelOptions& options) : options_(options) {
+  TASTI_CHECK(options.content_dim > 0, "content_dim must be positive");
+  TASTI_CHECK(options.nuisance_dim > 0, "nuisance_dim must be positive");
+  TASTI_CHECK(options.feature_dim >= 8, "feature_dim must be at least 8");
+  content_block_ = options.feature_dim * 3 / 4;
+  nuisance_block_ = options.feature_dim - content_block_;
+
+  Rng rng(options.seed);
+  auto init = [&rng](nn::Matrix* m, size_t rows, size_t cols) {
+    *m = nn::Matrix(rows, cols);
+    const float scale = 1.4f / std::sqrt(static_cast<float>(rows));
+    for (size_t i = 0; i < m->size(); ++i) {
+      m->data()[i] = static_cast<float>(rng.Normal()) * scale;
+    }
+  };
+  init(&a_, options.content_dim, content_block_);
+  init(&c_, options.nuisance_dim, content_block_);
+  init(&b_, options.nuisance_dim, nuisance_block_);
+  gain_sensitivity_.resize(content_block_);
+  for (float& s : gain_sensitivity_) {
+    s = static_cast<float>(rng.Uniform(0.0, options.gain_modulation));
+  }
+}
+
+nn::Matrix SensorModel::Synthesize(const std::vector<std::vector<float>>& content,
+                                   const std::vector<std::vector<float>>& nuisance,
+                                   uint64_t noise_seed) const {
+  TASTI_CHECK(content.size() == nuisance.size(),
+              "content/nuisance record count mismatch");
+  const size_t n = content.size();
+  nn::Matrix features(n, options_.feature_dim);
+  Rng rng(noise_seed);
+
+  for (size_t r = 0; r < n; ++r) {
+    TASTI_CHECK(content[r].size() == options_.content_dim,
+                "content descriptor width mismatch");
+    TASTI_CHECK(nuisance[r].size() == options_.nuisance_dim,
+                "nuisance latent width mismatch");
+    float* out = features.Row(r);
+    // The first nuisance latent (lighting) modulates the content block
+    // multiplicatively — a camera gain response.
+    const float lighting_mod = std::tanh(nuisance[r][0]);
+    // Content block:
+    //   (tanh(A^T c) + leak * tanh(C^T u)) * (1 + s_j * lighting) + noise.
+    for (size_t j = 0; j < content_block_; ++j) {
+      float acc = 0.0f;
+      for (size_t i = 0; i < options_.content_dim; ++i) {
+        acc += content[r][i] * a_.At(i, j);
+      }
+      float leak = 0.0f;
+      for (size_t i = 0; i < options_.nuisance_dim; ++i) {
+        leak += nuisance[r][i] * c_.At(i, j);
+      }
+      const float signal =
+          std::tanh(acc) + options_.content_leak * std::tanh(leak);
+      out[j] = signal * (1.0f + gain_sensitivity_[j] * lighting_mod) +
+               options_.noise_sigma * static_cast<float>(rng.Normal());
+    }
+    // Nuisance block: gain * tanh(B^T u) + noise.
+    for (size_t j = 0; j < nuisance_block_; ++j) {
+      float acc = 0.0f;
+      for (size_t i = 0; i < options_.nuisance_dim; ++i) {
+        acc += nuisance[r][i] * b_.At(i, j);
+      }
+      out[content_block_ + j] =
+          options_.nuisance_gain * std::tanh(acc) +
+          options_.noise_sigma * static_cast<float>(rng.Normal());
+    }
+  }
+  return features;
+}
+
+}  // namespace tasti::data

@@ -1,0 +1,98 @@
+#ifndef TASTI_DATA_SENSOR_H_
+#define TASTI_DATA_SENSOR_H_
+
+/// \file sensor.h
+/// Sensor-feature synthesis: the stand-in for raw pixels / audio / text.
+///
+/// Embedding DNNs never see ground truth; they see a high-dimensional
+/// "sensor" feature vector synthesized from (a) a content descriptor
+/// computed from the scene and (b) nuisance latents (lighting, style,
+/// microphone, ...). The two channels are mixed through fixed random
+/// nonlinearities with the nuisance channel amplified, so that
+///  - content is recoverable (a trained embedding works),
+///  - generic Euclidean distance on the raw features or on a random
+///    projection of them is polluted by nuisance (a pretrained embedding is
+///    usable but worse — the TASTI-PT vs TASTI-T gap),
+/// mirroring why schema-adapted embeddings beat generic ones in the paper.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+#include "nn/matrix.h"
+
+namespace tasti::data {
+
+/// Fixed-width descriptor of a video frame's semantic content: per tracked
+/// class, [count, mean x, mean y, mean area, 3x2 occupancy grid] = 10 dims.
+/// Two frames that are "close" under the paper's video closeness function
+/// have close descriptors.
+std::vector<float> VideoContentDescriptor(const VideoLabel& label,
+                                          const std::vector<ObjectClass>& classes);
+
+/// Descriptor width for a video dataset tracking `num_classes` classes.
+size_t VideoContentDim(size_t num_classes);
+
+/// Descriptor of a question's semantic content: one-hot SQL operator plus
+/// scaled predicate count.
+std::vector<float> TextContentDescriptor(const TextLabel& label);
+size_t TextContentDim();
+
+/// Descriptor of a snippet's semantic content, built from the acoustic
+/// correlates (pitch/formant/energy) rather than the label itself: the
+/// sensor observes sound, not the annotation.
+std::vector<float> SpeechContentDescriptor(const std::vector<float>& acoustic);
+size_t SpeechContentDim();
+
+/// Parameters of the content/nuisance mixing model.
+struct SensorModelOptions {
+  size_t content_dim = 0;     ///< width of content descriptors
+  size_t nuisance_dim = 0;    ///< width of nuisance latents
+  size_t feature_dim = 64;    ///< width of synthesized sensor features
+  float nuisance_gain = 2.0f; ///< amplification of the nuisance channel
+  float content_leak = 0.25f; ///< additive nuisance leakage into content
+  float gain_modulation = 0.45f;  ///< multiplicative lighting modulation depth
+  float noise_sigma = 0.12f;  ///< white observation noise
+  uint64_t seed = 7;
+};
+
+/// Fixed random mixing network producing sensor features.
+///
+/// The feature vector is split ~3:1 into a content block,
+///   (tanh(A * content) + leak * tanh(C * nuisance))
+///       * (1 + s_j * tanh(nuisance[0])) + noise,
+/// and a nuisance block,
+///   gain * tanh(B * nuisance) + noise.
+///
+/// The multiplicative term models lighting/gain modulation (a camera's
+/// appearance response to scene brightness): each content dimension has a
+/// fixed random sensitivity s_j in [0, gain_modulation]. This makes raw
+/// feature distance an unreliable semantic proxy — the property that makes
+/// schema-adapted (triplet-trained) embeddings beat generic ones and
+/// direct per-query regression, as in the paper.
+class SensorModel {
+ public:
+  explicit SensorModel(const SensorModelOptions& options);
+
+  /// Synthesizes one feature matrix (records x feature_dim). `content` and
+  /// `nuisance` must each have one row per record. Deterministic in the
+  /// model seed and `noise_seed`.
+  nn::Matrix Synthesize(const std::vector<std::vector<float>>& content,
+                        const std::vector<std::vector<float>>& nuisance,
+                        uint64_t noise_seed) const;
+
+  size_t feature_dim() const { return options_.feature_dim; }
+
+ private:
+  SensorModelOptions options_;
+  size_t content_block_;   // leading dims carrying (mostly) content
+  size_t nuisance_block_;  // trailing dims carrying amplified nuisance
+  nn::Matrix a_;           // content_dim x content_block_
+  nn::Matrix c_;           // nuisance_dim x content_block_
+  nn::Matrix b_;           // nuisance_dim x nuisance_block_
+  std::vector<float> gain_sensitivity_;  // per content dim, [0, modulation]
+};
+
+}  // namespace tasti::data
+
+#endif  // TASTI_DATA_SENSOR_H_

@@ -1,0 +1,52 @@
+#ifndef TASTI_DATA_SPEECH_SIM_H_
+#define TASTI_DATA_SPEECH_SIM_H_
+
+/// \file speech_sim.h
+/// Synthetic speech-snippet corpus (Common Voice stand-in).
+///
+/// The paper's speech dataset annotates speaker gender and age via crowd
+/// workers. We draw speakers from a gender-imbalanced population with an
+/// age mixture, and expose acoustic correlates (fundamental frequency,
+/// formant spread) in the content channel so gender/age are recoverable,
+/// plus recording-condition nuisance latents (microphone, room, noise
+/// floor).
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace tasti::data {
+
+/// Generation parameters for the synthetic speech corpus.
+struct SpeechSimOptions {
+  size_t num_records = 10000;
+
+  /// Fraction of male speakers (Common Voice skews male).
+  double male_fraction = 0.7;
+
+  uint64_t seed = 3;
+};
+
+/// One simulated corpus: ground-truth labels plus acoustic content and
+/// recording nuisance latents.
+struct SpeechSimResult {
+  std::vector<SpeechLabel> labels;
+  /// Acoustic correlates of the label: [pitch, formant, energy, tremor].
+  /// These are the "signal" a labeler-aligned embedding should isolate.
+  std::vector<std::vector<float>> acoustic;
+  std::vector<std::vector<float>> nuisance;
+
+  static constexpr size_t kAcousticDim = 4;
+  static constexpr size_t kNuisanceDim = 4;
+};
+
+/// Generates the corpus. Deterministic in options.seed.
+SpeechSimResult SimulateSpeech(const SpeechSimOptions& options);
+
+/// Preset matching the paper's Common Voice setting.
+SpeechSimOptions CommonVoiceOptions(size_t num_records, uint64_t seed);
+
+}  // namespace tasti::data
+
+#endif  // TASTI_DATA_SPEECH_SIM_H_

@@ -1,0 +1,46 @@
+#include "data/text_sim.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tasti::data {
+
+TextSimResult SimulateText(const TextSimOptions& options) {
+  TASTI_CHECK(options.num_records > 0, "num_records must be positive");
+  TASTI_CHECK(options.op_weights.size() == static_cast<size_t>(kNumSqlOps),
+              "op_weights must have one entry per SqlOp");
+
+  Rng rng(options.seed);
+  TextSimResult result;
+  result.labels.reserve(options.num_records);
+  result.nuisance.reserve(options.num_records);
+
+  for (size_t i = 0; i < options.num_records; ++i) {
+    TextLabel label;
+    label.op = static_cast<SqlOp>(rng.Categorical(options.op_weights));
+    label.num_predicates =
+        std::min(4, 1 + rng.Poisson(options.extra_predicate_rate));
+    result.labels.push_back(label);
+
+    // Style latents: verbosity, vocabulary register, phrasing, typo noise.
+    // Verbosity correlates weakly with predicate count (longer questions
+    // carry more conditions), so generic embeddings retain some signal.
+    const float verbosity =
+        static_cast<float>(0.4 * label.num_predicates + 0.8 * rng.Normal());
+    result.nuisance.push_back({verbosity, static_cast<float>(rng.Normal()),
+                               static_cast<float>(rng.Normal()),
+                               static_cast<float>(rng.Normal())});
+  }
+  return result;
+}
+
+TextSimOptions WikiSqlOptions(size_t num_records, uint64_t seed) {
+  TextSimOptions opts;
+  opts.num_records = num_records;
+  opts.seed = seed;
+  return opts;
+}
+
+}  // namespace tasti::data

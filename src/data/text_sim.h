@@ -1,0 +1,52 @@
+#ifndef TASTI_DATA_TEXT_SIM_H_
+#define TASTI_DATA_TEXT_SIM_H_
+
+/// \file text_sim.h
+/// Synthetic semantic-parsing corpus (WikiSQL stand-in).
+///
+/// The paper's text dataset pairs natural-language questions with SQL
+/// statements whose operator and predicate count define the induced schema;
+/// crowd workers are the target labeler. We generate latent (op, #preds)
+/// intents with the empirical skew of WikiSQL (SELECT-dominated, few
+/// predicates) plus per-question style latents (verbosity, vocabulary,
+/// phrasing) that perturb the features but not the label.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace tasti::data {
+
+/// Generation parameters for the synthetic corpus.
+struct TextSimOptions {
+  size_t num_records = 10000;
+
+  /// Relative frequencies of the six SQL operators, SELECT first. The
+  /// default skew approximates WikiSQL's aggregate distribution.
+  std::vector<double> op_weights = {0.55, 0.16, 0.09, 0.08, 0.06, 0.06};
+
+  /// Predicate count is 1 + Poisson(extra_predicate_rate), capped at 4.
+  double extra_predicate_rate = 0.7;
+
+  uint64_t seed = 2;
+};
+
+/// One simulated corpus: per-question ground-truth labels plus style
+/// nuisance latents consumed by sensor-feature synthesis.
+struct TextSimResult {
+  std::vector<TextLabel> labels;
+  std::vector<std::vector<float>> nuisance;
+
+  static constexpr size_t kNuisanceDim = 4;
+};
+
+/// Generates the corpus. Deterministic in options.seed.
+TextSimResult SimulateText(const TextSimOptions& options);
+
+/// Preset matching the paper's WikiSQL setting.
+TextSimOptions WikiSqlOptions(size_t num_records, uint64_t seed);
+
+}  // namespace tasti::data
+
+#endif  // TASTI_DATA_TEXT_SIM_H_

@@ -1,0 +1,89 @@
+#ifndef TASTI_DATA_VIDEO_SIM_H_
+#define TASTI_DATA_VIDEO_SIM_H_
+
+/// \file video_sim.h
+/// Synthetic traffic-camera scene simulator.
+///
+/// Stands in for the paper's night-street / taipei / amsterdam videos. The
+/// simulator is a temporal Markov process: objects enter at a frame edge,
+/// drift across with per-object velocity, and leave. This reproduces the
+/// dataset properties TASTI exploits — heavy temporal redundancy (an object
+/// persists for ~dozens of frames), skewed per-frame counts (most frames
+/// near-empty), diurnal load modulation, and rare bursty events (the ≥K-car
+/// frames limit queries hunt for).
+
+#include <cstdint>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace tasti::data {
+
+/// Arrival/motion parameters for one simulated camera.
+struct VideoSimOptions {
+  /// Number of frames to simulate.
+  size_t num_frames = 10000;
+
+  /// Object classes present and their base per-frame Poisson arrival rates.
+  std::vector<ObjectClass> classes = {ObjectClass::kCar};
+  std::vector<double> arrival_rates = {0.02};
+
+  /// Clutter: objects the camera sees but the induced schema ignores
+  /// (pedestrians, cyclists, shadows). Clutter perturbs sensor features
+  /// without affecting ground-truth labels, so a proxy must learn to
+  /// separate it from the queried classes.
+  std::vector<ObjectClass> clutter_classes = {ObjectClass::kPerson};
+  std::vector<double> clutter_arrival_rates = {0.02};
+  double clutter_mean_speed = 0.008;
+
+  /// Sinusoidal arrival-rate modulation (diurnal cycle): the effective rate
+  /// is base * (1 + depth * sin(2*pi*t/period)).
+  double rate_modulation_period = 20000.0;
+  double rate_modulation_depth = 0.5;
+
+  /// Bursts (e.g. a traffic-light release): while a burst is active the
+  /// arrival rate is multiplied by `burst_rate_multiplier`.
+  double burst_onset_probability = 0.0005;
+  double burst_rate_multiplier = 8.0;
+  int burst_duration_mean = 40;
+
+  /// Per-frame horizontal displacement of objects (fraction of frame
+  /// width). Lifetime ~ 1 / mean_speed frames.
+  double mean_speed = 0.02;
+  double speed_jitter = 0.4;
+
+  /// Positional jitter applied each frame (camera shake, motion noise).
+  double position_jitter = 0.003;
+
+  uint64_t seed = 1;
+};
+
+/// One simulated video: per-frame ground-truth labels, per-frame clutter
+/// (visible to the sensor, invisible to the schema), and per-frame
+/// nuisance latents (lighting random walk, weather drift, camera noise,
+/// mean object appearance) consumed by sensor-feature synthesis.
+struct VideoSimResult {
+  std::vector<VideoLabel> labels;
+  std::vector<VideoLabel> clutter;
+  std::vector<std::vector<float>> nuisance;
+
+  /// Width of each nuisance vector.
+  static constexpr size_t kNuisanceDim = 4;
+};
+
+/// Runs the scene simulation. Deterministic in options.seed.
+VideoSimResult SimulateVideo(const VideoSimOptions& options);
+
+/// Preset matching the paper's night-street camera: cars only, moderate
+/// load, pronounced diurnal cycle, occasional multi-car bursts.
+VideoSimOptions NightStreetOptions(size_t num_frames, uint64_t seed);
+
+/// Preset matching taipei: cars plus (rarer) buses sharing one camera.
+VideoSimOptions TaipeiOptions(size_t num_frames, uint64_t seed);
+
+/// Preset matching amsterdam: sparse scene, mostly empty frames.
+VideoSimOptions AmsterdamOptions(size_t num_frames, uint64_t seed);
+
+}  // namespace tasti::data
+
+#endif  // TASTI_DATA_VIDEO_SIM_H_

@@ -1,0 +1,27 @@
+#include "embed/pretrained.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasti::embed {
+
+PretrainedEmbedder::PretrainedEmbedder(size_t in_dim, size_t out_dim, uint64_t seed)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      seed_(seed),
+      projection_(in_dim, out_dim, seed) {}
+
+nn::Matrix PretrainedEmbedder::Embed(const nn::Matrix& features) const {
+  nn::Matrix out = projection_.Apply(features);
+  // L2-normalize rows so distances are comparable to the trained embedder.
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    float norm2 = 0.0f;
+    for (size_t c = 0; c < out.cols(); ++c) norm2 += row[c] * row[c];
+    const float norm = std::max(std::sqrt(norm2), 1e-8f);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] /= norm;
+  }
+  return out;
+}
+
+}  // namespace tasti::embed

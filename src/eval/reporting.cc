@@ -1,0 +1,23 @@
+#include "eval/reporting.h"
+
+#include <cstdio>
+
+namespace tasti::eval {
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+void PrintPaperReference(const std::string& text) {
+  std::printf("paper:    %s\n", text.c_str());
+}
+
+void PrintTable(const TablePrinter& table) {
+  std::printf("%s\n", table.ToString().c_str());
+}
+
+void PrintTakeaway(const std::string& text) {
+  std::printf("measured: %s\n", text.c_str());
+}
+
+}  // namespace tasti::eval

@@ -1,0 +1,30 @@
+#ifndef TASTI_EVAL_REPORTING_H_
+#define TASTI_EVAL_REPORTING_H_
+
+/// \file reporting.h
+/// Uniform console output for the figure/table benches: a banner naming
+/// the experiment, the paper's reference numbers, and the measured table.
+
+#include <string>
+
+#include "util/table.h"
+
+namespace tasti::eval {
+
+/// Prints a boxed experiment banner, e.g.
+///   == Figure 4: approximate aggregation (labeler invocations) ==
+void PrintBanner(const std::string& title);
+
+/// Prints the paper's reference result for shape comparison, prefixed
+/// with "paper:".
+void PrintPaperReference(const std::string& text);
+
+/// Prints a table followed by a blank line.
+void PrintTable(const TablePrinter& table);
+
+/// Prints a one-line measured takeaway, prefixed with "measured:".
+void PrintTakeaway(const std::string& text);
+
+}  // namespace tasti::eval
+
+#endif  // TASTI_EVAL_REPORTING_H_

@@ -1,0 +1,140 @@
+#include "labeler/crowd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tasti::labeler {
+
+CrowdLabeler::CrowdLabeler(const data::Dataset* dataset, CrowdOptions options)
+    : dataset_(dataset), options_(options) {
+  TASTI_CHECK(dataset != nullptr, "CrowdLabeler requires a dataset");
+  TASTI_CHECK(options.num_workers >= 1, "need at least one worker");
+}
+
+size_t CrowdLabeler::num_records() const { return dataset_->size(); }
+
+data::LabelerOutput CrowdLabeler::WorkerLabel(size_t index, size_t worker) const {
+  TASTI_CHECK(index < dataset_->size(), "label index out of range");
+  const data::LabelerOutput& truth = dataset_->ground_truth[index];
+  uint64_t mix = options_.seed ^ (index * 0x9E3779B97F4A7C15ULL) ^
+                 (worker * 0xC2B2AE3D27D4EB4FULL);
+  Rng rng(SplitMix64(&mix));
+
+  if (const auto* video = std::get_if<data::VideoLabel>(&truth)) {
+    data::VideoLabel out;
+    for (const data::Box& box : video->boxes) {
+      if (rng.Bernoulli(options_.box_miss_probability)) continue;
+      out.boxes.push_back(box);
+    }
+    const int spurious = rng.Poisson(options_.box_spurious_rate);
+    for (int s = 0; s < spurious; ++s) {
+      data::Box fp;
+      fp.cls = dataset_->classes.empty()
+                   ? data::ObjectClass::kCar
+                   : dataset_->classes[rng.UniformInt(dataset_->classes.size())];
+      fp.x = static_cast<float>(rng.Uniform());
+      fp.y = static_cast<float>(rng.Uniform());
+      fp.w = 0.1f;
+      fp.h = 0.08f;
+      out.boxes.push_back(fp);
+    }
+    return out;
+  }
+  if (const auto* text = std::get_if<data::TextLabel>(&truth)) {
+    data::TextLabel out = *text;
+    if (rng.Bernoulli(options_.text_error_probability)) {
+      out.op = static_cast<data::SqlOp>(rng.UniformInt(
+          static_cast<uint64_t>(data::kNumSqlOps)));
+    }
+    if (rng.Bernoulli(options_.text_error_probability)) {
+      out.num_predicates = std::max(
+          0, out.num_predicates + static_cast<int>(rng.UniformInt(
+                                      int64_t{-1}, int64_t{1})));
+    }
+    return out;
+  }
+  const auto& speech = std::get<data::SpeechLabel>(truth);
+  data::SpeechLabel out = speech;
+  if (rng.Bernoulli(options_.gender_flip_probability)) {
+    out.gender = out.gender == data::Gender::kMale ? data::Gender::kFemale
+                                                   : data::Gender::kMale;
+  }
+  out.age_years = std::max(
+      0, static_cast<int>(std::lround(
+             out.age_years + options_.age_noise_years * rng.Normal())));
+  return out;
+}
+
+namespace {
+
+// Median of a small integer vector.
+int Median(std::vector<int> values) {
+  TASTI_CHECK(!values.empty(), "median of empty set");
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+}  // namespace
+
+data::LabelerOutput CrowdLabeler::Label(size_t index) {
+  invocations_ += options_.num_workers;
+  std::vector<data::LabelerOutput> votes;
+  votes.reserve(options_.num_workers);
+  for (size_t w = 0; w < options_.num_workers; ++w) {
+    votes.push_back(WorkerLabel(index, w));
+  }
+  if (votes.size() == 1) return votes.front();
+
+  const data::LabelerOutput& truth = dataset_->ground_truth[index];
+  if (std::holds_alternative<data::VideoLabel>(truth)) {
+    // Consensus: the worker annotation whose box count equals the median
+    // count (a cheap but effective merge for detection tasks).
+    std::vector<int> counts;
+    for (const auto& vote : votes) counts.push_back(data::CountBoxes(vote));
+    const int median = Median(counts);
+    for (const auto& vote : votes) {
+      if (data::CountBoxes(vote) == median) return vote;
+    }
+    return votes.front();
+  }
+  if (std::holds_alternative<data::TextLabel>(truth)) {
+    std::map<data::SqlOp, int> op_votes;
+    std::vector<int> preds;
+    for (const auto& vote : votes) {
+      const auto& text = std::get<data::TextLabel>(vote);
+      ++op_votes[text.op];
+      preds.push_back(text.num_predicates);
+    }
+    data::TextLabel merged;
+    int best = -1;
+    for (const auto& [op, count] : op_votes) {
+      if (count > best) {
+        best = count;
+        merged.op = op;
+      }
+    }
+    merged.num_predicates = Median(preds);
+    return merged;
+  }
+  // Speech: majority gender, median age.
+  int male_votes = 0;
+  std::vector<int> ages;
+  for (const auto& vote : votes) {
+    const auto& speech = std::get<data::SpeechLabel>(vote);
+    if (speech.gender == data::Gender::kMale) ++male_votes;
+    ages.push_back(speech.age_years);
+  }
+  data::SpeechLabel merged;
+  merged.gender = 2 * male_votes >= static_cast<int>(votes.size())
+                      ? data::Gender::kMale
+                      : data::Gender::kFemale;
+  merged.age_years = Median(ages);
+  return merged;
+}
+
+}  // namespace tasti::labeler

@@ -1,0 +1,65 @@
+#ifndef TASTI_LABELER_CROWD_H_
+#define TASTI_LABELER_CROWD_H_
+
+/// \file crowd.h
+/// Simulated crowd-worker labeling with quality control.
+///
+/// The paper's text and speech target labelers are crowd workers, which in
+/// practice are noisy and are quality-controlled by replicating each task
+/// across several workers and merging (majority vote / median). This
+/// labeler models that: each Label() dispatches the record to
+/// `num_workers` independent noisy annotators and merges their outputs;
+/// the invocation counter advances by num_workers (each worker is paid).
+///
+/// This makes the cost/quality tradeoff studied in Table 1 tunable:
+/// more workers => higher per-record cost, lower annotation noise.
+
+#include <cstdint>
+
+#include "labeler/labeler.h"
+
+namespace tasti::labeler {
+
+/// Per-worker error model.
+struct CrowdOptions {
+  /// Workers per record (annotation replicas merged by consensus).
+  size_t num_workers = 3;
+  /// Video: probability each worker misses a box / hallucinates one.
+  double box_miss_probability = 0.15;
+  double box_spurious_rate = 0.05;
+  /// Text: probability a worker mislabels the SQL operator; the predicate
+  /// count is perturbed by +-1 with this probability as well.
+  double text_error_probability = 0.1;
+  /// Speech: probability a worker flips the gender; age is perturbed with
+  /// N(0, age_noise_years).
+  double gender_flip_probability = 0.05;
+  double age_noise_years = 6.0;
+  uint64_t seed = 53;
+};
+
+/// Crowd labeler over a dataset: noisy per-worker annotations merged by
+/// majority vote (categorical fields) and median (numeric fields).
+class CrowdLabeler : public TargetLabeler {
+ public:
+  CrowdLabeler(const data::Dataset* dataset, CrowdOptions options);
+
+  /// Returns the consensus annotation. Costs `num_workers` invocations.
+  data::LabelerOutput Label(size_t index) override;
+
+  size_t num_records() const override;
+  size_t invocations() const override { return invocations_; }
+  void ResetInvocations() override { invocations_ = 0; }
+
+  /// One worker's (noisy) annotation — exposed for tests and for studying
+  /// consensus quality. Deterministic in (record, worker).
+  data::LabelerOutput WorkerLabel(size_t index, size_t worker) const;
+
+ private:
+  const data::Dataset* dataset_;
+  CrowdOptions options_;
+  size_t invocations_ = 0;
+};
+
+}  // namespace tasti::labeler
+
+#endif  // TASTI_LABELER_CROWD_H_

@@ -1,0 +1,98 @@
+#include "labeler/labeler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace tasti::labeler {
+
+SimulatedLabeler::SimulatedLabeler(const data::Dataset* dataset)
+    : dataset_(dataset) {
+  TASTI_CHECK(dataset != nullptr, "SimulatedLabeler requires a dataset");
+}
+
+data::LabelerOutput SimulatedLabeler::Label(size_t index) {
+  TASTI_CHECK(index < dataset_->size(), "label index out of range");
+  ++invocations_;
+  return dataset_->ground_truth[index];
+}
+
+size_t SimulatedLabeler::num_records() const { return dataset_->size(); }
+
+DegradedLabeler::DegradedLabeler(const data::Dataset* dataset,
+                                 DegradationOptions options)
+    : dataset_(dataset), options_(options) {
+  TASTI_CHECK(dataset != nullptr, "DegradedLabeler requires a dataset");
+}
+
+data::LabelerOutput DegradedLabeler::Label(size_t index) {
+  TASTI_CHECK(index < dataset_->size(), "label index out of range");
+  ++invocations_;
+  const data::LabelerOutput& truth = dataset_->ground_truth[index];
+  const auto* video = std::get_if<data::VideoLabel>(&truth);
+  if (video == nullptr) return truth;  // degradation modeled for video only
+
+  // Deterministic per-record noise: seed the stream from (seed, index).
+  uint64_t mix = options_.seed ^ (index * 0x9E3779B97F4A7C15ULL);
+  Rng rng(SplitMix64(&mix));
+
+  data::VideoLabel out;
+  for (const data::Box& box : video->boxes) {
+    if (rng.Bernoulli(options_.miss_probability)) continue;
+    data::Box detected = box;
+    if (!dataset_->classes.empty() &&
+        rng.Bernoulli(options_.class_confusion_probability)) {
+      detected.cls = dataset_->classes[rng.UniformInt(dataset_->classes.size())];
+    }
+    detected.x = std::clamp(
+        detected.x + static_cast<float>(rng.Normal(0.0, options_.position_noise)),
+        0.0f, 1.0f);
+    detected.y = std::clamp(
+        detected.y + static_cast<float>(rng.Normal(0.0, options_.position_noise)),
+        0.0f, 1.0f);
+    out.boxes.push_back(detected);
+  }
+  const int spurious = rng.Poisson(options_.false_positive_rate);
+  for (int s = 0; s < spurious; ++s) {
+    data::Box fp;
+    fp.cls = dataset_->classes.empty()
+                 ? data::ObjectClass::kCar
+                 : dataset_->classes[rng.UniformInt(dataset_->classes.size())];
+    fp.x = static_cast<float>(rng.Uniform());
+    fp.y = static_cast<float>(rng.Uniform());
+    fp.w = 0.1f;
+    fp.h = 0.08f;
+    out.boxes.push_back(fp);
+  }
+  return out;
+}
+
+size_t DegradedLabeler::num_records() const { return dataset_->size(); }
+
+CachingLabeler::CachingLabeler(TargetLabeler* inner) : inner_(inner) {
+  TASTI_CHECK(inner != nullptr, "CachingLabeler requires an inner labeler");
+  cache_.resize(inner->num_records());
+}
+
+data::LabelerOutput CachingLabeler::Label(size_t index) {
+  TASTI_CHECK(index < cache_.size(), "label index out of range");
+  if (!cache_[index].has_value()) {
+    cache_[index] = inner_->Label(index);
+    labeled_order_.push_back(index);
+  }
+  return *cache_[index];
+}
+
+std::optional<data::LabelerOutput> CachingLabeler::CachedLabel(size_t index) const {
+  TASTI_CHECK(index < cache_.size(), "label index out of range");
+  return cache_[index];
+}
+
+void CachingLabeler::ClearCache() {
+  cache_.assign(cache_.size(), std::nullopt);
+  labeled_order_.clear();
+}
+
+}  // namespace tasti::labeler

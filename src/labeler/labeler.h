@@ -1,0 +1,121 @@
+#ifndef TASTI_LABELER_LABELER_H_
+#define TASTI_LABELER_LABELER_H_
+
+/// \file labeler.h
+/// Target labelers: the expensive oracles (Mask R-CNN, crowd workers, SSD)
+/// that produce structured outputs from unstructured records.
+///
+/// The paper's primary cost metric is the number of target labeler
+/// invocations, so every labeler counts calls. Query processing code must
+/// obtain ground truth only through this interface.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace tasti::labeler {
+
+/// Abstract target labeler over a fixed dataset of records.
+class TargetLabeler {
+ public:
+  virtual ~TargetLabeler() = default;
+
+  /// Labels record `index`. Each call counts as one invocation even if the
+  /// same record is labeled twice (wrap in a CachingLabeler to dedupe).
+  virtual data::LabelerOutput Label(size_t index) = 0;
+
+  /// Number of records this labeler can label.
+  virtual size_t num_records() const = 0;
+
+  /// Invocations so far (including those of wrapped labelers).
+  virtual size_t invocations() const = 0;
+
+  /// Resets the invocation counter.
+  virtual void ResetInvocations() = 0;
+};
+
+/// Exact simulated labeler: returns the dataset's ground truth. Stands in
+/// for Mask R-CNN / human annotation at full accuracy.
+class SimulatedLabeler : public TargetLabeler {
+ public:
+  /// The dataset must outlive the labeler.
+  explicit SimulatedLabeler(const data::Dataset* dataset);
+
+  data::LabelerOutput Label(size_t index) override;
+  size_t num_records() const override;
+  size_t invocations() const override { return invocations_; }
+  void ResetInvocations() override { invocations_ = 0; }
+
+ private:
+  const data::Dataset* dataset_;
+  size_t invocations_ = 0;
+};
+
+/// Error model for a degraded detector (the paper's SSD comparison: ~2x
+/// less accurate than Mask R-CNN, producing a 33% aggregate error).
+struct DegradationOptions {
+  /// Probability each true box is missed entirely.
+  double miss_probability = 0.25;
+  /// Probability a detected box gets the wrong class (video datasets with
+  /// more than one class).
+  double class_confusion_probability = 0.05;
+  /// Std-dev of positional jitter added to detected boxes.
+  double position_noise = 0.03;
+  /// Expected number of spurious boxes per record.
+  double false_positive_rate = 0.05;
+  uint64_t seed = 11;
+};
+
+/// Degraded simulated labeler (video datasets only): applies the error
+/// model on top of ground truth. Deterministic per record.
+class DegradedLabeler : public TargetLabeler {
+ public:
+  DegradedLabeler(const data::Dataset* dataset, DegradationOptions options);
+
+  data::LabelerOutput Label(size_t index) override;
+  size_t num_records() const override;
+  size_t invocations() const override { return invocations_; }
+  void ResetInvocations() override { invocations_ = 0; }
+
+ private:
+  const data::Dataset* dataset_;
+  DegradationOptions options_;
+  size_t invocations_ = 0;
+};
+
+/// Caching wrapper: repeated labels of one record cost one invocation.
+/// Also the hook for index cracking — the cache exposes which records have
+/// been labeled during query execution.
+class CachingLabeler : public TargetLabeler {
+ public:
+  /// The inner labeler must outlive the wrapper.
+  explicit CachingLabeler(TargetLabeler* inner);
+
+  data::LabelerOutput Label(size_t index) override;
+  size_t num_records() const override { return inner_->num_records(); }
+  size_t invocations() const override { return inner_->invocations(); }
+  void ResetInvocations() override { inner_->ResetInvocations(); }
+
+  /// Indices labeled so far, in first-label order.
+  const std::vector<size_t>& labeled_indices() const { return labeled_order_; }
+
+  /// Cached output for `index`, if it has been labeled.
+  std::optional<data::LabelerOutput> CachedLabel(size_t index) const;
+
+  /// Drops the cache (keeps the inner labeler's invocation count).
+  void ClearCache();
+
+ private:
+  TargetLabeler* inner_;
+  std::vector<std::optional<data::LabelerOutput>> cache_;
+  std::vector<size_t> labeled_order_;
+};
+
+}  // namespace tasti::labeler
+
+#endif  // TASTI_LABELER_LABELER_H_

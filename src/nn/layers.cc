@@ -1,0 +1,129 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tasti::nn {
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(in_dim, out_dim),
+      bias_(1, out_dim) {
+  TASTI_CHECK(in_dim > 0 && out_dim > 0, "Linear dims must be positive");
+  TASTI_CHECK(rng != nullptr, "Linear requires an RNG");
+  // He-uniform initialization, appropriate for ReLU networks.
+  const float limit = std::sqrt(6.0f / static_cast<float>(in_dim));
+  for (size_t i = 0; i < weight_.value.size(); ++i) {
+    weight_.value.data()[i] = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+  bias_.value.Fill(0.0f);
+}
+
+Matrix Linear::Forward(const Matrix& input) {
+  TASTI_CHECK(input.cols() == in_dim_, "Linear input width mismatch");
+  cached_input_ = input;
+  Matrix out;
+  Gemm(input, weight_.value, &out);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    const float* b = bias_.value.Row(0);
+    for (size_t c = 0; c < out_dim_; ++c) row[c] += b[c];
+  }
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  TASTI_CHECK(grad_output.rows() == cached_input_.rows(),
+              "Linear backward batch mismatch");
+  // dW += X^T G
+  GemmATAccum(cached_input_, grad_output, &weight_.grad);
+  // db += column sums of G
+  for (size_t r = 0; r < grad_output.rows(); ++r) {
+    const float* g = grad_output.Row(r);
+    float* b = bias_.grad.Row(0);
+    for (size_t c = 0; c < out_dim_; ++c) b[c] += g[c];
+  }
+  // dX = G W^T
+  Matrix grad_input;
+  GemmBT(grad_output, weight_.value, &grad_input);
+  return grad_input;
+}
+
+Matrix ReLU::Forward(const Matrix& input) {
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.data()[i] < 0.0f) out.data()[i] = 0.0f;
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix ReLU::Backward(const Matrix& grad_output) {
+  TASTI_CHECK(grad_output.rows() == cached_output_.rows() &&
+                  grad_output.cols() == cached_output_.cols(),
+              "ReLU backward shape mismatch");
+  Matrix grad_input = grad_output;
+  for (size_t i = 0; i < grad_input.size(); ++i) {
+    if (cached_output_.data()[i] <= 0.0f) grad_input.data()[i] = 0.0f;
+  }
+  return grad_input;
+}
+
+Matrix Tanh::Forward(const Matrix& input) {
+  Matrix out = input;
+  for (size_t i = 0; i < out.size(); ++i) out.data()[i] = std::tanh(out.data()[i]);
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Tanh::Backward(const Matrix& grad_output) {
+  TASTI_CHECK(grad_output.rows() == cached_output_.rows() &&
+                  grad_output.cols() == cached_output_.cols(),
+              "Tanh backward shape mismatch");
+  Matrix grad_input = grad_output;
+  for (size_t i = 0; i < grad_input.size(); ++i) {
+    const float y = cached_output_.data()[i];
+    grad_input.data()[i] *= (1.0f - y * y);
+  }
+  return grad_input;
+}
+
+Matrix L2Normalize::Forward(const Matrix& input) {
+  Matrix out = input;
+  cached_norms_.assign(input.rows(), 0.0f);
+  for (size_t r = 0; r < input.rows(); ++r) {
+    const float* x = input.Row(r);
+    float norm2 = 0.0f;
+    for (size_t c = 0; c < input.cols(); ++c) norm2 += x[c] * x[c];
+    const float norm = std::max(std::sqrt(norm2), eps_);
+    cached_norms_[r] = norm;
+    float* y = out.Row(r);
+    for (size_t c = 0; c < input.cols(); ++c) y[c] = x[c] / norm;
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix L2Normalize::Backward(const Matrix& grad_output) {
+  TASTI_CHECK(grad_output.rows() == cached_output_.rows() &&
+                  grad_output.cols() == cached_output_.cols(),
+              "L2Normalize backward shape mismatch");
+  // For y = x / ||x||: dL/dx = (g - y (y . g)) / ||x||.
+  Matrix grad_input = grad_output;
+  for (size_t r = 0; r < grad_output.rows(); ++r) {
+    const float* g = grad_output.Row(r);
+    const float* y = cached_output_.Row(r);
+    float dot = 0.0f;
+    for (size_t c = 0; c < grad_output.cols(); ++c) dot += g[c] * y[c];
+    float* gi = grad_input.Row(r);
+    const float inv_norm = 1.0f / cached_norms_[r];
+    for (size_t c = 0; c < grad_output.cols(); ++c) {
+      gi[c] = (g[c] - y[c] * dot) * inv_norm;
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace tasti::nn

@@ -1,0 +1,136 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tasti::nn {
+
+void Matrix::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::Add(const Matrix& other) {
+  TASTI_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+              "Matrix::Add shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Scale(float s) {
+  for (auto& x : data_) x *= s;
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    TASTI_CHECK(indices[i] < rows_, "GatherRows index out of range");
+    std::copy(Row(indices[i]), Row(indices[i]) + cols_, out.Row(i));
+  }
+  return out;
+}
+
+void Matrix::SetRow(size_t dst_row, const Matrix& src, size_t src_row) {
+  TASTI_CHECK(cols_ == src.cols(), "SetRow column mismatch");
+  TASTI_CHECK(dst_row < rows_ && src_row < src.rows(), "SetRow row out of range");
+  std::copy(src.Row(src_row), src.Row(src_row) + cols_, Row(dst_row));
+}
+
+Matrix Matrix::VStack(const std::vector<const Matrix*>& parts) {
+  TASTI_CHECK(!parts.empty(), "VStack requires at least one part");
+  const size_t cols = parts[0]->cols();
+  size_t rows = 0;
+  for (const Matrix* p : parts) {
+    TASTI_CHECK(p->cols() == cols, "VStack column mismatch");
+    rows += p->rows();
+  }
+  Matrix out(rows, cols);
+  size_t at = 0;
+  for (const Matrix* p : parts) {
+    std::copy(p->data(), p->data() + p->size(), out.Row(at));
+    at += p->rows();
+  }
+  return out;
+}
+
+Matrix Matrix::RowSlice(size_t row_begin, size_t row_end) const {
+  TASTI_CHECK(row_begin <= row_end && row_end <= rows_, "RowSlice out of range");
+  Matrix out(row_end - row_begin, cols_);
+  std::copy(Row(row_begin), Row(row_begin) + out.size(), out.data());
+  return out;
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  TASTI_CHECK(a.cols() == b.rows(), "Gemm inner dimension mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (c->rows() != m || c->cols() != n) *c = Matrix(m, n);
+  c->Fill(0.0f);
+  // i-k-j loop order: unit-stride access on both B and C rows.
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.Row(p);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmBT(const Matrix& a, const Matrix& b, Matrix* c) {
+  TASTI_CHECK(a.cols() == b.cols(), "GemmBT inner dimension mismatch");
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (c->rows() != m || c->cols() != n) *c = Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c->Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+void GemmATAccum(const Matrix& a, const Matrix& b, Matrix* c) {
+  TASTI_CHECK(a.rows() == b.rows(), "GemmATAccum inner dimension mismatch");
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  TASTI_CHECK(c->rows() == m && c->cols() == n, "GemmATAccum output shape mismatch");
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c->Row(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+float SquaredDistance(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
+  TASTI_CHECK(a.cols() == b.cols(), "SquaredDistance column mismatch");
+  const float* x = a.Row(ra);
+  const float* y = b.Row(rb);
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.cols(); ++i) {
+    const float d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float Distance(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
+  return std::sqrt(SquaredDistance(a, ra, b, rb));
+}
+
+float RowDot(const Matrix& a, size_t ra, const Matrix& b, size_t rb) {
+  TASTI_CHECK(a.cols() == b.cols(), "RowDot column mismatch");
+  const float* x = a.Row(ra);
+  const float* y = b.Row(rb);
+  float acc = 0.0f;
+  for (size_t i = 0; i < a.cols(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+}  // namespace tasti::nn

@@ -1,0 +1,88 @@
+#ifndef TASTI_NN_MATRIX_H_
+#define TASTI_NN_MATRIX_H_
+
+/// \file matrix.h
+/// Minimal row-major dense float matrix used by the embedding DNN and all
+/// distance computations. This is the only numeric container in the
+/// library; records-by-features and records-by-embedding-dims matrices are
+/// both Matrix instances.
+
+#include <cstddef>
+#include <vector>
+
+namespace tasti::nn {
+
+/// Row-major dense matrix of float.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix initialized to `fill`.
+  Matrix(size_t rows, size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r.
+  float* Row(size_t r) { return data_.data() + r * cols_; }
+  const float* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Element-wise in-place addition; shapes must match.
+  void Add(const Matrix& other);
+
+  /// In-place multiplication by a scalar.
+  void Scale(float s);
+
+  /// Returns a new matrix whose rows are the given subset of this one.
+  Matrix GatherRows(const std::vector<size_t>& indices) const;
+
+  /// Copies the 1 x cols row `src_row` of `src` into row `dst_row`.
+  void SetRow(size_t dst_row, const Matrix& src, size_t src_row);
+
+  /// Stacks matrices vertically; all inputs must share a column count.
+  static Matrix VStack(const std::vector<const Matrix*>& parts);
+
+  /// Returns the [row_begin, row_end) horizontal slice as a copy.
+  Matrix RowSlice(size_t row_begin, size_t row_end) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+/// C = A * B. A is m x k, B is k x n, C is m x n (overwritten).
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C = A * B^T. A is m x k, B is n x k, C is m x n (overwritten).
+void GemmBT(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C += A^T * B. A is k x m, B is k x n, C is m x n (accumulated).
+void GemmATAccum(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Squared Euclidean distance between row `ra` of a and row `rb` of b.
+/// The two matrices must have the same column count.
+float SquaredDistance(const Matrix& a, size_t ra, const Matrix& b, size_t rb);
+
+/// Euclidean distance between two rows (sqrt of SquaredDistance).
+float Distance(const Matrix& a, size_t ra, const Matrix& b, size_t rb);
+
+/// Dot product of two rows.
+float RowDot(const Matrix& a, size_t ra, const Matrix& b, size_t rb);
+
+}  // namespace tasti::nn
+
+#endif  // TASTI_NN_MATRIX_H_

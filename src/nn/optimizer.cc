@@ -1,0 +1,67 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tasti::nn {
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    TASTI_CHECK(p != nullptr, "Adam given null parameter");
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = m_[i].data();
+    float* v = v_[i].data();
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      float grad = g[j] + options_.weight_decay * w[j];
+      m[j] = b1 * m[j] + (1.0f - b1) * grad;
+      v[j] = b2 * v[j] + (1.0f - b2) * grad * grad;
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      w[j] -= options_.learning_rate * mhat / (std::sqrt(vhat) + options_.epsilon);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float learning_rate, float momentum)
+    : params_(std::move(params)),
+      learning_rate_(learning_rate),
+      momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    TASTI_CHECK(p != nullptr, "Sgd given null parameter");
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* vel = velocity_[i].data();
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      vel[j] = momentum_ * vel[j] - learning_rate_ * g[j];
+      w[j] += vel[j];
+    }
+  }
+}
+
+}  // namespace tasti::nn

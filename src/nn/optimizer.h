@@ -1,0 +1,61 @@
+#ifndef TASTI_NN_OPTIMIZER_H_
+#define TASTI_NN_OPTIMIZER_H_
+
+/// \file optimizer.h
+/// First-order optimizers for the embedding and proxy networks.
+
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace tasti::nn {
+
+/// Adam (Kingma & Ba 2015) over a fixed parameter list.
+///
+/// The parameter list is captured at construction; Step() applies one update
+/// using whatever gradients have been accumulated since the last ZeroGrad.
+class Adam {
+ public:
+  struct Options {
+    float learning_rate = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Parameter*> params, Options options);
+
+  /// Applies one Adam update to every parameter.
+  void Step();
+
+  /// Number of steps applied so far.
+  size_t step_count() const { return t_; }
+
+  Options& options() { return options_; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  std::vector<Matrix> m_;  // first moments, aligned with params_
+  std::vector<Matrix> v_;  // second moments
+  size_t t_ = 0;
+};
+
+/// Plain SGD with optional momentum; used in tests as a reference optimizer.
+class Sgd {
+ public:
+  Sgd(std::vector<Parameter*> params, float learning_rate, float momentum = 0.0f);
+
+  void Step();
+
+ private:
+  std::vector<Parameter*> params_;
+  float learning_rate_;
+  float momentum_;
+  std::vector<Matrix> velocity_;
+};
+
+}  // namespace tasti::nn
+
+#endif  // TASTI_NN_OPTIMIZER_H_

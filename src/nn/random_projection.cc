@@ -1,0 +1,34 @@
+#include "nn/random_projection.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tasti::nn {
+
+RandomProjection::RandomProjection(size_t in_dim, size_t out_dim, uint64_t seed)
+    : in_dim_(in_dim), out_dim_(out_dim), weight_(in_dim, out_dim), bias_(1, out_dim) {
+  TASTI_CHECK(in_dim > 0 && out_dim > 0, "RandomProjection dims must be positive");
+  Rng rng(seed);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  for (size_t i = 0; i < weight_.size(); ++i) {
+    weight_.data()[i] = static_cast<float>(rng.Normal()) * scale;
+  }
+  for (size_t i = 0; i < bias_.size(); ++i) {
+    bias_.data()[i] = static_cast<float>(rng.Normal()) * 0.1f;
+  }
+}
+
+Matrix RandomProjection::Apply(const Matrix& input) const {
+  TASTI_CHECK(input.cols() == in_dim_, "RandomProjection input width mismatch");
+  Matrix out;
+  Gemm(input, weight_, &out);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    const float* b = bias_.Row(0);
+    for (size_t c = 0; c < out_dim_; ++c) row[c] = std::tanh(row[c] + b[c]);
+  }
+  return out;
+}
+
+}  // namespace tasti::nn

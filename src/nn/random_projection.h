@@ -1,0 +1,43 @@
+#ifndef TASTI_NN_RANDOM_PROJECTION_H_
+#define TASTI_NN_RANDOM_PROJECTION_H_
+
+/// \file random_projection.h
+/// Frozen random-feature map used as the "pretrained" embedding.
+///
+/// The paper's TASTI-PT variant uses a generic pretrained DNN (ImageNet
+/// ResNet, BERT) whose embeddings are semantically meaningful but not
+/// adapted to the induced schema. Our stand-in is a fixed random nonlinear
+/// projection y = tanh(Wx + b): it preserves coarse geometry of the input
+/// features (so it is usable) but cannot suppress nuisance dimensions (so a
+/// triplet-trained network beats it, as in the paper).
+
+#include <cstddef>
+
+#include "nn/matrix.h"
+#include "util/random.h"
+
+namespace tasti::nn {
+
+/// Immutable random nonlinear projection.
+class RandomProjection {
+ public:
+  /// Draws a fixed W (in_dim x out_dim, N(0, 1/sqrt(in_dim))) and b from
+  /// `seed`. Equal seeds give identical maps.
+  RandomProjection(size_t in_dim, size_t out_dim, uint64_t seed);
+
+  /// Applies the map row-wise: out[r] = tanh(W^T x[r] + b).
+  Matrix Apply(const Matrix& input) const;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  Matrix weight_;  // in_dim x out_dim
+  Matrix bias_;    // 1 x out_dim
+};
+
+}  // namespace tasti::nn
+
+#endif  // TASTI_NN_RANDOM_PROJECTION_H_

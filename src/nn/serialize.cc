@@ -1,0 +1,124 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace tasti::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4D4C5054;  // "MLPT"
+
+enum class LayerTag : uint8_t {
+  kLinear = 0,
+  kReLU = 1,
+  kTanh = 2,
+  kL2Normalize = 3,
+};
+
+template <typename T>
+void Put(std::string* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>, "Put requires POD");
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool Get(const std::string& in, size_t* at, T* value) {
+  if (*at + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *at, sizeof(T));
+  *at += sizeof(T);
+  return true;
+}
+
+void PutMatrix(std::string* out, const Matrix& m) {
+  Put<uint64_t>(out, m.rows());
+  Put<uint64_t>(out, m.cols());
+  out->append(reinterpret_cast<const char*>(m.data()), m.size() * sizeof(float));
+}
+
+bool GetMatrix(const std::string& in, size_t* at, Matrix* m) {
+  uint64_t rows = 0, cols = 0;
+  if (!Get(in, at, &rows) || !Get(in, at, &cols)) return false;
+  const size_t bytes = static_cast<size_t>(rows * cols) * sizeof(float);
+  if (*at + bytes > in.size()) return false;
+  *m = Matrix(rows, cols);
+  std::memcpy(m->data(), in.data() + *at, bytes);
+  *at += bytes;
+  return true;
+}
+
+}  // namespace
+
+std::string SerializeMlp(const Mlp& mlp) {
+  std::string out;
+  Put<uint32_t>(&out, kMagic);
+  Put<uint32_t>(&out, static_cast<uint32_t>(mlp.num_layers()));
+  mlp.VisitLayers([&out](const Layer& layer) {
+    const std::string name = layer.Name();
+    if (name == "Linear") {
+      const auto& lin = static_cast<const Linear&>(layer);
+      Put<uint8_t>(&out, static_cast<uint8_t>(LayerTag::kLinear));
+      PutMatrix(&out, const_cast<Linear&>(lin).weight().value);
+      PutMatrix(&out, const_cast<Linear&>(lin).bias().value);
+    } else if (name == "ReLU") {
+      Put<uint8_t>(&out, static_cast<uint8_t>(LayerTag::kReLU));
+    } else if (name == "Tanh") {
+      Put<uint8_t>(&out, static_cast<uint8_t>(LayerTag::kTanh));
+    } else if (name == "L2Normalize") {
+      Put<uint8_t>(&out, static_cast<uint8_t>(LayerTag::kL2Normalize));
+    } else {
+      TASTI_CHECK(false, "unknown layer in SerializeMlp: " + name);
+    }
+  });
+  return out;
+}
+
+Result<Mlp> DeserializeMlp(const std::string& buffer) {
+  size_t at = 0;
+  uint32_t magic = 0, num_layers = 0;
+  if (!Get(buffer, &at, &magic) || magic != kMagic) {
+    return Status::InvalidArgument("bad magic: not a serialized MLP");
+  }
+  if (!Get(buffer, &at, &num_layers)) {
+    return Status::InvalidArgument("truncated MLP header");
+  }
+  Mlp mlp;
+  Rng dummy(0);
+  for (uint32_t l = 0; l < num_layers; ++l) {
+    uint8_t tag = 0;
+    if (!Get(buffer, &at, &tag)) {
+      return Status::InvalidArgument("truncated layer tag");
+    }
+    switch (static_cast<LayerTag>(tag)) {
+      case LayerTag::kLinear: {
+        Matrix weight, bias;
+        if (!GetMatrix(buffer, &at, &weight) || !GetMatrix(buffer, &at, &bias)) {
+          return Status::InvalidArgument("truncated Linear weights");
+        }
+        if (weight.cols() != bias.cols() || bias.rows() != 1) {
+          return Status::InvalidArgument("inconsistent Linear shapes");
+        }
+        auto layer =
+            std::make_unique<Linear>(weight.rows(), weight.cols(), &dummy);
+        layer->weight().value = std::move(weight);
+        layer->bias().value = std::move(bias);
+        mlp.Append(std::move(layer));
+        break;
+      }
+      case LayerTag::kReLU:
+        mlp.Append(std::make_unique<ReLU>());
+        break;
+      case LayerTag::kTanh:
+        mlp.Append(std::make_unique<Tanh>());
+        break;
+      case LayerTag::kL2Normalize:
+        mlp.Append(std::make_unique<L2Normalize>());
+        break;
+      default:
+        return Status::InvalidArgument("unknown layer tag");
+    }
+  }
+  return mlp;
+}
+
+}  // namespace tasti::nn

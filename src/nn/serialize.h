@@ -1,0 +1,24 @@
+#ifndef TASTI_NN_SERIALIZE_H_
+#define TASTI_NN_SERIALIZE_H_
+
+/// \file serialize.h
+/// Binary (de)serialization of MLPs, so a trained embedding network can be
+/// persisted with its index and reused to embed new records (streaming
+/// ingestion) without retraining.
+
+#include <string>
+
+#include "nn/mlp.h"
+#include "util/status.h"
+
+namespace tasti::nn {
+
+/// Serializes the architecture and weights of an MLP.
+std::string SerializeMlp(const Mlp& mlp);
+
+/// Parses an MLP previously produced by SerializeMlp.
+Result<Mlp> DeserializeMlp(const std::string& buffer);
+
+}  // namespace tasti::nn
+
+#endif  // TASTI_NN_SERIALIZE_H_

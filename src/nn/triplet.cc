@@ -1,0 +1,76 @@
+#include "nn/triplet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tasti::nn {
+
+namespace {
+constexpr float kDistanceFloor = 1e-8f;
+}
+
+TripletLossResult TripletLoss(const Matrix& anchor, const Matrix& positive,
+                              const Matrix& negative, float margin) {
+  TASTI_CHECK(anchor.rows() == positive.rows() && anchor.rows() == negative.rows(),
+              "triplet batch size mismatch");
+  TASTI_CHECK(anchor.cols() == positive.cols() && anchor.cols() == negative.cols(),
+              "triplet dim mismatch");
+  TASTI_CHECK(margin > 0.0f, "triplet margin must be positive");
+
+  const size_t batch = anchor.rows();
+  const size_t dim = anchor.cols();
+  TripletLossResult result;
+  result.grad_anchor = Matrix(batch, dim);
+  result.grad_positive = Matrix(batch, dim);
+  result.grad_negative = Matrix(batch, dim);
+  if (batch == 0) return result;
+
+  double total_loss = 0.0;
+  size_t active = 0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  for (size_t i = 0; i < batch; ++i) {
+    const float dp = std::max(Distance(anchor, i, positive, i), kDistanceFloor);
+    const float dn = std::max(Distance(anchor, i, negative, i), kDistanceFloor);
+    const float hinge = margin + dp - dn;
+    if (hinge <= 0.0f) continue;
+    total_loss += hinge;
+    ++active;
+    // d|a-p|/da = (a-p)/|a-p|; d|a-n|/da = (a-n)/|a-n|.
+    const float* a = anchor.Row(i);
+    const float* p = positive.Row(i);
+    const float* n = negative.Row(i);
+    float* ga = result.grad_anchor.Row(i);
+    float* gp = result.grad_positive.Row(i);
+    float* gn = result.grad_negative.Row(i);
+    for (size_t c = 0; c < dim; ++c) {
+      const float up = (a[c] - p[c]) / dp;
+      const float un = (a[c] - n[c]) / dn;
+      ga[c] = (up - un) * inv_batch;
+      gp[c] = -up * inv_batch;
+      gn[c] = un * inv_batch;
+    }
+  }
+
+  result.loss = total_loss / static_cast<double>(batch);
+  result.active_fraction = static_cast<double>(active) / static_cast<double>(batch);
+  return result;
+}
+
+double TripletLossValue(const Matrix& anchor, const Matrix& positive,
+                        const Matrix& negative, float margin) {
+  TASTI_CHECK(anchor.rows() == positive.rows() && anchor.rows() == negative.rows(),
+              "triplet batch size mismatch");
+  if (anchor.rows() == 0) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < anchor.rows(); ++i) {
+    const float dp = Distance(anchor, i, positive, i);
+    const float dn = Distance(anchor, i, negative, i);
+    total += std::max(0.0f, margin + dp - dn);
+  }
+  return total / static_cast<double>(anchor.rows());
+}
+
+}  // namespace tasti::nn

@@ -1,0 +1,44 @@
+#ifndef TASTI_NN_TRIPLET_H_
+#define TASTI_NN_TRIPLET_H_
+
+/// \file triplet.h
+/// The triplet loss (Weinberger & Saul 2009) on Euclidean embedding
+/// distances, exactly as defined in the paper (Section 5):
+///
+///   l(a, p, n) = max(0, m + |phi(a) - phi(p)| - |phi(a) - phi(n)|)
+///
+/// with margin m > 0 and |.| the Euclidean norm (distances, not squared
+/// distances).
+
+#include <cstddef>
+
+#include "nn/matrix.h"
+
+namespace tasti::nn {
+
+/// Result of a batched triplet loss evaluation.
+struct TripletLossResult {
+  /// Mean per-example hinge loss over the batch.
+  double loss = 0.0;
+  /// Fraction of triplets with non-zero loss (margin violations).
+  double active_fraction = 0.0;
+  /// dLoss/dAnchor, dLoss/dPositive, dLoss/dNegative — each batch x dim,
+  /// already divided by the batch size.
+  Matrix grad_anchor;
+  Matrix grad_positive;
+  Matrix grad_negative;
+};
+
+/// Computes the batched triplet loss and its gradients with respect to the
+/// three embedding blocks. `anchor`, `positive`, and `negative` must have
+/// identical shapes (batch x dim).
+TripletLossResult TripletLoss(const Matrix& anchor, const Matrix& positive,
+                              const Matrix& negative, float margin);
+
+/// Convenience: loss value only (no gradients), e.g. for validation.
+double TripletLossValue(const Matrix& anchor, const Matrix& positive,
+                        const Matrix& negative, float margin);
+
+}  // namespace tasti::nn
+
+#endif  // TASTI_NN_TRIPLET_H_

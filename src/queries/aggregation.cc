@@ -1,0 +1,125 @@
+#include "queries/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace tasti::queries {
+
+namespace {
+
+// Control-variate transformed sample: y = f - c * (p - mu_p). Recomputed
+// whenever c is refit from the samples collected so far.
+struct SampleSet {
+  std::vector<double> f;  // labeler scores
+  std::vector<double> p;  // proxy scores
+};
+
+double FitControlCoefficient(const SampleSet& samples) {
+  RunningCovariance cov;
+  for (size_t i = 0; i < samples.f.size(); ++i) {
+    cov.Add(samples.p[i], samples.f[i]);
+  }
+  const double vp = cov.variance_x();
+  if (vp <= 1e-12) return 0.0;
+  return cov.covariance() / vp;
+}
+
+}  // namespace
+
+AggregationResult EstimateMean(const std::vector<double>& proxy_scores,
+                               labeler::TargetLabeler* labeler,
+                               const core::Scorer& scorer,
+                               const AggregationOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "EstimateMean requires a labeler");
+  TASTI_CHECK(proxy_scores.size() == labeler->num_records(),
+              "proxy scores must cover every record");
+  TASTI_CHECK(options.error_target > 0.0, "error target must be positive");
+  TASTI_CHECK(options.confidence > 0.0 && options.confidence < 1.0,
+              "confidence must be in (0, 1)");
+
+  const size_t n = proxy_scores.size();
+  const size_t max_samples =
+      options.max_samples > 0 ? std::min(options.max_samples, n) : n;
+  const double delta = 1.0 - options.confidence;
+  const double mu_p = Mean(proxy_scores);
+
+  Rng rng(options.seed);
+  // Sampling without replacement via a shuffled permutation: unbiased for
+  // the mean, and the query degrades gracefully to exhaustive labeling.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  SampleSet samples;
+  samples.f.reserve(max_samples);
+  samples.p.reserve(max_samples);
+
+  AggregationResult result;
+  size_t checks = 0;
+
+  auto evaluate_stop = [&](size_t taken) -> bool {
+    ++checks;
+    const double c = options.use_control_variate ? FitControlCoefficient(samples)
+                                                 : 0.0;
+    // Transformed observations.
+    std::vector<double> y(taken);
+    double f_min = 0.0, f_max = 0.0;
+    for (size_t i = 0; i < taken; ++i) {
+      y[i] = samples.f[i] - c * (samples.p[i] - mu_p);
+      if (i == 0) {
+        f_min = f_max = samples.f[i];
+      } else {
+        f_min = std::min(f_min, samples.f[i]);
+        f_max = std::max(f_max, samples.f[i]);
+      }
+    }
+    // Union bound over stopping checks: delta_t = delta / (t (t + 1))
+    // sums to < delta over all t >= 1 (EBGStop-style allocation).
+    const double delta_t =
+        delta / (static_cast<double>(checks) * (static_cast<double>(checks) + 1.0));
+    // Plug-in range bound: the support of the underlying statistic f
+    // (padded, since only a sample has been observed), as BlazeIt's EBS
+    // uses the known range of the aggregated quantity. Method-independent,
+    // so the range term is a shared floor and the control-variate variance
+    // reduction is what differentiates proxies — matching the paper, where
+    // the no-proxy/TASTI ratio (~2.5x) is far below the raw variance ratio.
+    const double range = std::max(f_max - f_min, 1e-9) * 1.25;
+    const double half =
+        EmpiricalBernsteinHalfWidth(Variance(y), range, taken, delta_t);
+    result.estimate = Mean(y);
+    result.half_width = half;
+    result.control_coefficient = c;
+    return half <= options.error_target;
+  };
+
+  for (size_t taken = 0; taken < max_samples; ++taken) {
+    const size_t record = order[taken];
+    const data::LabelerOutput label = labeler->Label(record);
+    samples.f.push_back(scorer.Score(label));
+    samples.p.push_back(proxy_scores[record]);
+
+    const size_t count = taken + 1;
+    if (count >= options.min_samples &&
+        (count - options.min_samples) % options.check_interval == 0) {
+      if (evaluate_stop(count)) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  if (!result.converged) {
+    // Exhausted the budget; produce the final estimate anyway.
+    evaluate_stop(samples.f.size());
+    // An exhaustive pass over the dataset is exact by construction.
+    result.converged = samples.f.size() == n;
+  }
+  result.labeler_invocations = samples.f.size();
+  result.proxy_correlation = PearsonCorrelation(samples.p, samples.f);
+  return result;
+}
+
+}  // namespace tasti::queries

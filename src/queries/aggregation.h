@@ -1,0 +1,69 @@
+#ifndef TASTI_QUERIES_AGGREGATION_H_
+#define TASTI_QUERIES_AGGREGATION_H_
+
+/// \file aggregation.h
+/// Approximate aggregation with statistical guarantees, following BlazeIt
+/// (Kang et al. 2019): sample records, label them with the target labeler,
+/// use the proxy scores as a control variate, and stop when an
+/// empirical-Bernstein confidence interval is within the error target.
+///
+/// Better proxy scores => higher proxy/labeler correlation => smaller
+/// control-variate variance => fewer labeler invocations. That mechanism
+/// is exactly what the paper's Figure 4 measures.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scorer.h"
+#include "labeler/labeler.h"
+
+namespace tasti::queries {
+
+/// Parameters of the EBS aggregation query.
+struct AggregationOptions {
+  /// Absolute error target (the paper uses 0.01).
+  double error_target = 0.01;
+  /// Success probability (the paper uses 95%).
+  double confidence = 0.95;
+  /// Use the proxy as a control variate. Disabled for the "no proxy"
+  /// baseline (plain EBS mean estimation).
+  bool use_control_variate = true;
+  /// Samples drawn before the first stopping check.
+  size_t min_samples = 100;
+  /// Stopping-rule evaluation period (samples between checks).
+  size_t check_interval = 50;
+  /// Hard cap on labeler invocations; 0 means the dataset size.
+  size_t max_samples = 0;
+  uint64_t seed = 101;
+};
+
+/// Outcome of one aggregation query.
+struct AggregationResult {
+  /// Estimated dataset mean of the scorer.
+  double estimate = 0.0;
+  /// Labeler invocations consumed (the paper's cost metric).
+  size_t labeler_invocations = 0;
+  /// Final confidence-interval half width.
+  double half_width = 0.0;
+  /// Pearson correlation between proxy and labeler scores on the sample.
+  double proxy_correlation = 0.0;
+  /// Fitted control-variate coefficient.
+  double control_coefficient = 0.0;
+  /// True if the error target was met before exhausting max_samples.
+  bool converged = false;
+};
+
+/// Estimates the mean of `scorer` over all records.
+///
+/// `proxy_scores` must contain one score per record; its exact dataset
+/// mean is free to compute (proxies are cheap), which is what makes the
+/// control variate unbiased. The labeler is charged one invocation per
+/// sampled record (pass a CachingLabeler to deduplicate repeats).
+AggregationResult EstimateMean(const std::vector<double>& proxy_scores,
+                               labeler::TargetLabeler* labeler,
+                               const core::Scorer& scorer,
+                               const AggregationOptions& options);
+
+}  // namespace tasti::queries
+
+#endif  // TASTI_QUERIES_AGGREGATION_H_

@@ -1,0 +1,65 @@
+#include "queries/groupby.h"
+
+#include <cmath>
+
+#include "core/propagation.h"
+#include "util/status.h"
+
+namespace tasti::queries {
+
+GroupByResult GroupedAggregate(const core::TastiIndex& index,
+                               labeler::TargetLabeler* labeler,
+                               const core::Scorer& group_scorer,
+                               const core::Scorer& statistic,
+                               const GroupByOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "GroupedAggregate requires a labeler");
+  TASTI_CHECK(labeler->num_records() == index.num_records(),
+              "labeler/index record count mismatch");
+
+  // Discover groups and their frequencies from the annotated reps.
+  const std::vector<double> rep_groups =
+      core::RepresentativeScores(index, group_scorer);
+  std::map<double, size_t> rep_counts;
+  for (double g : rep_groups) ++rep_counts[g];
+
+  GroupByResult result;
+  size_t salt = 0;
+  for (const auto& [group_value, count] : rep_counts) {
+    const double fraction =
+        static_cast<double>(count) / static_cast<double>(rep_groups.size());
+    if (fraction < options.min_group_fraction) continue;
+
+    // Membership proxy: propagated probability that a record's group key
+    // equals this value.
+    std::vector<double> indicator(rep_groups.size());
+    for (size_t i = 0; i < rep_groups.size(); ++i) {
+      indicator[i] = rep_groups[i] == group_value ? 1.0 : 0.0;
+    }
+    const std::vector<double> membership_proxy =
+        core::PropagateNumeric(index, indicator);
+
+    // Exact membership test + statistic on sampled records.
+    core::LambdaScorer membership(
+        [&group_scorer, group_value](const data::LabelerOutput& output) {
+          return group_scorer.Score(output) == group_value ? 1.0 : 0.0;
+        },
+        /*categorical=*/true, "group==" + std::to_string(group_value));
+
+    PredicateAggregationOptions agg_options;
+    agg_options.error_target = options.error_target;
+    agg_options.confidence = options.confidence;
+    agg_options.max_samples = options.per_group_budget;
+    agg_options.seed = options.seed + 131 * (++salt);
+    const size_t before = labeler->invocations();
+    GroupResult group;
+    group.aggregation = EstimateMeanWithPredicate(membership_proxy, labeler,
+                                                  membership, statistic,
+                                                  agg_options);
+    group.rep_fraction = fraction;
+    result.total_labeler_invocations += labeler->invocations() - before;
+    result.groups.emplace(group_value, std::move(group));
+  }
+  return result;
+}
+
+}  // namespace tasti::queries

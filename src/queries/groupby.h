@@ -1,0 +1,61 @@
+#ifndef TASTI_QUERIES_GROUPBY_H_
+#define TASTI_QUERIES_GROUPBY_H_
+
+/// \file groupby.h
+/// Grouped aggregation: SELECT group, AVG(statistic) ... GROUP BY group.
+///
+/// The group key is a categorical scorer (e.g. object-count bucket, SQL
+/// operator, gender); the groups present in the dataset are discovered
+/// from the index's annotated representatives, and each group's
+/// conditional mean is estimated with the predicate-aggregation estimator,
+/// reusing one index for every group's membership proxy — another query
+/// family one TASTI index serves with zero per-query training.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/index.h"
+#include "core/scorer.h"
+#include "labeler/labeler.h"
+#include "queries/predicate_aggregation.h"
+
+namespace tasti::queries {
+
+/// Parameters of the grouped aggregation.
+struct GroupByOptions {
+  /// Absolute error target per group's conditional mean.
+  double error_target = 0.08;
+  double confidence = 0.95;
+  /// Labeler budget per group; 0 means dataset size.
+  size_t per_group_budget = 2000;
+  /// Groups whose representative frequency is below this fraction are
+  /// skipped (too rare to estimate within budget).
+  double min_group_fraction = 0.005;
+  uint64_t seed = 606;
+};
+
+/// Result per group value.
+struct GroupResult {
+  PredicateAggregationResult aggregation;
+  /// Fraction of representatives in this group (a cheap size estimate).
+  double rep_fraction = 0.0;
+};
+
+/// Outcome of one grouped aggregation.
+struct GroupByResult {
+  /// Keyed by the group scorer's value.
+  std::map<double, GroupResult> groups;
+  size_t total_labeler_invocations = 0;
+};
+
+/// Runs the grouped aggregation using `index` for the membership proxies.
+GroupByResult GroupedAggregate(const core::TastiIndex& index,
+                               labeler::TargetLabeler* labeler,
+                               const core::Scorer& group_scorer,
+                               const core::Scorer& statistic,
+                               const GroupByOptions& options);
+
+}  // namespace tasti::queries
+
+#endif  // TASTI_QUERIES_GROUPBY_H_

@@ -1,0 +1,47 @@
+#include "queries/limit.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace tasti::queries {
+
+LimitResult LimitQuery(const std::vector<double>& ranking_scores,
+                       labeler::TargetLabeler* labeler,
+                       const core::Scorer& predicate,
+                       const LimitOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "LimitQuery requires a labeler");
+  TASTI_CHECK(ranking_scores.size() == labeler->num_records(),
+              "ranking scores must cover every record");
+  TASTI_CHECK(options.want > 0, "want must be positive");
+
+  const size_t n = ranking_scores.size();
+  const size_t cap = options.max_invocations > 0
+                         ? std::min(options.max_invocations, n)
+                         : n;
+
+  // Stable descending sort by score: deterministic examination order.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ranking_scores[a] > ranking_scores[b];
+  });
+
+  LimitResult result;
+  for (size_t i = 0; i < cap; ++i) {
+    const size_t record = order[i];
+    const data::LabelerOutput label = labeler->Label(record);
+    ++result.labeler_invocations;
+    if (predicate.Score(label) >= 0.5) {
+      result.found.push_back(record);
+      if (result.found.size() >= options.want) {
+        result.satisfied = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace tasti::queries

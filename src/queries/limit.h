@@ -1,0 +1,46 @@
+#ifndef TASTI_QUERIES_LIMIT_H_
+#define TASTI_QUERIES_LIMIT_H_
+
+/// \file limit.h
+/// Limit queries ("find 10 frames with at least 5 cars"), following the
+/// ranking algorithm of BlazeIt (Kang et al. 2019): examine records in
+/// descending proxy-score order with the target labeler, stopping as soon
+/// as the requested number of matches is found. The cost metric is the
+/// number of labeler invocations (paper Figure 6).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scorer.h"
+#include "labeler/labeler.h"
+
+namespace tasti::queries {
+
+/// Parameters of the limit query.
+struct LimitOptions {
+  /// Number of matching records requested.
+  size_t want = 10;
+  /// Hard cap on labeler invocations; 0 means the dataset size.
+  size_t max_invocations = 0;
+};
+
+/// Outcome of one limit query.
+struct LimitResult {
+  /// Matching record indices, in examination order (at most `want`).
+  std::vector<size_t> found;
+  /// Labeler invocations consumed.
+  size_t labeler_invocations = 0;
+  /// True if `want` matches were found within the budget.
+  bool satisfied = false;
+};
+
+/// Runs the ranked scan. `ranking_scores` orders records (descending);
+/// `predicate` must map a labeler output to >= 0.5 iff it matches.
+LimitResult LimitQuery(const std::vector<double>& ranking_scores,
+                       labeler::TargetLabeler* labeler,
+                       const core::Scorer& predicate,
+                       const LimitOptions& options);
+
+}  // namespace tasti::queries
+
+#endif  // TASTI_QUERIES_LIMIT_H_

@@ -1,0 +1,120 @@
+#include "queries/predicate_aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace tasti::queries {
+
+PredicateAggregationResult EstimateMeanWithPredicate(
+    const std::vector<double>& predicate_proxy,
+    labeler::TargetLabeler* labeler, const core::Scorer& predicate,
+    const core::Scorer& statistic, const PredicateAggregationOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "EstimateMeanWithPredicate requires a labeler");
+  TASTI_CHECK(predicate_proxy.size() == labeler->num_records(),
+              "proxy scores must cover every record");
+  TASTI_CHECK(options.error_target > 0.0, "error target must be positive");
+
+  const size_t n = predicate_proxy.size();
+  const size_t max_samples =
+      options.max_samples > 0 ? std::min(options.max_samples, n) : n;
+  const double delta = 1.0 - options.confidence;
+  Rng rng(options.seed);
+
+  // Sampling weights: predicate proxy with a floor. Importance weight of a
+  // sampled record is (1/n) / (w_i / W).
+  std::vector<double> weights(n);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] =
+        std::max(std::clamp(predicate_proxy[i], 0.0, 1.0), options.weight_floor);
+    total_weight += weights[i];
+  }
+  std::vector<double> prefix(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += weights[i];
+    prefix[i] = acc;
+  }
+
+  // Hajek ratio estimate: sum(w_i m_i f_i) / sum(w_i m_i) with m_i the
+  // match indicator. Numerator and denominator are both means of bounded
+  // per-draw quantities; the interval comes from bounding each and
+  // propagating through the ratio (conservative delta method).
+  std::vector<double> numer, denom;
+  numer.reserve(max_samples);
+  denom.reserve(max_samples);
+
+  PredicateAggregationResult result;
+  size_t checks = 0;
+
+  auto evaluate_stop = [&]() -> bool {
+    ++checks;
+    const double mean_numer = Mean(numer);
+    const double mean_denom = Mean(denom);
+    if (mean_denom <= 1e-12) return false;
+    result.estimate = mean_numer / mean_denom;
+    const double delta_t =
+        delta / (2.0 * static_cast<double>(checks) *
+                 (static_cast<double>(checks) + 1.0));
+    const size_t taken = numer.size();
+    // Per-draw bounds: plug-in empirical ranges, as in the EBS
+    // aggregation rule.
+    const double numer_range =
+        std::max(*std::max_element(numer.begin(), numer.end()) -
+                     *std::min_element(numer.begin(), numer.end()),
+                 1e-9) *
+        1.25;
+    const double denom_range =
+        std::max(*std::max_element(denom.begin(), denom.end()) -
+                     *std::min_element(denom.begin(), denom.end()),
+                 1e-9) *
+        1.25;
+    const double half_numer =
+        EmpiricalBernsteinHalfWidth(Variance(numer), numer_range, taken, delta_t);
+    const double half_denom =
+        EmpiricalBernsteinHalfWidth(Variance(denom), denom_range, taken, delta_t);
+    // Ratio propagation: |r̂ - r| <= (hN + |r̂| hD) / (D̂ - hD) when D̂ > hD.
+    if (mean_denom <= half_denom) return false;
+    result.half_width = (half_numer + std::abs(result.estimate) * half_denom) /
+                        (mean_denom - half_denom);
+    return result.half_width <= options.error_target;
+  };
+
+  for (size_t taken = 0; taken < max_samples; ++taken) {
+    const double target = rng.Uniform() * total_weight;
+    const size_t record = std::min(
+        static_cast<size_t>(std::lower_bound(prefix.begin(), prefix.end(),
+                                             target) -
+                            prefix.begin()),
+        n - 1);
+    const data::LabelerOutput label = labeler->Label(record);
+    const bool matches = predicate.Score(label) >= 0.5;
+    const double importance =
+        (1.0 / static_cast<double>(n)) / (weights[record] / total_weight);
+    double f = 0.0;
+    if (matches) {
+      f = statistic.Score(label);
+      ++result.sample_matches;
+    }
+    numer.push_back(matches ? importance * f : 0.0);
+    denom.push_back(matches ? importance : 0.0);
+
+    const size_t count = taken + 1;
+    if (count >= options.min_samples &&
+        (count - options.min_samples) % options.check_interval == 0) {
+      if (evaluate_stop()) {
+        result.converged = true;
+        break;
+      }
+    }
+  }
+  if (!result.converged) evaluate_stop();
+  result.labeler_invocations = numer.size();
+  return result;
+}
+
+}  // namespace tasti::queries

@@ -1,0 +1,104 @@
+#include "queries/stratified.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace tasti::queries {
+
+StratifiedResult StratifiedEstimateMean(const std::vector<double>& proxy_scores,
+                                        labeler::TargetLabeler* labeler,
+                                        const core::Scorer& scorer,
+                                        const StratifiedOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "StratifiedEstimateMean requires a labeler");
+  TASTI_CHECK(proxy_scores.size() == labeler->num_records(),
+              "proxy scores must cover every record");
+  TASTI_CHECK(options.num_strata >= 1, "need at least one stratum");
+  TASTI_CHECK(options.pilot_fraction > 0.0 && options.pilot_fraction < 1.0,
+              "pilot_fraction must be in (0, 1)");
+
+  const size_t n = proxy_scores.size();
+  Rng rng(options.seed);
+
+  // Stratify by proxy rank: equal-population strata are robust to skewed
+  // proxy distributions (quantile cuts would collapse on ties).
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return proxy_scores[a] < proxy_scores[b];
+  });
+  const size_t num_strata = std::min(options.num_strata, n);
+  std::vector<std::vector<size_t>> strata(num_strata);
+  for (size_t rank = 0; rank < n; ++rank) {
+    strata[rank * num_strata / n].push_back(order[rank]);
+  }
+
+  // Shuffle each stratum once; samples are drawn without replacement by
+  // consuming the shuffled prefix.
+  for (auto& stratum : strata) rng.Shuffle(&stratum);
+
+  StratifiedResult result;
+  result.samples_per_stratum.assign(num_strata, 0);
+  std::vector<RunningStats> stats(num_strata);
+  const size_t budget = std::min(options.total_budget, n);
+
+  auto sample_from = [&](size_t h) {
+    const size_t taken = result.samples_per_stratum[h];
+    if (taken >= strata[h].size()) return false;
+    const size_t record = strata[h][taken];
+    stats[h].Add(scorer.Score(labeler->Label(record)));
+    ++result.samples_per_stratum[h];
+    return true;
+  };
+
+  // Pilot: equal allocation, at least 2 samples per stratum for variance.
+  const size_t pilot_total = std::max<size_t>(
+      2 * num_strata, static_cast<size_t>(budget * options.pilot_fraction));
+  for (size_t i = 0; i < pilot_total; ++i) {
+    sample_from(i % num_strata);
+  }
+
+  // Neyman allocation of the remainder: n_h proportional to N_h * sigma_h.
+  size_t spent = 0;
+  for (size_t h = 0; h < num_strata; ++h) spent += result.samples_per_stratum[h];
+  const size_t remaining = budget > spent ? budget - spent : 0;
+  std::vector<double> weights(num_strata);
+  double total_weight = 0.0;
+  for (size_t h = 0; h < num_strata; ++h) {
+    weights[h] = static_cast<double>(strata[h].size()) *
+                 std::max(stats[h].stddev(), 1e-6);
+    total_weight += weights[h];
+  }
+  for (size_t h = 0; h < num_strata && total_weight > 0.0; ++h) {
+    const size_t extra = static_cast<size_t>(
+        std::llround(remaining * weights[h] / total_weight));
+    for (size_t i = 0; i < extra; ++i) {
+      if (!sample_from(h)) break;
+    }
+  }
+
+  // Stratified mean and standard error.
+  double estimate = 0.0;
+  double variance = 0.0;
+  for (size_t h = 0; h < num_strata; ++h) {
+    const double fraction =
+        static_cast<double>(strata[h].size()) / static_cast<double>(n);
+    estimate += fraction * stats[h].mean();
+    if (stats[h].count() > 1) {
+      variance += fraction * fraction * stats[h].variance() /
+                  static_cast<double>(stats[h].count());
+    }
+  }
+  result.estimate = estimate;
+  result.standard_error = std::sqrt(variance);
+  for (size_t h = 0; h < num_strata; ++h) {
+    result.labeler_invocations += result.samples_per_stratum[h];
+  }
+  return result;
+}
+
+}  // namespace tasti::queries

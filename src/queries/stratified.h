@@ -1,0 +1,51 @@
+#ifndef TASTI_QUERIES_STRATIFIED_H_
+#define TASTI_QUERIES_STRATIFIED_H_
+
+/// \file stratified.h
+/// Stratified-sampling aggregation: the classical AQP alternative to
+/// control variates (BlazeIt evaluates both). Records are stratified by
+/// proxy-score quantiles, a pilot sample estimates per-stratum variances,
+/// and the remaining budget is Neyman-allocated (proportional to stratum
+/// size x stratum standard deviation). Good proxies produce homogeneous
+/// strata and therefore small estimator variance.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scorer.h"
+#include "labeler/labeler.h"
+
+namespace tasti::queries {
+
+/// Parameters of the stratified estimator.
+struct StratifiedOptions {
+  /// Strata formed from proxy-score quantiles.
+  size_t num_strata = 10;
+  /// Total labeler budget (pilot + main sample).
+  size_t total_budget = 2000;
+  /// Fraction of the budget spent on the variance pilot.
+  double pilot_fraction = 0.25;
+  uint64_t seed = 505;
+};
+
+/// Outcome of one stratified aggregation.
+struct StratifiedResult {
+  /// Stratified estimate of the dataset mean.
+  double estimate = 0.0;
+  /// Labeler invocations consumed (== total_budget unless clamped).
+  size_t labeler_invocations = 0;
+  /// Estimated standard error of the estimate.
+  double standard_error = 0.0;
+  /// Final per-stratum sample counts (pilot + allocated).
+  std::vector<size_t> samples_per_stratum;
+};
+
+/// Estimates the mean of `scorer` with proxy-stratified sampling.
+StratifiedResult StratifiedEstimateMean(const std::vector<double>& proxy_scores,
+                                        labeler::TargetLabeler* labeler,
+                                        const core::Scorer& scorer,
+                                        const StratifiedOptions& options);
+
+}  // namespace tasti::queries
+
+#endif  // TASTI_QUERIES_STRATIFIED_H_

@@ -1,0 +1,95 @@
+#ifndef TASTI_QUERIES_SUPG_H_
+#define TASTI_QUERIES_SUPG_H_
+
+/// \file supg.h
+/// Approximate selection with statistical guarantees, following SUPG
+/// (Kang et al. 2020), recall-target setting: given a fixed target-labeler
+/// budget, return a set of records containing at least `recall_target` of
+/// all true matches with probability `confidence`.
+///
+/// The algorithm importance-samples records proportionally to
+/// sqrt(proxy score), labels the sample, estimates the positive probability
+/// mass below each candidate proxy threshold with importance weights, and
+/// picks the largest threshold whose estimated recall clears an inflated
+/// (confidence-adjusted) target. The returned set is every record at or
+/// above the threshold plus all sampled positives.
+///
+/// Quality metric (paper Figure 5): the false positive rate of the
+/// returned set — better proxies push the threshold higher and admit fewer
+/// negatives.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scorer.h"
+#include "labeler/labeler.h"
+
+namespace tasti::queries {
+
+/// Parameters of the recall-target SUPG query.
+struct SupgOptions {
+  /// Fraction of true matches that must be returned (paper: 90%).
+  double recall_target = 0.9;
+  /// Probability the recall target is met (paper: 95%).
+  double confidence = 0.95;
+  /// Target labeler budget (fixed, unlike aggregation).
+  size_t budget = 1000;
+  uint64_t seed = 202;
+};
+
+/// Outcome of one SUPG query.
+struct SupgResult {
+  /// Selected record indices (threshold region plus sampled positives).
+  std::vector<size_t> selected;
+  /// Proxy-score threshold chosen.
+  double threshold = 0.0;
+  /// Labeler invocations consumed (== budget unless the dataset is small).
+  size_t labeler_invocations = 0;
+  /// Positives found within the labeled sample.
+  size_t sample_positives = 0;
+};
+
+/// Runs the recall-target selection. `scorer` must map labeler outputs to
+/// 1 (match) / 0 (no match); `proxy_scores` are clipped to [0, 1].
+SupgResult SupgRecallSelect(const std::vector<double>& proxy_scores,
+                            labeler::TargetLabeler* labeler,
+                            const core::Scorer& scorer,
+                            const SupgOptions& options);
+
+/// Parameters of the precision-target SUPG query (the SUPG paper's second
+/// setting; an extension beyond the figures reproduced here).
+struct SupgPrecisionOptions {
+  /// Fraction of returned records that must be true matches.
+  double precision_target = 0.9;
+  /// Probability the precision target is met.
+  double confidence = 0.95;
+  /// Target labeler budget.
+  size_t budget = 1000;
+  uint64_t seed = 203;
+};
+
+/// Runs the precision-target selection: returns the largest
+/// threshold-defined set whose estimated precision clears the
+/// (confidence-inflated) target. Maximizes recall subject to precision.
+SupgResult SupgPrecisionSelect(const std::vector<double>& proxy_scores,
+                               labeler::TargetLabeler* labeler,
+                               const core::Scorer& scorer,
+                               const SupgPrecisionOptions& options);
+
+/// Evaluation helper: false positive rate of a selected set, i.e. the
+/// fraction of returned records that do not match the ground-truth
+/// predicate. Returns 0 for an empty set.
+double FalsePositiveRate(const std::vector<size_t>& selected,
+                         const std::vector<double>& exact_scores);
+
+/// Evaluation helper: achieved recall of a selected set.
+double AchievedRecall(const std::vector<size_t>& selected,
+                      const std::vector<double>& exact_scores);
+
+/// Evaluation helper: achieved precision of a selected set; 1 for empty.
+double AchievedPrecision(const std::vector<size_t>& selected,
+                         const std::vector<double>& exact_scores);
+
+}  // namespace tasti::queries
+
+#endif  // TASTI_QUERIES_SUPG_H_

@@ -1,0 +1,145 @@
+#include "util/random.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace tasti {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  TASTI_CHECK(n > 0, "UniformInt(n) requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  TASTI_CHECK(lo <= hi, "UniformInt(lo, hi) requires lo <= hi");
+  return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 is bounded away from 0.
+  double u1 = 0.0;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Poisson(double rate) {
+  TASTI_CHECK(rate >= 0.0, "Poisson rate must be non-negative");
+  if (rate == 0.0) return 0;
+  if (rate > 64.0) {
+    // Normal approximation, clamped at zero.
+    const double x = Normal(rate, std::sqrt(rate));
+    return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+  }
+  const double limit = std::exp(-rate);
+  int k = 0;
+  double prod = Uniform();
+  while (prod > limit) {
+    ++k;
+    prod *= Uniform();
+  }
+  return k;
+}
+
+int Rng::Geometric(double p) {
+  TASTI_CHECK(p > 0.0 && p <= 1.0, "Geometric p must be in (0, 1]");
+  if (p >= 1.0) return 0;
+  double u = 0.0;
+  do {
+    u = Uniform();
+  } while (u <= 1e-300);
+  return static_cast<int>(std::log(u) / std::log1p(-p));
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  TASTI_CHECK(!weights.empty(), "Categorical requires at least one weight");
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 0.0) return static_cast<size_t>(UniformInt(weights.size()));
+  double target = Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), size_t{0});
+  if (k >= n) {
+    Shuffle(&all);
+    return all;
+  }
+  // Partial Fisher-Yates: only the first k slots need to be finalized.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(UniformInt(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+Rng Rng::Fork(uint64_t salt) {
+  uint64_t seed = Next() ^ (salt * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL);
+  return Rng(seed);
+}
+
+}  // namespace tasti

@@ -1,0 +1,93 @@
+#ifndef TASTI_UTIL_RANDOM_H_
+#define TASTI_UTIL_RANDOM_H_
+
+/// \file random.h
+/// Deterministic, seedable pseudo-random generation.
+///
+/// All randomized components of the library (dataset synthesis, FPF tie
+/// breaking, triplet mining, query sampling) draw from Rng so that every
+/// experiment is exactly reproducible from its seed. The generator is
+/// xoshiro256** seeded via splitmix64, which is fast, high quality, and has
+/// a trivially portable implementation (unlike std::mt19937 distributions,
+/// whose outputs differ across standard libraries).
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tasti {
+
+/// Stateless 64-bit mixer used for seeding and hashing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Distributions are implemented locally (not via <random>) so that streams
+/// are identical across platforms and standard libraries.
+class Rng {
+ public:
+  /// Constructs a generator from a seed. Equal seeds give equal streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate (Box-Muller with caching).
+  double Normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Poisson deviate with the given rate (Knuth for small rates, normal
+  /// approximation above 64).
+  int Poisson(double rate);
+
+  /// Geometric number of failures before the first success; p in (0, 1].
+  int Geometric(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Zero-total weights fall back to uniform.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Returns k distinct indices sampled uniformly from [0, n). If k >= n,
+  /// returns all n indices (in random order).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Forks an independent generator; deterministic in (this stream, salt).
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace tasti
+
+#endif  // TASTI_UTIL_RANDOM_H_

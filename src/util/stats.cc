@@ -1,0 +1,189 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace tasti {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningCovariance::Add(double x, double y) {
+  ++n_;
+  const double dx = x - mean_x_;
+  mean_x_ += dx / static_cast<double>(n_);
+  m2x_ += dx * (x - mean_x_);
+  const double dy = y - mean_y_;
+  mean_y_ += dy / static_cast<double>(n_);
+  m2y_ += dy * (y - mean_y_);
+  // Note: uses updated mean_y_ and pre-update dx convention of the
+  // single-pass co-moment recurrence.
+  cxy_ += dx * (y - mean_y_);
+}
+
+double RunningCovariance::variance_x() const {
+  return n_ < 2 ? 0.0 : m2x_ / static_cast<double>(n_ - 1);
+}
+double RunningCovariance::variance_y() const {
+  return n_ < 2 ? 0.0 : m2y_ / static_cast<double>(n_ - 1);
+}
+double RunningCovariance::covariance() const {
+  return n_ < 2 ? 0.0 : cxy_ / static_cast<double>(n_ - 1);
+}
+
+double RunningCovariance::correlation() const {
+  const double vx = variance_x();
+  const double vy = variance_y();
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return covariance() / std::sqrt(vx * vy);
+}
+
+double EmpiricalBernsteinHalfWidth(double sample_variance, double range, size_t n,
+                                   double delta) {
+  TASTI_CHECK(n > 0, "EmpiricalBernsteinHalfWidth requires n > 0");
+  TASTI_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  const double nd = static_cast<double>(n);
+  const double log_term = std::log(3.0 / delta);
+  const double var = std::max(sample_variance, 0.0);
+  return std::sqrt(2.0 * var * log_term / nd) + 3.0 * range * log_term / nd;
+}
+
+double HoeffdingHalfWidth(double range, size_t n, double delta) {
+  TASTI_CHECK(n > 0, "HoeffdingHalfWidth requires n > 0");
+  TASTI_CHECK(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  return range * std::sqrt(std::log(2.0 / delta) / (2.0 * static_cast<double>(n)));
+}
+
+namespace {
+// Two-sided normal quantile for tail mass delta (i.e., z with
+// P(Z > z) = delta). Beasley-Springer-Moro rational approximation.
+double NormalQuantile(double p) {
+  // Returns z such that Phi(z) = p, p in (0, 1).
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - plow) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+}  // namespace
+
+double WilsonUpperBound(size_t successes, size_t n, double delta) {
+  TASTI_CHECK(n > 0, "WilsonUpperBound requires n > 0");
+  TASTI_CHECK(successes <= n, "successes must not exceed n");
+  const double z = NormalQuantile(1.0 - delta);
+  const double nd = static_cast<double>(n);
+  const double phat = static_cast<double>(successes) / nd;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nd;
+  const double center = phat + z2 / (2.0 * nd);
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / nd + z2 / (4.0 * nd * nd));
+  return std::min(1.0, (center + margin) / denom);
+}
+
+double WilsonLowerBound(size_t successes, size_t n, double delta) {
+  TASTI_CHECK(n > 0, "WilsonLowerBound requires n > 0");
+  TASTI_CHECK(successes <= n, "successes must not exceed n");
+  const double z = NormalQuantile(1.0 - delta);
+  const double nd = static_cast<double>(n);
+  const double phat = static_cast<double>(successes) / nd;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nd;
+  const double center = phat + z2 / (2.0 * nd);
+  const double margin =
+      z * std::sqrt(phat * (1.0 - phat) / nd + z2 / (4.0 * nd * nd));
+  return std::max(0.0, (center - margin) / denom);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double m2 = 0.0;
+  for (double x : v) m2 += (x - m) * (x - m);
+  return m2 / static_cast<double>(v.size() - 1);
+}
+
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  RunningCovariance cov;
+  for (size_t i = 0; i < x.size(); ++i) cov.Add(x[i], y[i]);
+  return cov.correlation();
+}
+
+double Quantile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  TASTI_CHECK(p >= 0.0 && p <= 1.0, "Quantile p must be in [0, 1]");
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace tasti

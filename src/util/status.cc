@@ -1,0 +1,47 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tasti {
+
+namespace {
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+namespace internal {
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "[tasti] fatal: %s\n", status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace tasti

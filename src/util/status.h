@@ -1,0 +1,160 @@
+#ifndef TASTI_UTIL_STATUS_H_
+#define TASTI_UTIL_STATUS_H_
+
+/// \file status.h
+/// Error handling primitives for the TASTI library.
+///
+/// Public APIs report recoverable errors through tasti::Status (for void
+/// operations) and tasti::Result<T> (for value-returning operations), in the
+/// style of RocksDB / Arrow. Exceptions are never thrown across the library
+/// boundary; programming errors are caught with TASTI_CHECK (which aborts).
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tasti {
+
+/// Error categories surfaced by the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kInternal,
+  kIOError,
+};
+
+/// Lightweight status object: a code plus a human-readable message.
+///
+/// Statuses are cheap to copy in the OK case (no allocation) and carry a
+/// message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error holder, analogous to arrow::Result.
+///
+/// A Result is either a value of type T or a non-OK Status. Accessing the
+/// value of an errored Result aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (the error path).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(payload_).ok()) {
+      // An OK status carries no value; treat as internal error.
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// Returns the error status, or OK if this Result holds a value.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Returns the contained value; aborts if this Result holds an error.
+  const T& value() const& {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    AbortIfError();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  void AbortIfError() const;
+
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResult(std::get<Status>(payload_));
+}
+
+}  // namespace tasti
+
+/// Propagates a non-OK Status from the current function.
+#define TASTI_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::tasti::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Aborts with a message if `cond` is false. For programming errors only.
+#define TASTI_CHECK(cond, msg)                                          \
+  do {                                                                  \
+    if (!(cond)) ::tasti::internal::DieOnBadResult(                     \
+        ::tasti::Status::Internal(std::string("CHECK failed: ") + msg)); \
+  } while (0)
+
+#endif  // TASTI_UTIL_STATUS_H_

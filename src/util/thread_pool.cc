@@ -1,0 +1,117 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace tasti {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+// Per-call completion latch so that concurrent ParallelFor invocations (or
+// invocations from within pool tasks) never observe each other's work.
+struct Latch {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining;
+  explicit Latch(size_t n) : remaining(n) {}
+  void CountDown() {
+    std::unique_lock<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
+};
+
+thread_local bool t_inside_pool_task = false;
+}  // namespace
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_shard_size) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t max_shards = pool.num_threads() * 4;
+  size_t shards = std::min(max_shards, (n + min_shard_size - 1) / min_shard_size);
+  // Nested parallelism would deadlock a fixed pool; run nested calls inline.
+  if (shards <= 1 || t_inside_pool_task) {
+    fn(begin, end);
+    return;
+  }
+  const size_t chunk = (n + shards - 1) / shards;
+  const size_t actual_shards = (n + chunk - 1) / chunk;
+  Latch latch(actual_shards);
+  for (size_t s = 0; s < actual_shards; ++s) {
+    const size_t lo = begin + s * chunk;
+    const size_t hi = std::min(end, lo + chunk);
+    pool.Submit([&fn, &latch, lo, hi] {
+      t_inside_pool_task = true;
+      fn(lo, hi);
+      t_inside_pool_task = false;
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+}
+
+}  // namespace tasti

@@ -1,0 +1,65 @@
+#ifndef TASTI_UTIL_THREAD_POOL_H_
+#define TASTI_UTIL_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// A small fixed-size thread pool plus a blocking ParallelFor helper.
+///
+/// Distance computation (all-records x all-representatives) and embedding
+/// inference dominate index construction time; both are embarrassingly
+/// parallel over records and run through ParallelFor.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tasti {
+
+/// Fixed-size worker pool. Tasks are void() callables; Wait() blocks until
+/// all submitted tasks have completed.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 means hardware
+  /// concurrency, at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide shared pool, sized to hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Runs fn(begin..end) partitioned into contiguous shards across the global
+/// pool and blocks until all shards complete. fn receives [shard_begin,
+/// shard_end). Falls back to inline execution for small ranges.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t, size_t)>& fn,
+                 size_t min_shard_size = 1024);
+
+}  // namespace tasti
+
+#endif  // TASTI_UTIL_THREAD_POOL_H_

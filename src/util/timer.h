@@ -1,0 +1,34 @@
+#ifndef TASTI_UTIL_TIMER_H_
+#define TASTI_UTIL_TIMER_H_
+
+/// \file timer.h
+/// Wall-clock timing for construction-cost experiments.
+
+#include <chrono>
+
+namespace tasti {
+
+/// Simple monotonic stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tasti
+
+#endif  // TASTI_UTIL_TIMER_H_

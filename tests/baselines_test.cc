@@ -1,0 +1,108 @@
+// Unit tests for baselines/: the per-query proxy model and the proxy-free
+// estimators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/per_query_proxy.h"
+#include "baselines/uniform.h"
+#include "core/proxy.h"
+#include "core/scorer.h"
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "util/stats.h"
+
+namespace tasti::baselines {
+namespace {
+
+data::Dataset VideoDataset(size_t n = 4000) {
+  data::DatasetOptions opts;
+  opts.num_records = n;
+  opts.seed = 31;
+  return data::MakeNightStreet(opts);
+}
+
+ProxyTrainOptions FastProxyOptions() {
+  ProxyTrainOptions opts;
+  opts.num_training_records = 800;
+  opts.hidden_dim = 32;
+  opts.epochs = 20;
+  opts.seed = 32;
+  return opts;
+}
+
+TEST(PerQueryProxyTest, ChargesExactTrainingBudget) {
+  data::Dataset ds = VideoDataset();
+  labeler::SimulatedLabeler oracle(&ds);
+  core::CountScorer scorer(data::ObjectClass::kCar);
+  PerQueryProxyResult result =
+      TrainPerQueryProxy(ds.features, &oracle, scorer, FastProxyOptions());
+  EXPECT_EQ(oracle.invocations(), 800u);
+  EXPECT_EQ(result.labeler_invocations, 800u);
+  EXPECT_EQ(result.scores.size(), ds.size());
+}
+
+TEST(PerQueryProxyTest, LearnsUsefulScores) {
+  data::Dataset ds = VideoDataset();
+  labeler::SimulatedLabeler oracle(&ds);
+  core::CountScorer scorer(data::ObjectClass::kCar);
+  PerQueryProxyResult result =
+      TrainPerQueryProxy(ds.features, &oracle, scorer, FastProxyOptions());
+  const std::vector<double> truth = core::ExactScores(ds, scorer);
+  // The trained proxy must correlate clearly with the truth.
+  EXPECT_GT(PearsonCorrelation(result.scores, truth), 0.4);
+  EXPECT_LT(result.final_mse, 1.0);
+}
+
+TEST(PerQueryProxyTest, DeterministicInSeed) {
+  data::Dataset ds = VideoDataset(1000);
+  core::CountScorer scorer(data::ObjectClass::kCar);
+  ProxyTrainOptions opts = FastProxyOptions();
+  opts.num_training_records = 300;
+  labeler::SimulatedLabeler oracle_a(&ds);
+  labeler::SimulatedLabeler oracle_b(&ds);
+  PerQueryProxyResult a = TrainPerQueryProxy(ds.features, &oracle_a, scorer, opts);
+  PerQueryProxyResult b = TrainPerQueryProxy(ds.features, &oracle_b, scorer, opts);
+  ASSERT_EQ(a.scores.size(), b.scores.size());
+  for (size_t i = 0; i < a.scores.size(); ++i) {
+    ASSERT_EQ(a.scores[i], b.scores[i]) << i;
+  }
+}
+
+TEST(PerQueryProxyTest, BinaryPredicateRegression) {
+  data::Dataset ds = VideoDataset();
+  labeler::SimulatedLabeler oracle(&ds);
+  core::PresenceScorer scorer(data::ObjectClass::kCar);
+  PerQueryProxyResult result =
+      TrainPerQueryProxy(ds.features, &oracle, scorer, FastProxyOptions());
+  const std::vector<double> truth = core::ExactScores(ds, scorer);
+  EXPECT_GT(PearsonCorrelation(result.scores, truth), 0.3);
+}
+
+TEST(UniformTest, AggregateMatchesTruth) {
+  data::Dataset ds = VideoDataset();
+  core::CountScorer scorer(data::ObjectClass::kCar);
+  const std::vector<double> truth = core::ExactScores(ds, scorer);
+  labeler::SimulatedLabeler oracle(&ds);
+  queries::AggregationOptions opts;
+  opts.error_target = 0.05;
+  opts.seed = 33;
+  queries::AggregationResult result = UniformAggregate(&oracle, scorer, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.estimate, Mean(truth), 3 * opts.error_target);
+  // No control variate is fit.
+  EXPECT_EQ(result.control_coefficient, 0.0);
+}
+
+TEST(UniformTest, ExhaustiveMeanIsExactAndCostsN) {
+  data::Dataset ds = VideoDataset(1000);
+  core::CountScorer scorer(data::ObjectClass::kCar);
+  labeler::SimulatedLabeler oracle(&ds);
+  const double mean = ExhaustiveMean(&oracle, scorer);
+  EXPECT_EQ(oracle.invocations(), 1000u);
+  EXPECT_NEAR(mean, Mean(core::ExactScores(ds, scorer)), 1e-9);
+}
+
+}  // namespace
+}  // namespace tasti::baselines

@@ -1,0 +1,421 @@
+// Unit tests for data/: schema helpers, the three simulators, sensor
+// feature synthesis, closeness functions, and dataset assembly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/closeness.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+#include "data/sensor.h"
+#include "data/speech_sim.h"
+#include "data/text_sim.h"
+#include "data/video_sim.h"
+#include "util/stats.h"
+
+namespace tasti::data {
+namespace {
+
+Box MakeBox(ObjectClass cls, float x, float y) {
+  Box box;
+  box.cls = cls;
+  box.x = x;
+  box.y = y;
+  box.w = 0.1f;
+  box.h = 0.1f;
+  return box;
+}
+
+// ---------- Schema ----------
+
+TEST(SchemaTest, CountClass) {
+  VideoLabel video;
+  video.boxes = {MakeBox(ObjectClass::kCar, 0.2f, 0.5f),
+                 MakeBox(ObjectClass::kBus, 0.6f, 0.5f),
+                 MakeBox(ObjectClass::kCar, 0.8f, 0.3f)};
+  LabelerOutput label = video;
+  EXPECT_EQ(CountClass(label, ObjectClass::kCar), 2);
+  EXPECT_EQ(CountClass(label, ObjectClass::kBus), 1);
+  EXPECT_EQ(CountClass(label, ObjectClass::kPerson), 0);
+  EXPECT_EQ(CountBoxes(label), 3);
+}
+
+TEST(SchemaTest, CountClassOnNonVideoIsZero) {
+  LabelerOutput text = TextLabel{SqlOp::kCount, 2};
+  EXPECT_EQ(CountClass(text, ObjectClass::kCar), 0);
+  EXPECT_EQ(CountBoxes(text), 0);
+}
+
+TEST(SchemaTest, HasClassOnLeft) {
+  VideoLabel video;
+  video.boxes = {MakeBox(ObjectClass::kCar, 0.7f, 0.5f)};
+  EXPECT_FALSE(HasClassOnLeft(video, ObjectClass::kCar));
+  video.boxes.push_back(MakeBox(ObjectClass::kCar, 0.2f, 0.5f));
+  EXPECT_TRUE(HasClassOnLeft(LabelerOutput{video}, ObjectClass::kCar));
+  EXPECT_FALSE(HasClassOnLeft(LabelerOutput{video}, ObjectClass::kBus));
+}
+
+TEST(SchemaTest, MeanXPosition) {
+  VideoLabel video;
+  video.boxes = {MakeBox(ObjectClass::kCar, 0.2f, 0.5f),
+                 MakeBox(ObjectClass::kCar, 0.6f, 0.5f)};
+  EXPECT_NEAR(MeanXPosition(LabelerOutput{video}, ObjectClass::kCar), 0.4, 1e-6);
+  // No matching class -> fallback value.
+  EXPECT_EQ(MeanXPosition(LabelerOutput{video}, ObjectClass::kBus, 0.5), 0.5);
+}
+
+TEST(SchemaTest, AgeBucketDiscretizesDecades) {
+  SpeechLabel speech;
+  speech.age_years = 29;
+  EXPECT_EQ(speech.AgeBucket(), 2);
+  speech.age_years = 30;
+  EXPECT_EQ(speech.AgeBucket(), 3);
+}
+
+TEST(SchemaTest, Names) {
+  EXPECT_EQ(ObjectClassName(ObjectClass::kCar), "car");
+  EXPECT_EQ(ObjectClassName(ObjectClass::kBus), "bus");
+  EXPECT_EQ(SqlOpName(SqlOp::kSelect), "SELECT");
+  EXPECT_EQ(SqlOpName(SqlOp::kAvg), "AVG");
+}
+
+// ---------- Video simulator ----------
+
+TEST(VideoSimTest, DeterministicInSeed) {
+  VideoSimOptions opts = NightStreetOptions(500, 7);
+  VideoSimResult a = SimulateVideo(opts);
+  VideoSimResult b = SimulateVideo(opts);
+  ASSERT_EQ(a.labels.size(), b.labels.size());
+  for (size_t i = 0; i < a.labels.size(); ++i) {
+    ASSERT_EQ(a.labels[i].boxes.size(), b.labels[i].boxes.size()) << i;
+  }
+}
+
+TEST(VideoSimTest, ProducesRequestedFrameCount) {
+  VideoSimResult sim = SimulateVideo(NightStreetOptions(1234, 1));
+  EXPECT_EQ(sim.labels.size(), 1234u);
+  EXPECT_EQ(sim.nuisance.size(), 1234u);
+  for (const auto& nuis : sim.nuisance) {
+    EXPECT_EQ(nuis.size(), VideoSimResult::kNuisanceDim);
+  }
+}
+
+TEST(VideoSimTest, TemporalRedundancy) {
+  // Consecutive frames should usually have the same car count: that
+  // redundancy is the core dataset property TASTI exploits.
+  VideoSimResult sim = SimulateVideo(NightStreetOptions(5000, 3));
+  size_t same = 0;
+  for (size_t i = 1; i < sim.labels.size(); ++i) {
+    if (sim.labels[i].boxes.size() == sim.labels[i - 1].boxes.size()) ++same;
+  }
+  EXPECT_GT(static_cast<double>(same) / sim.labels.size(), 0.8);
+}
+
+TEST(VideoSimTest, CountsAreSkewedWithRareBusyFrames) {
+  VideoSimResult sim = SimulateVideo(NightStreetOptions(20000, 5));
+  size_t empty = 0, busy = 0;
+  for (const auto& label : sim.labels) {
+    if (label.boxes.empty()) ++empty;
+    if (label.boxes.size() >= 4) ++busy;
+  }
+  // Most frames near-empty, a small but non-zero rare-event tail.
+  EXPECT_GT(empty, sim.labels.size() / 4);
+  EXPECT_GT(busy, 0u);
+  EXPECT_LT(busy, sim.labels.size() / 20);
+}
+
+TEST(VideoSimTest, BoxesStayOnScreen) {
+  VideoSimResult sim = SimulateVideo(TaipeiOptions(2000, 9));
+  for (const auto& label : sim.labels) {
+    for (const Box& box : label.boxes) {
+      EXPECT_GE(box.x, 0.0f);
+      EXPECT_LE(box.x, 1.0f);
+      EXPECT_GT(box.w, 0.0f);
+      EXPECT_GT(box.h, 0.0f);
+    }
+  }
+}
+
+TEST(VideoSimTest, TaipeiHasBothClassesWithBusesRarer) {
+  VideoSimResult sim = SimulateVideo(TaipeiOptions(20000, 11));
+  size_t cars = 0, buses = 0;
+  for (const auto& label : sim.labels) {
+    for (const Box& box : label.boxes) {
+      if (box.cls == ObjectClass::kCar) ++cars;
+      if (box.cls == ObjectClass::kBus) ++buses;
+    }
+  }
+  EXPECT_GT(cars, 0u);
+  EXPECT_GT(buses, 0u);
+  EXPECT_GT(cars, buses * 3);
+}
+
+TEST(VideoSimTest, AmsterdamIsSparserThanNightStreet) {
+  VideoSimResult ns = SimulateVideo(NightStreetOptions(10000, 13));
+  VideoSimResult am = SimulateVideo(AmsterdamOptions(10000, 13));
+  auto mean_count = [](const VideoSimResult& sim) {
+    double total = 0.0;
+    for (const auto& label : sim.labels) total += label.boxes.size();
+    return total / sim.labels.size();
+  };
+  EXPECT_LT(mean_count(am), mean_count(ns));
+}
+
+// ---------- Text simulator ----------
+
+TEST(TextSimTest, RespectsOpSkewAndPredicateRange) {
+  TextSimResult sim = SimulateText(WikiSqlOptions(20000, 2));
+  ASSERT_EQ(sim.labels.size(), 20000u);
+  std::vector<int> op_counts(kNumSqlOps, 0);
+  for (const TextLabel& label : sim.labels) {
+    ++op_counts[static_cast<int>(label.op)];
+    EXPECT_GE(label.num_predicates, 1);
+    EXPECT_LE(label.num_predicates, 4);
+  }
+  // SELECT dominates (55% configured).
+  EXPECT_NEAR(op_counts[0] / 20000.0, 0.55, 0.02);
+  for (int c : op_counts) EXPECT_GT(c, 0);
+}
+
+TEST(TextSimTest, NuisanceDimIsStable) {
+  TextSimResult sim = SimulateText(WikiSqlOptions(100, 3));
+  for (const auto& nuis : sim.nuisance) {
+    EXPECT_EQ(nuis.size(), TextSimResult::kNuisanceDim);
+  }
+}
+
+// ---------- Speech simulator ----------
+
+TEST(SpeechSimTest, GenderImbalanceAndAgeRange) {
+  SpeechSimResult sim = SimulateSpeech(CommonVoiceOptions(20000, 4));
+  size_t male = 0;
+  for (const SpeechLabel& label : sim.labels) {
+    if (label.gender == Gender::kMale) ++male;
+    EXPECT_GE(label.age_years, 16);
+    EXPECT_LE(label.age_years, 85);
+  }
+  EXPECT_NEAR(male / 20000.0, 0.7, 0.02);
+}
+
+TEST(SpeechSimTest, PitchSeparatesGenders) {
+  SpeechSimResult sim = SimulateSpeech(CommonVoiceOptions(5000, 5));
+  RunningStats male_pitch, female_pitch;
+  for (size_t i = 0; i < sim.labels.size(); ++i) {
+    (sim.labels[i].gender == Gender::kMale ? male_pitch : female_pitch)
+        .Add(sim.acoustic[i][0]);
+  }
+  // Female pitch is substantially higher on average.
+  EXPECT_GT(female_pitch.mean() - male_pitch.mean(), 0.5);
+}
+
+// ---------- Content descriptors & sensor ----------
+
+TEST(SensorTest, VideoDescriptorReflectsCountAndPosition) {
+  std::vector<ObjectClass> classes = {ObjectClass::kCar};
+  VideoLabel empty;
+  VideoLabel two_left;
+  two_left.boxes = {MakeBox(ObjectClass::kCar, 0.1f, 0.3f),
+                    MakeBox(ObjectClass::kCar, 0.2f, 0.4f)};
+  VideoLabel two_right;
+  two_right.boxes = {MakeBox(ObjectClass::kCar, 0.8f, 0.3f),
+                     MakeBox(ObjectClass::kCar, 0.9f, 0.4f)};
+  auto de = VideoContentDescriptor(empty, classes);
+  auto dl = VideoContentDescriptor(two_left, classes);
+  auto dr = VideoContentDescriptor(two_right, classes);
+  ASSERT_EQ(de.size(), VideoContentDim(1));
+  // Count channel distinguishes empty from two.
+  EXPECT_LT(de[0], dl[0]);
+  // Same count, different position: descriptors differ.
+  double diff = 0.0;
+  for (size_t i = 0; i < dl.size(); ++i) diff += std::abs(dl[i] - dr[i]);
+  EXPECT_GT(diff, 0.1);
+}
+
+TEST(SensorTest, TextDescriptorIsOneHotPlusPredicates) {
+  TextLabel label{SqlOp::kMax, 3};
+  auto d = TextContentDescriptor(label);
+  ASSERT_EQ(d.size(), TextContentDim());
+  EXPECT_EQ(d[static_cast<int>(SqlOp::kMax)], 1.0f);
+  EXPECT_EQ(d[static_cast<int>(SqlOp::kSelect)], 0.0f);
+  EXPECT_NEAR(d.back(), 0.75f, 1e-6);
+}
+
+TEST(SensorTest, SynthesizeShapeAndDeterminism) {
+  SensorModelOptions opts;
+  opts.content_dim = 4;
+  opts.nuisance_dim = 2;
+  opts.feature_dim = 16;
+  SensorModel model(opts);
+  std::vector<std::vector<float>> content = {{1, 0, 0, 1}, {0, 1, 1, 0}};
+  std::vector<std::vector<float>> nuisance = {{0.5f, -0.5f}, {1.0f, 0.0f}};
+  nn::Matrix a = model.Synthesize(content, nuisance, 99);
+  nn::Matrix b = model.Synthesize(content, nuisance, 99);
+  nn::Matrix c = model.Synthesize(content, nuisance, 100);
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 16u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+  bool differs = false;
+  for (size_t i = 0; i < a.size(); ++i) differs |= (a.data()[i] != c.data()[i]);
+  EXPECT_TRUE(differs);  // different noise seed
+}
+
+TEST(SensorTest, ContentDrivesContentBlock) {
+  SensorModelOptions opts;
+  opts.content_dim = 4;
+  opts.nuisance_dim = 2;
+  opts.feature_dim = 16;
+  opts.noise_sigma = 0.0f;
+  SensorModel model(opts);
+  std::vector<std::vector<float>> nuisance = {{0.3f, 0.3f}, {0.3f, 0.3f}};
+  std::vector<std::vector<float>> same_content = {{1, 2, 3, 4}, {1, 2, 3, 4}};
+  std::vector<std::vector<float>> diff_content = {{1, 2, 3, 4}, {-1, -2, -3, -4}};
+  nn::Matrix same = model.Synthesize(same_content, nuisance, 1);
+  nn::Matrix diff = model.Synthesize(diff_content, nuisance, 1);
+  EXPECT_LT(nn::Distance(same, 0, same, 1), 1e-5f);
+  EXPECT_GT(nn::Distance(diff, 0, diff, 1), 0.5f);
+}
+
+// ---------- Closeness ----------
+
+TEST(ClosenessTest, VideoSameFramesClose) {
+  auto spec = VideoCloseness({ObjectClass::kCar});
+  VideoLabel a;
+  a.boxes = {MakeBox(ObjectClass::kCar, 0.5f, 0.5f)};
+  VideoLabel b = a;
+  b.boxes[0].x += 0.05f;
+  EXPECT_TRUE(spec.is_close(LabelerOutput{a}, LabelerOutput{b}));
+}
+
+TEST(ClosenessTest, VideoDifferentCountsFar) {
+  auto spec = VideoCloseness({ObjectClass::kCar});
+  VideoLabel one, two;
+  one.boxes = {MakeBox(ObjectClass::kCar, 0.5f, 0.5f)};
+  two.boxes = {MakeBox(ObjectClass::kCar, 0.5f, 0.5f),
+               MakeBox(ObjectClass::kCar, 0.52f, 0.52f)};
+  EXPECT_FALSE(spec.is_close(LabelerOutput{one}, LabelerOutput{two}));
+}
+
+TEST(ClosenessTest, VideoFarPositionsFar) {
+  auto spec = VideoCloseness({ObjectClass::kCar}, 0.2f);
+  VideoLabel left, right;
+  left.boxes = {MakeBox(ObjectClass::kCar, 0.1f, 0.5f)};
+  right.boxes = {MakeBox(ObjectClass::kCar, 0.9f, 0.5f)};
+  EXPECT_FALSE(spec.is_close(LabelerOutput{left}, LabelerOutput{right}));
+}
+
+TEST(ClosenessTest, VideoClassMattersInMatching) {
+  auto spec = VideoCloseness({ObjectClass::kCar, ObjectClass::kBus}, 0.2f);
+  VideoLabel car, bus;
+  car.boxes = {MakeBox(ObjectClass::kCar, 0.5f, 0.5f)};
+  bus.boxes = {MakeBox(ObjectClass::kBus, 0.5f, 0.5f)};
+  EXPECT_FALSE(spec.is_close(LabelerOutput{car}, LabelerOutput{bus}));
+}
+
+TEST(ClosenessTest, AllBoxesCloseGreedyMatch) {
+  VideoLabel a, b;
+  a.boxes = {MakeBox(ObjectClass::kCar, 0.2f, 0.2f),
+             MakeBox(ObjectClass::kCar, 0.8f, 0.8f)};
+  b.boxes = {MakeBox(ObjectClass::kCar, 0.82f, 0.78f),
+             MakeBox(ObjectClass::kCar, 0.22f, 0.21f)};
+  EXPECT_TRUE(AllBoxesClose(a, b, 0.1f));
+  EXPECT_FALSE(AllBoxesClose(a, b, 0.01f));
+}
+
+TEST(ClosenessTest, VideoBucketKeySeparatesCountsAndPositions) {
+  auto spec = VideoCloseness({ObjectClass::kCar});
+  VideoLabel empty, one_left, one_right, two;
+  one_left.boxes = {MakeBox(ObjectClass::kCar, 0.1f, 0.5f)};
+  one_right.boxes = {MakeBox(ObjectClass::kCar, 0.9f, 0.5f)};
+  two.boxes = {MakeBox(ObjectClass::kCar, 0.4f, 0.5f),
+               MakeBox(ObjectClass::kCar, 0.6f, 0.5f)};
+  std::set<uint64_t> keys = {
+      spec.bucket_key(LabelerOutput{empty}), spec.bucket_key(LabelerOutput{one_left}),
+      spec.bucket_key(LabelerOutput{one_right}), spec.bucket_key(LabelerOutput{two})};
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(ClosenessTest, TextClosenessAndBuckets) {
+  auto spec = TextCloseness();
+  LabelerOutput a = TextLabel{SqlOp::kSelect, 2};
+  LabelerOutput b = TextLabel{SqlOp::kSelect, 2};
+  LabelerOutput c = TextLabel{SqlOp::kSelect, 3};
+  LabelerOutput d = TextLabel{SqlOp::kCount, 2};
+  EXPECT_TRUE(spec.is_close(a, b));
+  EXPECT_FALSE(spec.is_close(a, c));
+  EXPECT_FALSE(spec.is_close(a, d));
+  EXPECT_EQ(spec.bucket_key(a), spec.bucket_key(b));
+  EXPECT_NE(spec.bucket_key(a), spec.bucket_key(c));
+  EXPECT_NE(spec.bucket_key(a), spec.bucket_key(d));
+}
+
+TEST(ClosenessTest, SpeechClosenessAndBuckets) {
+  auto spec = SpeechCloseness();
+  LabelerOutput a = SpeechLabel{Gender::kMale, 31};
+  LabelerOutput b = SpeechLabel{Gender::kMale, 39};  // same decade
+  LabelerOutput c = SpeechLabel{Gender::kMale, 41};
+  LabelerOutput d = SpeechLabel{Gender::kFemale, 31};
+  EXPECT_TRUE(spec.is_close(a, b));
+  EXPECT_FALSE(spec.is_close(a, c));
+  EXPECT_FALSE(spec.is_close(a, d));
+  EXPECT_EQ(spec.bucket_key(a), spec.bucket_key(b));
+  EXPECT_NE(spec.bucket_key(a), spec.bucket_key(d));
+}
+
+TEST(ClosenessTest, CrossModalityNeverClose) {
+  auto spec = TextCloseness();
+  LabelerOutput text = TextLabel{SqlOp::kSelect, 1};
+  LabelerOutput speech = SpeechLabel{Gender::kMale, 30};
+  EXPECT_FALSE(spec.is_close(text, speech));
+}
+
+// ---------- Dataset assembly ----------
+
+TEST(DatasetTest, AllFiveDatasetsBuild) {
+  DatasetOptions opts;
+  opts.num_records = 500;
+  for (DatasetId id : AllDatasetIds()) {
+    Dataset ds = MakeDataset(id, opts);
+    EXPECT_EQ(ds.size(), 500u) << DatasetName(id);
+    EXPECT_EQ(ds.features.rows(), 500u);
+    EXPECT_EQ(ds.features.cols(), opts.feature_dim);
+    EXPECT_EQ(ds.name, DatasetName(id));
+    EXPECT_TRUE(static_cast<bool>(ds.closeness.is_close));
+    EXPECT_TRUE(static_cast<bool>(ds.closeness.bucket_key));
+  }
+}
+
+TEST(DatasetTest, DeterministicInSeed) {
+  DatasetOptions opts;
+  opts.num_records = 200;
+  Dataset a = MakeNightStreet(opts);
+  Dataset b = MakeNightStreet(opts);
+  for (size_t i = 0; i < a.features.size(); ++i) {
+    EXPECT_EQ(a.features.data()[i], b.features.data()[i]);
+  }
+}
+
+TEST(DatasetTest, VideoDatasetsExposeClasses) {
+  DatasetOptions opts;
+  opts.num_records = 100;
+  EXPECT_EQ(MakeNightStreet(opts).classes.size(), 1u);
+  EXPECT_EQ(MakeTaipei(opts).classes.size(), 2u);
+  EXPECT_TRUE(MakeWikiSql(opts).classes.empty());
+}
+
+TEST(DatasetTest, ClosenessSelfConsistency) {
+  // Every record is close to itself under its dataset's closeness.
+  DatasetOptions opts;
+  opts.num_records = 50;
+  for (DatasetId id : AllDatasetIds()) {
+    Dataset ds = MakeDataset(id, opts);
+    for (size_t i = 0; i < ds.size(); ++i) {
+      EXPECT_TRUE(ds.closeness.is_close(ds.ground_truth[i], ds.ground_truth[i]))
+          << DatasetName(id) << " record " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tasti::data

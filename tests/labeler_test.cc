@@ -1,0 +1,263 @@
+// Unit tests for labeler/: simulated and degraded labelers, the caching
+// wrapper, invocation counting, and the Table 1 cost model.
+
+#include <gtest/gtest.h>
+
+#include "core/index.h"
+#include "data/dataset.h"
+#include "labeler/cost_model.h"
+#include "labeler/crowd.h"
+#include "labeler/labeler.h"
+
+namespace tasti::labeler {
+namespace {
+
+data::Dataset SmallVideoDataset() {
+  data::DatasetOptions opts;
+  opts.num_records = 300;
+  return data::MakeNightStreet(opts);
+}
+
+TEST(SimulatedLabelerTest, ReturnsGroundTruthAndCounts) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler labeler(&ds);
+  EXPECT_EQ(labeler.num_records(), 300u);
+  EXPECT_EQ(labeler.invocations(), 0u);
+  for (size_t i = 0; i < 10; ++i) {
+    const data::LabelerOutput out = labeler.Label(i);
+    EXPECT_EQ(data::CountBoxes(out), data::CountBoxes(ds.ground_truth[i]));
+  }
+  EXPECT_EQ(labeler.invocations(), 10u);
+  labeler.ResetInvocations();
+  EXPECT_EQ(labeler.invocations(), 0u);
+}
+
+TEST(SimulatedLabelerTest, RepeatedLabelsCountEachTime) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler labeler(&ds);
+  labeler.Label(5);
+  labeler.Label(5);
+  labeler.Label(5);
+  EXPECT_EQ(labeler.invocations(), 3u);
+}
+
+TEST(DegradedLabelerTest, DropsSomeBoxes) {
+  data::Dataset ds = SmallVideoDataset();
+  DegradationOptions opts;
+  opts.miss_probability = 0.5;
+  opts.false_positive_rate = 0.0;
+  DegradedLabeler degraded(&ds, opts);
+  size_t truth_total = 0, detected_total = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    truth_total += data::CountBoxes(ds.ground_truth[i]);
+    detected_total += data::CountBoxes(degraded.Label(i));
+  }
+  ASSERT_GT(truth_total, 0u);
+  // Roughly half the boxes survive.
+  EXPECT_LT(detected_total, truth_total * 3 / 4);
+  EXPECT_GT(detected_total, truth_total / 4);
+}
+
+TEST(DegradedLabelerTest, DeterministicPerRecord) {
+  data::Dataset ds = SmallVideoDataset();
+  DegradedLabeler degraded(&ds, DegradationOptions{});
+  const data::LabelerOutput a = degraded.Label(7);
+  const data::LabelerOutput b = degraded.Label(7);
+  EXPECT_EQ(data::CountBoxes(a), data::CountBoxes(b));
+}
+
+TEST(DegradedLabelerTest, ProducesFalsePositivesOnEmptyFrames) {
+  data::Dataset ds = SmallVideoDataset();
+  DegradationOptions opts;
+  opts.miss_probability = 1.0;  // drop every true box
+  opts.false_positive_rate = 0.5;
+  DegradedLabeler degraded(&ds, opts);
+  size_t spurious = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    spurious += data::CountBoxes(degraded.Label(i));
+  }
+  EXPECT_GT(spurious, 0u);
+}
+
+TEST(DegradedLabelerTest, NonVideoPassesThrough) {
+  data::DatasetOptions opts;
+  opts.num_records = 50;
+  data::Dataset ds = data::MakeWikiSql(opts);
+  DegradedLabeler degraded(&ds, DegradationOptions{});
+  for (size_t i = 0; i < 10; ++i) {
+    const auto out = degraded.Label(i);
+    const auto* text = std::get_if<data::TextLabel>(&out);
+    const auto* truth = std::get_if<data::TextLabel>(&ds.ground_truth[i]);
+    ASSERT_NE(text, nullptr);
+    EXPECT_EQ(text->op, truth->op);
+    EXPECT_EQ(text->num_predicates, truth->num_predicates);
+  }
+}
+
+TEST(CachingLabelerTest, DeduplicatesInvocations) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler oracle(&ds);
+  CachingLabeler cache(&oracle);
+  cache.Label(3);
+  cache.Label(3);
+  cache.Label(4);
+  cache.Label(3);
+  EXPECT_EQ(oracle.invocations(), 2u);
+  EXPECT_EQ(cache.invocations(), 2u);
+  ASSERT_EQ(cache.labeled_indices().size(), 2u);
+  EXPECT_EQ(cache.labeled_indices()[0], 3u);
+  EXPECT_EQ(cache.labeled_indices()[1], 4u);
+}
+
+TEST(CachingLabelerTest, CachedLabelLookup) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler oracle(&ds);
+  CachingLabeler cache(&oracle);
+  EXPECT_FALSE(cache.CachedLabel(9).has_value());
+  cache.Label(9);
+  ASSERT_TRUE(cache.CachedLabel(9).has_value());
+  EXPECT_EQ(data::CountBoxes(*cache.CachedLabel(9)),
+            data::CountBoxes(ds.ground_truth[9]));
+}
+
+TEST(CachingLabelerTest, ClearCacheForcesRelabel) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler oracle(&ds);
+  CachingLabeler cache(&oracle);
+  cache.Label(1);
+  cache.ClearCache();
+  EXPECT_TRUE(cache.labeled_indices().empty());
+  cache.Label(1);
+  EXPECT_EQ(oracle.invocations(), 2u);
+}
+
+// ---------- Crowd labeler ----------
+
+TEST(CrowdLabelerTest, ChargesOneInvocationPerWorker) {
+  data::Dataset ds = SmallVideoDataset();
+  CrowdOptions opts;
+  opts.num_workers = 5;
+  CrowdLabeler crowd(&ds, opts);
+  crowd.Label(0);
+  crowd.Label(1);
+  EXPECT_EQ(crowd.invocations(), 10u);
+}
+
+TEST(CrowdLabelerTest, WorkerLabelsAreDeterministicAndDiverse) {
+  data::Dataset ds = SmallVideoDataset();
+  CrowdLabeler crowd(&ds, CrowdOptions{});
+  // Deterministic per (record, worker).
+  const auto a1 = crowd.WorkerLabel(5, 0);
+  const auto a2 = crowd.WorkerLabel(5, 0);
+  EXPECT_EQ(data::CountBoxes(a1), data::CountBoxes(a2));
+  // Workers disagree somewhere across the dataset.
+  bool any_disagreement = false;
+  for (size_t i = 0; i < ds.size() && !any_disagreement; ++i) {
+    any_disagreement = data::CountBoxes(crowd.WorkerLabel(i, 0)) !=
+                       data::CountBoxes(crowd.WorkerLabel(i, 1));
+  }
+  EXPECT_TRUE(any_disagreement);
+}
+
+TEST(CrowdLabelerTest, ConsensusBeatsSingleWorkerOnVideo) {
+  data::Dataset ds = SmallVideoDataset();
+  CrowdOptions noisy;
+  noisy.num_workers = 5;
+  noisy.box_miss_probability = 0.25;
+  CrowdLabeler crowd(&ds, noisy);
+  double consensus_err = 0.0, single_err = 0.0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const int truth = data::CountBoxes(ds.ground_truth[i]);
+    consensus_err += std::abs(data::CountBoxes(crowd.Label(i)) - truth);
+    single_err += std::abs(data::CountBoxes(crowd.WorkerLabel(i, 0)) - truth);
+  }
+  EXPECT_LE(consensus_err, single_err);
+}
+
+TEST(CrowdLabelerTest, TextConsensusMajorityVote) {
+  data::DatasetOptions opts;
+  opts.num_records = 400;
+  data::Dataset ds = data::MakeWikiSql(opts);
+  CrowdOptions crowd_opts;
+  crowd_opts.num_workers = 5;
+  crowd_opts.text_error_probability = 0.2;
+  CrowdLabeler crowd(&ds, crowd_opts);
+  size_t consensus_correct = 0, single_correct = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const auto& truth = std::get<data::TextLabel>(ds.ground_truth[i]);
+    const auto merged = std::get<data::TextLabel>(crowd.Label(i));
+    const auto single = std::get<data::TextLabel>(crowd.WorkerLabel(i, 0));
+    if (merged.op == truth.op) ++consensus_correct;
+    if (single.op == truth.op) ++single_correct;
+  }
+  EXPECT_GE(consensus_correct, single_correct);
+  // 5-way majority vote over 20%-noisy workers is near-perfect.
+  EXPECT_GT(static_cast<double>(consensus_correct) / ds.size(), 0.95);
+}
+
+TEST(CrowdLabelerTest, SpeechConsensusReducesAgeNoise) {
+  data::DatasetOptions opts;
+  opts.num_records = 400;
+  data::Dataset ds = data::MakeCommonVoice(opts);
+  CrowdOptions crowd_opts;
+  crowd_opts.num_workers = 5;
+  CrowdLabeler crowd(&ds, crowd_opts);
+  double consensus_err = 0.0, single_err = 0.0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    const auto& truth = std::get<data::SpeechLabel>(ds.ground_truth[i]);
+    const auto merged = std::get<data::SpeechLabel>(crowd.Label(i));
+    const auto single = std::get<data::SpeechLabel>(crowd.WorkerLabel(i, 0));
+    consensus_err += std::abs(merged.age_years - truth.age_years);
+    single_err += std::abs(single.age_years - truth.age_years);
+  }
+  EXPECT_LT(consensus_err, single_err);
+}
+
+TEST(CrowdLabelerTest, WorksAsIndexTargetLabeler) {
+  // A TASTI index can be built directly against the crowd consensus.
+  data::DatasetOptions opts;
+  opts.num_records = 800;
+  data::Dataset ds = data::MakeWikiSql(opts);
+  CrowdLabeler crowd(&ds, CrowdOptions{});
+  tasti::core::IndexOptions index_opts;
+  index_opts.num_training_records = 100;
+  index_opts.num_representatives = 100;
+  index_opts.embedding_dim = 16;
+  index_opts.epochs = 6;
+  tasti::core::TastiIndex index =
+      tasti::core::TastiIndex::Build(ds, &crowd, index_opts);
+  EXPECT_EQ(index.num_representatives(), 100u);
+  // Each of the <= 200 annotated records costs num_workers invocations.
+  EXPECT_LE(crowd.invocations(), 200u * 3u);
+  EXPECT_GE(crowd.invocations(), 100u * 3u);
+}
+
+// ---------- Cost model ----------
+
+TEST(CostModelTest, ExhaustiveCostsScaleWithRecords) {
+  CostModel model;
+  // The paper's Table 1 ratios: Mask R-CNN exhaustive is 50x SSD.
+  const double mask = model.LabelCost(LabelerKind::kMaskRCnn, 973000);
+  const double ssd = model.LabelCost(LabelerKind::kSsd, 973000);
+  EXPECT_NEAR(mask / ssd, 50.0, 1.0);
+  // Human labeling is in dollars.
+  EXPECT_NEAR(model.LabelCost(LabelerKind::kHuman, 1000), 70.0, 1e-9);
+}
+
+TEST(CostModelTest, IndexOverheadIsSmallRelativeToExhaustive) {
+  CostModel model;
+  const size_t n = 973000;
+  const double overhead = model.IndexOverhead(LabelerKind::kMaskRCnn, n);
+  const double exhaustive = model.LabelCost(LabelerKind::kMaskRCnn, n);
+  EXPECT_LT(overhead, exhaustive * 0.05);
+}
+
+TEST(CostModelTest, KindNamesAndUnits) {
+  EXPECT_EQ(LabelerKindName(LabelerKind::kHuman), "Human labeler");
+  EXPECT_EQ(LabelerKindName(LabelerKind::kSsd), "SSD");
+  EXPECT_TRUE(CostModel::IsDollars(LabelerKind::kHuman));
+  EXPECT_FALSE(CostModel::IsDollars(LabelerKind::kMaskRCnn));
+}
+
+}  // namespace
+}  // namespace tasti::labeler

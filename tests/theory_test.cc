@@ -1,0 +1,298 @@
+// Empirical validation of the paper's theoretical analysis (Section 5 and
+// Appendix A): the lemma inequalities, the zero-loss theorem (Theorem 1),
+// and the non-zero-loss bound (Theorem 2), checked on constructed metric
+// spaces where every quantity in the statements is computable exactly.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "cluster/fpf.h"
+#include "nn/matrix.h"
+#include "nn/triplet.h"
+#include "util/random.h"
+
+namespace tasti {
+namespace {
+
+// ---------- Lemma 3: the hinge dominates the indicator ----------
+// (1/m) l_T(x, x_p, x_n) >= 1[ |phi(x)-phi(x_n)| <= |phi(x)-phi(x_p)| ].
+
+class Lemma3Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma3Test, HingeDominatesIndicator) {
+  Rng rng(GetParam());
+  const float m = 0.5f;
+  for (int trial = 0; trial < 2000; ++trial) {
+    nn::Matrix a(1, 3), p(1, 3), n(1, 3);
+    for (size_t c = 0; c < 3; ++c) {
+      a.At(0, c) = static_cast<float>(rng.Normal());
+      p.At(0, c) = static_cast<float>(rng.Normal());
+      n.At(0, c) = static_cast<float>(rng.Normal());
+    }
+    const double hinge = nn::TripletLossValue(a, p, n, m);
+    const float dp = nn::Distance(a, 0, p, 0);
+    const float dn = nn::Distance(a, 0, n, 0);
+    const double indicator = (dn <= dp) ? 1.0 : 0.0;
+    EXPECT_GE(hinge / m + 1e-6, indicator);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma3Test,
+                         ::testing::Values<uint64_t>(1, 2, 3, 4));
+
+// ---------- Clustered metric space for the zero-loss setting ----------
+//
+// K cluster centers on a widely spaced grid; each cluster is a ball of
+// radius r. With separation S >> r, choosing M in (2r, S - 2r) makes
+// B_M(x) exactly x's own cluster, and the triplet loss is identically zero
+// for any margin m < S - 2r - 2r.
+
+struct ClusteredSpace {
+  nn::Matrix points;               // n x 2
+  std::vector<int> cluster_of;     // per point
+  std::vector<size_t> reps;        // one representative per cluster
+  double r, separation;
+};
+
+ClusteredSpace MakeClusteredSpace(size_t clusters, size_t per_cluster,
+                                  double r, double separation, uint64_t seed) {
+  Rng rng(seed);
+  ClusteredSpace space;
+  space.r = r;
+  space.separation = separation;
+  space.points = nn::Matrix(clusters * per_cluster, 2);
+  space.cluster_of.resize(clusters * per_cluster);
+  for (size_t c = 0; c < clusters; ++c) {
+    const double cx = static_cast<double>(c % 4) * separation;
+    const double cy = static_cast<double>(c / 4) * separation;
+    for (size_t j = 0; j < per_cluster; ++j) {
+      const size_t i = c * per_cluster + j;
+      // Uniform in the disk of radius r.
+      const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+      const double radius = r * std::sqrt(rng.Uniform());
+      space.points.At(i, 0) = static_cast<float>(cx + radius * std::cos(angle));
+      space.points.At(i, 1) = static_cast<float>(cy + radius * std::sin(angle));
+      space.cluster_of[i] = static_cast<int>(c);
+    }
+    space.reps.push_back(c * per_cluster);  // arbitrary member as rep
+  }
+  return space;
+}
+
+// Exhaustive population triplet loss with phi = identity: mean over all
+// (a, p in B_M(a), n outside B_M(a)) of the hinge.
+double ExactPopulationTripletLoss(const ClusteredSpace& space, double M,
+                                  double m) {
+  const size_t n = space.points.rows();
+  double total = 0.0;
+  size_t count = 0;
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t p = 0; p < n; ++p) {
+      if (p == a || nn::Distance(space.points, a, space.points, p) >= M) {
+        continue;
+      }
+      for (size_t q = 0; q < n; ++q) {
+        if (nn::Distance(space.points, a, space.points, q) < M) continue;
+        const double dp = nn::Distance(space.points, a, space.points, p);
+        const double dn = nn::Distance(space.points, a, space.points, q);
+        total += std::max(0.0, m + dp - dn);
+        ++count;
+      }
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+TEST(Theorem1Test, ClusteredSpaceHasZeroTripletLoss) {
+  ClusteredSpace space = MakeClusteredSpace(6, 20, 0.5, 10.0, 11);
+  const double M = 2.0, m = 3.0;
+  EXPECT_EQ(ExactPopulationTripletLoss(space, M, m), 0.0);
+}
+
+TEST(Theorem1Test, LossGapBoundedByMKq) {
+  // f(x) = x0 + x1 is sqrt(2)-Lipschitz; l_Q(x, y) = |f(x) - y| is
+  // Lipschitz with K_Q/2 = sqrt(2) in both arguments. Theorem 1: with zero
+  // triplet loss and reps within margin of every point, the expected loss
+  // gap is at most M * K_Q.
+  ClusteredSpace space = MakeClusteredSpace(6, 25, 0.5, 10.0, 13);
+  const double M = 2.0, m = 3.0;
+  const double kq = 2.0 * std::sqrt(2.0);
+
+  // Representative mapping: nearest rep under phi = identity. The
+  // intra-cluster diameter (1.0) is below the margin, satisfying the
+  // theorem's |phi(x) - phi(c(x))| < m precondition.
+  auto f = [&](size_t i) {
+    return space.points.At(i, 0) + space.points.At(i, 1);
+  };
+  double total_gap = 0.0;
+  double max_gap = 0.0;
+  for (size_t i = 0; i < space.points.rows(); ++i) {
+    size_t best = space.reps[0];
+    float best_d = std::numeric_limits<float>::max();
+    for (size_t rep : space.reps) {
+      const float d = nn::Distance(space.points, i, space.points, rep);
+      if (d < best_d) {
+        best_d = d;
+        best = rep;
+      }
+    }
+    ASSERT_LT(best_d, m);  // precondition of the theorem
+    const double gap = std::abs(f(i) - f(best));  // l_Q(x, f_hat) - l_Q(x, f)
+    total_gap += gap;
+    max_gap = std::max(max_gap, gap);
+  }
+  const double mean_gap = total_gap / space.points.rows();
+  EXPECT_LE(mean_gap, M * kq);
+  EXPECT_LE(max_gap, M * kq);  // pointwise version, stronger in this space
+}
+
+TEST(Theorem1Test, ExactForClusterConstantQueries) {
+  // "For l_Q that are identically 0 ... TASTI will achieve exact results":
+  // a query constant within closeness classes (e.g. an object count) is
+  // answered exactly by nearest-representative propagation.
+  ClusteredSpace space = MakeClusteredSpace(8, 15, 0.5, 10.0, 17);
+  for (size_t i = 0; i < space.points.rows(); ++i) {
+    size_t best = space.reps[0];
+    float best_d = std::numeric_limits<float>::max();
+    for (size_t rep : space.reps) {
+      const float d = nn::Distance(space.points, i, space.points, rep);
+      if (d < best_d) {
+        best_d = d;
+        best = rep;
+      }
+    }
+    // f = cluster id: f_hat(x) = f(c(x)) = f(x) exactly.
+    EXPECT_EQ(space.cluster_of[best], space.cluster_of[i]);
+  }
+}
+
+// ---------- Theorem 2: non-zero loss ----------
+//
+// One-dimensional space, phi = identity + noise. All the theorem's
+// quantities (alpha, sup |B-bar_M(x)| as probability mass, C, K_Q) are
+// computed exactly by enumeration, and the bound (3) must hold.
+
+class Theorem2Test : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem2Test, BoundHolds) {
+  const double noise = GetParam();
+  Rng rng(23 + static_cast<uint64_t>(noise * 100));
+  const size_t n = 80;
+  const double M = 1.0, m = 0.5, C = 1.0;
+  // f is 0.5-Lipschitz; l_Q(x, y) = min(|f(x) - y|, C) is Lipschitz with
+  // K_Q / 2 = 1 (the |.| in y dominates) and bounded by C.
+  const double kq = 2.0;
+
+  std::vector<double> x(n), phi(n);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(0.0, 10.0);
+    phi[i] = x[i] + noise * rng.Normal();
+  }
+  auto f = [&](size_t i) { return 0.5 * std::sin(x[i]); };
+  auto lq = [&](size_t i, double y) {
+    return std::min(std::abs(f(i) - y), C);
+  };
+
+  // Representatives: greedily cover phi-space so every point has a rep
+  // within the margin (the theorem's clustering precondition).
+  std::vector<size_t> reps;
+  std::vector<bool> covered(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (covered[i]) continue;
+    reps.push_back(i);
+    for (size_t j = 0; j < n; ++j) {
+      if (std::abs(phi[j] - phi[i]) < m * 0.9) covered[j] = true;
+    }
+  }
+  auto rep_of = [&](size_t i) {
+    size_t best = reps[0];
+    double best_d = std::abs(phi[i] - phi[reps[0]]);
+    for (size_t rep : reps) {
+      const double d = std::abs(phi[i] - phi[rep]);
+      if (d < best_d) {
+        best_d = d;
+        best = rep;
+      }
+    }
+    return best;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_LT(std::abs(phi[i] - phi[rep_of(i)]), m);
+  }
+
+  // alpha: exact population triplet loss under the original metric's balls.
+  double alpha = 0.0;
+  size_t triplet_count = 0;
+  double sup_complement = 0.0;
+  for (size_t a = 0; a < n; ++a) {
+    size_t complement = 0;
+    for (size_t q = 0; q < n; ++q) {
+      if (std::abs(x[a] - x[q]) >= M) ++complement;
+    }
+    sup_complement = std::max(
+        sup_complement, static_cast<double>(complement) / static_cast<double>(n));
+    for (size_t p = 0; p < n; ++p) {
+      if (p == a || std::abs(x[a] - x[p]) >= M) continue;
+      for (size_t q = 0; q < n; ++q) {
+        if (std::abs(x[a] - x[q]) < M) continue;
+        const double dp = std::abs(phi[a] - phi[p]);
+        const double dn = std::abs(phi[a] - phi[q]);
+        alpha += std::max(0.0, m + dp - dn);
+        ++triplet_count;
+      }
+    }
+  }
+  if (triplet_count > 0) alpha /= static_cast<double>(triplet_count);
+
+  // Both sides of inequality (3).
+  double lhs = 0.0, base = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    lhs += lq(i, f(rep_of(i)));
+    base += lq(i, f(i));  // = 0 by construction
+  }
+  lhs /= static_cast<double>(n);
+  base /= static_cast<double>(n);
+  const double rhs = base + M * kq + C * sup_complement / m * alpha;
+  EXPECT_LE(lhs, rhs + 1e-9) << "noise=" << noise << " alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, Theorem2Test,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.6, 1.0));
+
+TEST(Theorem2Test, QueryErrorGrowsWithTripletLoss) {
+  // Qualitative companion to the bound: a noisier embedding (higher
+  // population triplet loss) yields a larger measured query-loss gap.
+  auto measured_gap = [](double noise) {
+    Rng rng(31);
+    const size_t n = 120;
+    const double m = 0.5;
+    std::vector<double> x(n), phi(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.Uniform(0.0, 10.0);
+      phi[i] = x[i] + noise * rng.Normal();
+    }
+    std::vector<size_t> reps;
+    for (size_t i = 0; i < n; i += 4) reps.push_back(i);
+    double gap = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = reps[0];
+      double best_d = std::abs(phi[i] - phi[reps[0]]);
+      for (size_t rep : reps) {
+        if (std::abs(phi[i] - phi[rep]) < best_d) {
+          best_d = std::abs(phi[i] - phi[rep]);
+          best = rep;
+        }
+      }
+      gap += std::abs(0.5 * std::sin(x[i]) - 0.5 * std::sin(x[best]));
+    }
+    (void)m;
+    return gap / static_cast<double>(n);
+  };
+  EXPECT_LT(measured_gap(0.0), measured_gap(2.0));
+}
+
+}  // namespace
+}  // namespace tasti

@@ -1,0 +1,253 @@
+// tasti_cli: build, inspect, and query TASTI indexes from the command line
+// over the bundled synthetic datasets.
+//
+//   tasti_cli build     --dataset night-street --records 20000 \
+//                       --train 1000 --reps 2000 --out /tmp/ns.idx
+//   tasti_cli info      --index /tmp/ns.idx
+//   tasti_cli aggregate --dataset night-street --records 20000 \
+//                       --index /tmp/ns.idx --query count --class car \
+//                       --error 0.07
+//   tasti_cli select    --dataset night-street --records 20000 \
+//                       --index /tmp/ns.idx --query atleast --min-count 2 \
+//                       --recall 0.9 --budget 500
+//   tasti_cli limit     --dataset night-street --records 20000 \
+//                       --index /tmp/ns.idx --query atleast --min-count 5 \
+//                       --want 10
+//
+// Datasets are regenerated deterministically from (--dataset, --records,
+// --seed), so a saved index stays consistent with its data.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/index.h"
+#include "core/index_stats.h"
+#include "core/proxy.h"
+#include "core/scorer.h"
+#include "core/serialize.h"
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "queries/aggregation.h"
+#include "queries/limit.h"
+#include "queries/supg.h"
+#include "util/stats.h"
+
+namespace {
+
+using namespace tasti;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  long GetInt(const std::string& key, long fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atol(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: tasti_cli <build|info|aggregate|select|limit> [flags]\n"
+               "  common: --dataset <name> --records N --seed S --index PATH\n"
+               "  build:  --train N1 --reps N2 --k K --out PATH [--pretrained]\n"
+               "  query:  --query <count|presence|atleast|meanx> --class "
+               "<car|bus> [--min-count N]\n"
+               "  aggregate: --error E   select: --recall R --budget B   "
+               "limit: --want W\n"
+               "  datasets: night-street taipei amsterdam wikisql common-voice\n");
+  return 2;
+}
+
+Result<data::DatasetId> ParseDatasetId(const std::string& name) {
+  for (data::DatasetId id : data::AllDatasetIds()) {
+    if (data::DatasetName(id) == name) return id;
+  }
+  return Status::InvalidArgument("unknown dataset: " + name);
+}
+
+data::Dataset LoadDataset(const Args& args) {
+  Result<data::DatasetId> id = ParseDatasetId(args.Get("dataset", "night-street"));
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    std::exit(2);
+  }
+  data::DatasetOptions opts;
+  opts.num_records = static_cast<size_t>(args.GetInt("records", 20000));
+  opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  return data::MakeDataset(*id, opts);
+}
+
+std::unique_ptr<core::Scorer> MakeScorer(const Args& args,
+                                         const data::Dataset& dataset) {
+  const std::string query = args.Get("query", "count");
+  if (dataset.modality == data::Modality::kText) {
+    return std::make_unique<core::PredicateCountScorer>();
+  }
+  if (dataset.modality == data::Modality::kSpeech) {
+    return std::make_unique<core::MaleScorer>();
+  }
+  const std::string cls_name = args.Get("class", "car");
+  const data::ObjectClass cls = cls_name == "bus" ? data::ObjectClass::kBus
+                                                  : data::ObjectClass::kCar;
+  if (query == "presence") return std::make_unique<core::PresenceScorer>(cls);
+  if (query == "meanx") return std::make_unique<core::MeanXScorer>(cls);
+  if (query == "atleast") {
+    return std::make_unique<core::AtLeastCountScorer>(
+        cls, static_cast<int>(args.GetInt("min-count", 2)));
+  }
+  return std::make_unique<core::CountScorer>(cls);
+}
+
+int RunBuild(const Args& args) {
+  const data::Dataset dataset = LoadDataset(args);
+  core::IndexOptions opts;
+  opts.num_training_records = static_cast<size_t>(args.GetInt("train", 1000));
+  opts.num_representatives = static_cast<size_t>(args.GetInt("reps", 2000));
+  opts.k = static_cast<size_t>(args.GetInt("k", 5));
+  opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  opts.use_triplet_training = args.flags.count("pretrained") == 0;
+
+  labeler::SimulatedLabeler oracle(&dataset);
+  labeler::CachingLabeler cache(&oracle);
+  const core::TastiIndex index = core::TastiIndex::Build(dataset, &cache, opts);
+  std::printf("built index over %s: %zu records, %zu reps, %zu labeler calls, "
+              "%.1fs compute\n",
+              dataset.name.c_str(), index.num_records(),
+              index.num_representatives(), oracle.invocations(),
+              index.build_stats().TotalSeconds());
+
+  const std::string out = args.Get("out", "tasti_index.bin");
+  const Status save = core::IndexSerializer::Save(index, out);
+  if (!save.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", save.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", out.c_str());
+  return 0;
+}
+
+Result<core::TastiIndex> LoadIndex(const Args& args) {
+  const std::string path = args.Get("index", "tasti_index.bin");
+  return core::IndexSerializer::Load(path);
+}
+
+int RunInfo(const Args& args) {
+  Result<core::TastiIndex> index = LoadIndex(args);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", core::ComputeIndexStats(*index).ToString().c_str());
+  std::printf("embedder: %s\n",
+              index->embedder() == nullptr ? "none (legacy file)" : "present");
+  return 0;
+}
+
+int RunAggregate(const Args& args) {
+  const data::Dataset dataset = LoadDataset(args);
+  Result<core::TastiIndex> index = LoadIndex(args);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  const auto scorer = MakeScorer(args, dataset);
+  const auto proxy = core::ComputeProxyScores(*index, *scorer);
+
+  labeler::SimulatedLabeler oracle(&dataset);
+  queries::AggregationOptions opts;
+  opts.error_target = args.GetDouble("error", 0.07);
+  opts.seed = static_cast<uint64_t>(args.GetInt("query-seed", 7));
+  const auto result = queries::EstimateMean(proxy, &oracle, *scorer, opts);
+  std::printf("mean %s = %.4f +- %.4f (%zu labeler calls of %zu records; "
+              "truth %.4f)\n",
+              scorer->Name().c_str(), result.estimate, result.half_width,
+              result.labeler_invocations, dataset.size(),
+              Mean(core::ExactScores(dataset, *scorer)));
+  return 0;
+}
+
+int RunSelect(const Args& args) {
+  const data::Dataset dataset = LoadDataset(args);
+  Result<core::TastiIndex> index = LoadIndex(args);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  const auto scorer = MakeScorer(args, dataset);
+  const auto proxy = core::ComputeProxyScores(*index, *scorer);
+
+  labeler::SimulatedLabeler oracle(&dataset);
+  queries::SupgOptions opts;
+  opts.recall_target = args.GetDouble("recall", 0.9);
+  opts.budget = static_cast<size_t>(args.GetInt("budget", 500));
+  opts.seed = static_cast<uint64_t>(args.GetInt("query-seed", 7));
+  const auto result = queries::SupgRecallSelect(proxy, &oracle, *scorer, opts);
+  const auto truth = core::ExactScores(dataset, *scorer);
+  std::printf("selected %zu records matching %s (threshold %.3f); achieved "
+              "recall %.3f, FPR %.3f; %zu labeler calls\n",
+              result.selected.size(), scorer->Name().c_str(), result.threshold,
+              queries::AchievedRecall(result.selected, truth),
+              queries::FalsePositiveRate(result.selected, truth),
+              result.labeler_invocations);
+  return 0;
+}
+
+int RunLimit(const Args& args) {
+  const data::Dataset dataset = LoadDataset(args);
+  Result<core::TastiIndex> index = LoadIndex(args);
+  if (!index.ok()) {
+    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  const auto scorer = MakeScorer(args, dataset);
+  const auto ranking =
+      core::ComputeProxyScores(*index, *scorer, core::PropagationMode::kLimit);
+
+  labeler::SimulatedLabeler oracle(&dataset);
+  queries::LimitOptions opts;
+  opts.want = static_cast<size_t>(args.GetInt("want", 10));
+  const auto result = queries::LimitQuery(ranking, &oracle, *scorer, opts);
+  std::printf("found %zu/%zu records matching %s after %zu labeler calls\n",
+              result.found.size(), opts.want, scorer->Name().c_str(),
+              result.labeler_invocations);
+  for (size_t i = 0; i < result.found.size() && i < 10; ++i) {
+    std::printf("  record %zu\n", result.found[i]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
+    const std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[key] = argv[++i];
+    } else {
+      args.flags[key] = "1";  // boolean flag
+    }
+  }
+  if (args.command == "build") return RunBuild(args);
+  if (args.command == "info") return RunInfo(args);
+  if (args.command == "aggregate") return RunAggregate(args);
+  if (args.command == "select") return RunSelect(args);
+  if (args.command == "limit") return RunLimit(args);
+  return Usage();
+}
