@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_construction_vs_perf.dir/fig03_construction_vs_perf.cc.o"
+  "CMakeFiles/fig03_construction_vs_perf.dir/fig03_construction_vs_perf.cc.o.d"
+  "fig03_construction_vs_perf"
+  "fig03_construction_vs_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_construction_vs_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

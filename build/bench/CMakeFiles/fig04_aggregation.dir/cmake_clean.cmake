@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_aggregation.dir/fig04_aggregation.cc.o"
+  "CMakeFiles/fig04_aggregation.dir/fig04_aggregation.cc.o.d"
+  "fig04_aggregation"
+  "fig04_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_supg_selection.dir/fig05_supg_selection.cc.o"
+  "CMakeFiles/fig05_supg_selection.dir/fig05_supg_selection.cc.o.d"
+  "fig05_supg_selection"
+  "fig05_supg_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_supg_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_limit.dir/fig06_limit.cc.o"
+  "CMakeFiles/fig06_limit.dir/fig06_limit.cc.o.d"
+  "fig06_limit"
+  "fig06_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_position_selection.dir/fig07_position_selection.cc.o"
+  "CMakeFiles/fig07_position_selection.dir/fig07_position_selection.cc.o.d"
+  "fig07_position_selection"
+  "fig07_position_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_position_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

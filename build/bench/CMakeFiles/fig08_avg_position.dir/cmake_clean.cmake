@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_avg_position.dir/fig08_avg_position.cc.o"
+  "CMakeFiles/fig08_avg_position.dir/fig08_avg_position.cc.o.d"
+  "fig08_avg_position"
+  "fig08_avg_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_avg_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_lesion.dir/fig10_lesion.cc.o"
+  "CMakeFiles/fig10_lesion.dir/fig10_lesion.cc.o.d"
+  "fig10_lesion"
+  "fig10_lesion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_lesion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_num_buckets.dir/fig11_num_buckets.cc.o"
+  "CMakeFiles/fig11_num_buckets.dir/fig11_num_buckets.cc.o.d"
+  "fig11_num_buckets"
+  "fig11_num_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_num_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

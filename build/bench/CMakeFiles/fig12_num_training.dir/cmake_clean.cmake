@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_num_training.dir/fig12_num_training.cc.o"
+  "CMakeFiles/fig12_num_training.dir/fig12_num_training.cc.o.d"
+  "fig12_num_training"
+  "fig12_num_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_num_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

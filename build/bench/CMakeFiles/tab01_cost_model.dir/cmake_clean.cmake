@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_cost_model.dir/tab01_cost_model.cc.o"
+  "CMakeFiles/tab01_cost_model.dir/tab01_cost_model.cc.o.d"
+  "tab01_cost_model"
+  "tab01_cost_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_cost_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

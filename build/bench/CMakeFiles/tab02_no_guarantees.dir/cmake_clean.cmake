@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_no_guarantees.dir/tab02_no_guarantees.cc.o"
+  "CMakeFiles/tab02_no_guarantees.dir/tab02_no_guarantees.cc.o.d"
+  "tab02_no_guarantees"
+  "tab02_no_guarantees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_no_guarantees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab02_no_guarantees.
+# This may be replaced when dependencies are built.

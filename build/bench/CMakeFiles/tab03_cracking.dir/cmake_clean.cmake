@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_cracking.dir/tab03_cracking.cc.o"
+  "CMakeFiles/tab03_cracking.dir/tab03_cracking.cc.o.d"
+  "tab03_cracking"
+  "tab03_cracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_cracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cracking_demo.dir/cracking_demo.cpp.o"
+  "CMakeFiles/cracking_demo.dir/cracking_demo.cpp.o.d"
+  "cracking_demo"
+  "cracking_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cracking_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

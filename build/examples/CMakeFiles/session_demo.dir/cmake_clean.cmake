@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_demo.dir/session_demo.cpp.o"
+  "CMakeFiles/session_demo.dir/session_demo.cpp.o.d"
+  "session_demo"
+  "session_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speech_analytics.dir/speech_analytics.cpp.o"
+  "CMakeFiles/speech_analytics.dir/speech_analytics.cpp.o.d"
+  "speech_analytics"
+  "speech_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speech_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

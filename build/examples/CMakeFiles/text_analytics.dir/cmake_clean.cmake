@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_analytics.dir/text_analytics.cpp.o"
+  "CMakeFiles/text_analytics.dir/text_analytics.cpp.o.d"
+  "text_analytics"
+  "text_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

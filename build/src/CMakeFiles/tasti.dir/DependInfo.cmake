@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/session.cc" "src/CMakeFiles/tasti.dir/api/session.cc.o" "gcc" "src/CMakeFiles/tasti.dir/api/session.cc.o.d"
+  "/root/repo/src/baselines/per_query_proxy.cc" "src/CMakeFiles/tasti.dir/baselines/per_query_proxy.cc.o" "gcc" "src/CMakeFiles/tasti.dir/baselines/per_query_proxy.cc.o.d"
+  "/root/repo/src/baselines/uniform.cc" "src/CMakeFiles/tasti.dir/baselines/uniform.cc.o" "gcc" "src/CMakeFiles/tasti.dir/baselines/uniform.cc.o.d"
+  "/root/repo/src/cluster/fpf.cc" "src/CMakeFiles/tasti.dir/cluster/fpf.cc.o" "gcc" "src/CMakeFiles/tasti.dir/cluster/fpf.cc.o.d"
+  "/root/repo/src/cluster/ivf.cc" "src/CMakeFiles/tasti.dir/cluster/ivf.cc.o" "gcc" "src/CMakeFiles/tasti.dir/cluster/ivf.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/tasti.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/tasti.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/pq.cc" "src/CMakeFiles/tasti.dir/cluster/pq.cc.o" "gcc" "src/CMakeFiles/tasti.dir/cluster/pq.cc.o.d"
+  "/root/repo/src/cluster/topk.cc" "src/CMakeFiles/tasti.dir/cluster/topk.cc.o" "gcc" "src/CMakeFiles/tasti.dir/cluster/topk.cc.o.d"
+  "/root/repo/src/core/drift.cc" "src/CMakeFiles/tasti.dir/core/drift.cc.o" "gcc" "src/CMakeFiles/tasti.dir/core/drift.cc.o.d"
+  "/root/repo/src/core/index.cc" "src/CMakeFiles/tasti.dir/core/index.cc.o" "gcc" "src/CMakeFiles/tasti.dir/core/index.cc.o.d"
+  "/root/repo/src/core/index_stats.cc" "src/CMakeFiles/tasti.dir/core/index_stats.cc.o" "gcc" "src/CMakeFiles/tasti.dir/core/index_stats.cc.o.d"
+  "/root/repo/src/core/propagation.cc" "src/CMakeFiles/tasti.dir/core/propagation.cc.o" "gcc" "src/CMakeFiles/tasti.dir/core/propagation.cc.o.d"
+  "/root/repo/src/core/proxy.cc" "src/CMakeFiles/tasti.dir/core/proxy.cc.o" "gcc" "src/CMakeFiles/tasti.dir/core/proxy.cc.o.d"
+  "/root/repo/src/core/scorer.cc" "src/CMakeFiles/tasti.dir/core/scorer.cc.o" "gcc" "src/CMakeFiles/tasti.dir/core/scorer.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/CMakeFiles/tasti.dir/core/serialize.cc.o" "gcc" "src/CMakeFiles/tasti.dir/core/serialize.cc.o.d"
+  "/root/repo/src/data/closeness.cc" "src/CMakeFiles/tasti.dir/data/closeness.cc.o" "gcc" "src/CMakeFiles/tasti.dir/data/closeness.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/tasti.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/tasti.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/CMakeFiles/tasti.dir/data/schema.cc.o" "gcc" "src/CMakeFiles/tasti.dir/data/schema.cc.o.d"
+  "/root/repo/src/data/sensor.cc" "src/CMakeFiles/tasti.dir/data/sensor.cc.o" "gcc" "src/CMakeFiles/tasti.dir/data/sensor.cc.o.d"
+  "/root/repo/src/data/speech_sim.cc" "src/CMakeFiles/tasti.dir/data/speech_sim.cc.o" "gcc" "src/CMakeFiles/tasti.dir/data/speech_sim.cc.o.d"
+  "/root/repo/src/data/text_sim.cc" "src/CMakeFiles/tasti.dir/data/text_sim.cc.o" "gcc" "src/CMakeFiles/tasti.dir/data/text_sim.cc.o.d"
+  "/root/repo/src/data/video_sim.cc" "src/CMakeFiles/tasti.dir/data/video_sim.cc.o" "gcc" "src/CMakeFiles/tasti.dir/data/video_sim.cc.o.d"
+  "/root/repo/src/embed/pretrained.cc" "src/CMakeFiles/tasti.dir/embed/pretrained.cc.o" "gcc" "src/CMakeFiles/tasti.dir/embed/pretrained.cc.o.d"
+  "/root/repo/src/embed/triplet_trainer.cc" "src/CMakeFiles/tasti.dir/embed/triplet_trainer.cc.o" "gcc" "src/CMakeFiles/tasti.dir/embed/triplet_trainer.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/tasti.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/tasti.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/reporting.cc" "src/CMakeFiles/tasti.dir/eval/reporting.cc.o" "gcc" "src/CMakeFiles/tasti.dir/eval/reporting.cc.o.d"
+  "/root/repo/src/labeler/cost_model.cc" "src/CMakeFiles/tasti.dir/labeler/cost_model.cc.o" "gcc" "src/CMakeFiles/tasti.dir/labeler/cost_model.cc.o.d"
+  "/root/repo/src/labeler/crowd.cc" "src/CMakeFiles/tasti.dir/labeler/crowd.cc.o" "gcc" "src/CMakeFiles/tasti.dir/labeler/crowd.cc.o.d"
+  "/root/repo/src/labeler/labeler.cc" "src/CMakeFiles/tasti.dir/labeler/labeler.cc.o" "gcc" "src/CMakeFiles/tasti.dir/labeler/labeler.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/tasti.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/tasti.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/CMakeFiles/tasti.dir/nn/matrix.cc.o" "gcc" "src/CMakeFiles/tasti.dir/nn/matrix.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/tasti.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/tasti.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/tasti.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/tasti.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/random_projection.cc" "src/CMakeFiles/tasti.dir/nn/random_projection.cc.o" "gcc" "src/CMakeFiles/tasti.dir/nn/random_projection.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/tasti.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/tasti.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/nn/triplet.cc" "src/CMakeFiles/tasti.dir/nn/triplet.cc.o" "gcc" "src/CMakeFiles/tasti.dir/nn/triplet.cc.o.d"
+  "/root/repo/src/queries/aggregation.cc" "src/CMakeFiles/tasti.dir/queries/aggregation.cc.o" "gcc" "src/CMakeFiles/tasti.dir/queries/aggregation.cc.o.d"
+  "/root/repo/src/queries/groupby.cc" "src/CMakeFiles/tasti.dir/queries/groupby.cc.o" "gcc" "src/CMakeFiles/tasti.dir/queries/groupby.cc.o.d"
+  "/root/repo/src/queries/limit.cc" "src/CMakeFiles/tasti.dir/queries/limit.cc.o" "gcc" "src/CMakeFiles/tasti.dir/queries/limit.cc.o.d"
+  "/root/repo/src/queries/noguarantee.cc" "src/CMakeFiles/tasti.dir/queries/noguarantee.cc.o" "gcc" "src/CMakeFiles/tasti.dir/queries/noguarantee.cc.o.d"
+  "/root/repo/src/queries/predicate_aggregation.cc" "src/CMakeFiles/tasti.dir/queries/predicate_aggregation.cc.o" "gcc" "src/CMakeFiles/tasti.dir/queries/predicate_aggregation.cc.o.d"
+  "/root/repo/src/queries/stratified.cc" "src/CMakeFiles/tasti.dir/queries/stratified.cc.o" "gcc" "src/CMakeFiles/tasti.dir/queries/stratified.cc.o.d"
+  "/root/repo/src/queries/supg.cc" "src/CMakeFiles/tasti.dir/queries/supg.cc.o" "gcc" "src/CMakeFiles/tasti.dir/queries/supg.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/tasti.dir/util/random.cc.o" "gcc" "src/CMakeFiles/tasti.dir/util/random.cc.o.d"
+  "/root/repo/src/util/stats.cc" "src/CMakeFiles/tasti.dir/util/stats.cc.o" "gcc" "src/CMakeFiles/tasti.dir/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/tasti.dir/util/status.cc.o" "gcc" "src/CMakeFiles/tasti.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/tasti.dir/util/table.cc.o" "gcc" "src/CMakeFiles/tasti.dir/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/tasti.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/tasti.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

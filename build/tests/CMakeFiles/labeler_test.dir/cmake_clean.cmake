@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labeler_test.dir/labeler_test.cc.o"
+  "CMakeFiles/labeler_test.dir/labeler_test.cc.o.d"
+  "labeler_test"
+  "labeler_test.pdb"
+  "labeler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labeler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

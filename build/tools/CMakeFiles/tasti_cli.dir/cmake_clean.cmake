@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasti_cli.dir/tasti_cli.cc.o"
+  "CMakeFiles/tasti_cli.dir/tasti_cli.cc.o.d"
+  "tasti_cli"
+  "tasti_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasti_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
