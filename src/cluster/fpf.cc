@@ -5,10 +5,22 @@
 #include <limits>
 #include <unordered_set>
 
+#include "nn/kernels.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace tasti::cluster {
+
+namespace {
+
+/// Per-worker argmax state, padded to a cache line so concurrent workers
+/// never invalidate each other's entries.
+struct alignas(64) ArgmaxShard {
+  float best;
+  size_t arg;
+};
+
+}  // namespace
 
 FpfResult FurthestPointFirst(const nn::Matrix& points, size_t k,
                              size_t start_index) {
@@ -22,49 +34,80 @@ FpfResult FurthestPointFirst(const nn::Matrix& points, size_t k,
   result.min_distance.assign(n, std::numeric_limits<float>::max());
   result.assignment.assign(n, 0);
 
+  const size_t num_workers = std::max<size_t>(1, ParallelForMaxWorkers());
+  std::vector<ArgmaxShard> shards(num_workers);
+  std::vector<std::vector<float>> scratch(num_workers);
+
+  // Pack the points once (depth-major blocks with cached norms); the cost
+  // is one O(n * d) copy amortized over all k relax passes, and it turns
+  // each pass into the same 16-wide register-tiled kernel ComputeTopK
+  // uses — no per-point horizontal reduction. A center's distance to
+  // itself stays exactly zero: the DotBatch lane accumulates x[p] * x[p]
+  // in the same sequential order RowSquaredNorm used for the cached norm,
+  // so the dot-trick combine cancels bitwise (and the kernel clamps any
+  // residual negative to zero).
+  const std::vector<nn::PackedBlock> blocks = nn::PackBlocks(points);
+
+  // The relax loop tracks *squared* distances: sqrt is monotone, so the
+  // min updates and the furthest-point argmax are unchanged, and the
+  // per-point sqrt (which costs as much as several dims of arithmetic)
+  // moves out of the O(n * k) loop into one final pass.
+  std::vector<float> min_d2(n, std::numeric_limits<float>::max());
+
   size_t current = start_index;
   for (size_t iter = 0; iter < k; ++iter) {
     result.centers.push_back(current);
     const uint32_t center_id = static_cast<uint32_t>(iter);
-    // Relax every point against the new center; track the per-shard argmax
-    // of the updated min-distances for the next selection.
-    const size_t num_shards = 64;
-    std::vector<float> shard_best(num_shards, -1.0f);
-    std::vector<size_t> shard_arg(num_shards, 0);
-    const size_t chunk = (n + num_shards - 1) / num_shards;
-    ParallelFor(0, num_shards, [&](size_t s_begin, size_t s_end) {
-      for (size_t s = s_begin; s < s_end; ++s) {
-        const size_t lo = s * chunk;
-        const size_t hi = std::min(n, lo + chunk);
-        float best = -1.0f;
-        size_t arg = lo;
-        for (size_t i = lo; i < hi; ++i) {
-          const float d = nn::Distance(points, i, points, current);
-          if (d < result.min_distance[i]) {
-            result.min_distance[i] = d;
+    const float center_norm = nn::RowSquaredNorm(points, current);
+    for (ArgmaxShard& s : shards) s = {-1.0f, n};
+    // Relax every point against the new center with the batched kernel;
+    // dynamically claimed chunks keep skewed tail iterations balanced.
+    // Ties in the argmax break toward the smallest index (the scalar
+    // reference's behavior), which also makes the per-worker reduction
+    // independent of which worker claimed which chunk.
+    ParallelForDynamic(0, blocks.size(), [&](size_t blo, size_t bhi, size_t w) {
+      std::vector<float>& d2_buf = scratch[w];
+      if (d2_buf.size() < nn::kDistanceBlockRows) {
+        d2_buf.resize(nn::kDistanceBlockRows);
+      }
+      float best = shards[w].best;
+      size_t arg = shards[w].arg;
+      for (size_t b = blo; b < bhi; ++b) {
+        const nn::PackedBlock& block = blocks[b];
+        nn::SquaredDistanceBatch(points, current, center_norm, block,
+                                 d2_buf.data());
+        const size_t base = block.row_begin();
+        for (size_t j = 0; j < block.rows(); ++j) {
+          const size_t i = base + j;
+          const float d2 = d2_buf[j];
+          if (d2 < min_d2[i]) {
+            min_d2[i] = d2;
             result.assignment[i] = center_id;
           }
-          if (result.min_distance[i] > best) {
-            best = result.min_distance[i];
+          const float m = min_d2[i];
+          if (m > best || (m == best && i < arg)) {
+            best = m;
             arg = i;
           }
         }
-        shard_best[s] = best;
-        shard_arg[s] = arg;
       }
-    }, 1);
+      shards[w] = {best, arg};
+    }, 64);
     float best = -1.0f;
-    for (size_t s = 0; s < num_shards; ++s) {
-      if (shard_best[s] > best) {
-        best = shard_best[s];
-        current = shard_arg[s];
+    size_t arg = n;
+    for (const ArgmaxShard& s : shards) {
+      if (s.best > best || (s.best == best && s.arg < arg)) {
+        best = s.best;
+        arg = s.arg;
       }
     }
+    current = arg;
     if (best <= 0.0f && iter + 1 < k) {
       // All points coincide with existing centers; stop early.
       break;
     }
   }
+  for (size_t i = 0; i < n; ++i) result.min_distance[i] = std::sqrt(min_d2[i]);
   return result;
 }
 

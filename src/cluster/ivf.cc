@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cluster/kmeans.h"
+#include "nn/kernels.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -40,29 +41,38 @@ void IvfIndex::Search(const nn::Matrix& queries, size_t query_row, size_t k,
               "query dimension mismatch");
   const size_t probes = std::min(options_.num_probes, lists_.size());
 
-  // Rank partitions by centroid distance; probe the closest.
+  // Rank partitions by centroid distance (batched); probe the closest.
+  std::vector<float> centroid_d2(centroids_.rows());
+  nn::SquaredDistanceOneToMany(centroids_, 0, centroids_.rows(), queries,
+                               query_row, centroid_d2.data());
   std::vector<std::pair<float, size_t>> partition_order;
   partition_order.reserve(lists_.size());
   for (size_t c = 0; c < lists_.size(); ++c) {
-    partition_order.emplace_back(
-        nn::SquaredDistance(queries, query_row, centroids_, c), c);
+    partition_order.emplace_back(centroid_d2[c], c);
   }
   std::partial_sort(partition_order.begin(), partition_order.begin() + probes,
                     partition_order.end());
 
-  // Exact scan over the probed lists with a sorted insertion buffer.
+  // Exact scan over the probed lists: distances for a whole list come from
+  // one gathered batch, then feed a sorted insertion buffer.
   std::vector<float> best_d;
   std::vector<uint32_t> best_id;
   best_d.reserve(k + 1);
   best_id.reserve(k + 1);
+  std::vector<float> list_d2;
   for (size_t p = 0; p < probes; ++p) {
-    for (uint32_t rep : lists_[partition_order[p].second]) {
-      const float d = nn::Distance(queries, query_row, rep_embeddings_, rep);
+    const std::vector<uint32_t>& list = lists_[partition_order[p].second];
+    if (list.empty()) continue;
+    if (list_d2.size() < list.size()) list_d2.resize(list.size());
+    nn::SquaredDistanceGather(queries, query_row, rep_embeddings_, list.data(),
+                              list.size(), list_d2.data());
+    for (size_t t = 0; t < list.size(); ++t) {
+      const float d = std::sqrt(list_d2[t]);
       if (best_d.size() == k && d >= best_d.back()) continue;
       const auto pos = std::upper_bound(best_d.begin(), best_d.end(), d);
       const size_t at = static_cast<size_t>(pos - best_d.begin());
       best_d.insert(pos, d);
-      best_id.insert(best_id.begin() + at, rep);
+      best_id.insert(best_id.begin() + at, list[t]);
       if (best_d.size() > k) {
         best_d.pop_back();
         best_id.pop_back();
@@ -81,7 +91,9 @@ TopKDistances IvfIndex::SearchAll(const nn::Matrix& queries, size_t k) const {
   topk.num_records = n;
   topk.rep_ids.assign(n * effective_k, 0);
   topk.distances.assign(n * effective_k, std::numeric_limits<float>::max());
-  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+  // Dynamic chunk claiming: probe-list sizes are skewed, so static shards
+  // would wait on whichever shard drew the fattest lists.
+  ParallelForDynamic(0, n, [&](size_t lo, size_t hi, size_t /*worker*/) {
     std::vector<uint32_t> ids;
     std::vector<float> dists;
     for (size_t i = lo; i < hi; ++i) {
@@ -112,14 +124,15 @@ void IvfIndex::Add(const nn::Matrix& reps, size_t rep_row, uint32_t rep_id) {
   grown.SetRow(grown.rows() - 1, reps, rep_row);
   rep_embeddings_ = std::move(grown);
 
-  // Route to the nearest partition.
+  // Route to the nearest partition (batched over centroids).
+  std::vector<float> d2(centroids_.rows());
+  nn::SquaredDistanceOneToMany(centroids_, 0, centroids_.rows(),
+                               rep_embeddings_, total_reps_, d2.data());
   float best = std::numeric_limits<float>::max();
   size_t arg = 0;
   for (size_t c = 0; c < centroids_.rows(); ++c) {
-    const float d2 =
-        nn::SquaredDistance(rep_embeddings_, total_reps_, centroids_, c);
-    if (d2 < best) {
-      best = d2;
+    if (d2[c] < best) {
+      best = d2[c];
       arg = c;
     }
   }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "nn/kernels.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -21,12 +22,13 @@ std::vector<size_t> KMeansPlusPlusSeeds(const nn::Matrix& points, size_t k,
   seeds.reserve(k);
   seeds.push_back(static_cast<size_t>(rng->UniformInt(n)));
   std::vector<double> min_d2(n, std::numeric_limits<double>::max());
+  std::vector<float> d2_buf(n);
   for (size_t round = 1; round < k; ++round) {
     const size_t latest = seeds.back();
+    nn::SquaredDistanceOneToMany(points, 0, n, points, latest, d2_buf.data());
     double total = 0.0;
     for (size_t i = 0; i < n; ++i) {
-      const double d2 = nn::SquaredDistance(points, i, points, latest);
-      min_d2[i] = std::min(min_d2[i], d2);
+      min_d2[i] = std::min(min_d2[i], static_cast<double>(d2_buf[i]));
       total += min_d2[i];
     }
     if (total <= 0.0) break;  // fewer distinct points than clusters
@@ -63,35 +65,48 @@ KMeansResult KMeans(const nn::Matrix& points, const KMeansOptions& options) {
   }
   result.assignment.assign(n, 0);
 
+  // Point norms are loop-invariant across iterations; centroid tiles are
+  // re-packed every iteration (centroids move).
+  const std::vector<float> point_norms = nn::RowSquaredNorms(points);
+
   double previous_inertia = std::numeric_limits<double>::max();
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
     ++result.iterations;
-    // Assignment step (parallel over points).
-    std::vector<double> inertia_shards(64, 0.0);
-    const size_t chunk = (n + 63) / 64;
-    ParallelFor(0, 64, [&](size_t s_begin, size_t s_end) {
-      for (size_t s = s_begin; s < s_end; ++s) {
-        const size_t lo = s * chunk;
-        const size_t hi = std::min(n, lo + chunk);
+    // Assignment step (parallel over points, batched over centroids).
+    // Inertia partials are stored per deterministic chunk — not per
+    // worker — so the final sum order does not depend on scheduling.
+    const size_t chunk = 512;
+    const size_t num_chunks = (n + chunk - 1) / chunk;
+    std::vector<double> inertia_chunks(num_chunks, 0.0);
+    const std::vector<nn::PackedBlock> blocks =
+        nn::PackBlocks(result.centroids);
+    ParallelForDynamic(0, n, [&](size_t lo, size_t hi, size_t /*worker*/) {
+      std::vector<float> d2(nn::kDistanceBlockRows);
+      for (size_t chunk_lo = lo; chunk_lo < hi; chunk_lo += chunk) {
+        const size_t chunk_hi = std::min(hi, chunk_lo + chunk);
         double local = 0.0;
-        for (size_t i = lo; i < hi; ++i) {
+        for (size_t i = chunk_lo; i < chunk_hi; ++i) {
           float best = std::numeric_limits<float>::max();
           uint32_t arg = 0;
-          for (size_t c = 0; c < k; ++c) {
-            const float d2 = nn::SquaredDistance(points, i, result.centroids, c);
-            if (d2 < best) {
-              best = d2;
-              arg = static_cast<uint32_t>(c);
+          for (const nn::PackedBlock& block : blocks) {
+            nn::SquaredDistanceBatch(points, i, point_norms[i], block,
+                                     d2.data());
+            const size_t base = block.row_begin();
+            for (size_t c = 0; c < block.rows(); ++c) {
+              if (d2[c] < best) {
+                best = d2[c];
+                arg = static_cast<uint32_t>(base + c);
+              }
             }
           }
           result.assignment[i] = arg;
           local += best;
         }
-        inertia_shards[s] = local;
+        inertia_chunks[chunk_lo / chunk] += local;
       }
-    }, 1);
+    }, chunk);
     double inertia = 0.0;
-    for (double shard : inertia_shards) inertia += shard;
+    for (double part : inertia_chunks) inertia += part;
     result.inertia = inertia / static_cast<double>(n);
 
     // Update step.
@@ -138,15 +153,17 @@ std::vector<size_t> KMeansSelection(const nn::Matrix& points, size_t k,
   std::vector<size_t> selected;
   selected.reserve(actual_k);
   std::unordered_set<size_t> used;
+  std::vector<float> d2(points.rows());
   for (size_t c = 0; c < actual_k; ++c) {
+    nn::SquaredDistanceOneToMany(points, 0, points.rows(), result.centroids, c,
+                                 d2.data());
     float best = std::numeric_limits<float>::max();
     size_t arg = 0;
     bool found = false;
     for (size_t i = 0; i < points.rows(); ++i) {
       if (used.count(i)) continue;
-      const float d2 = nn::SquaredDistance(points, i, result.centroids, c);
-      if (d2 < best) {
-        best = d2;
+      if (d2[i] < best) {
+        best = d2[i];
         arg = i;
         found = true;
       }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cluster/kmeans.h"
+#include "nn/kernels.h"
 #include "util/thread_pool.h"
 
 namespace tasti::cluster {
@@ -61,23 +62,20 @@ size_t ProductQuantizer::Encode(const nn::Matrix& vectors) {
   const size_t first = num_codes();
   const size_t M = options_.num_subspaces;
   codes_.resize(codes_.size() + vectors.rows() * M);
-  ParallelFor(0, vectors.rows(), [&](size_t lo, size_t hi) {
+  ParallelForDynamic(0, vectors.rows(), [&](size_t lo, size_t hi,
+                                            size_t /*worker*/) {
+    std::vector<float> d2(options_.codebook_size);
     for (size_t i = lo; i < hi; ++i) {
       uint8_t* code = codes_.data() + (first + i) * M;
       for (size_t m = 0; m < M; ++m) {
         const float* sub = vectors.Row(i) + m * sub_dim_;
         const nn::Matrix& book = codebooks_[m];
+        nn::SquaredDistanceOneToMany(book, 0, book.rows(), sub, d2.data());
         float best = std::numeric_limits<float>::max();
         uint8_t arg = 0;
         for (size_t c = 0; c < book.rows(); ++c) {
-          float d2 = 0.0f;
-          const float* entry = book.Row(c);
-          for (size_t d = 0; d < sub_dim_; ++d) {
-            const float diff = sub[d] - entry[d];
-            d2 += diff * diff;
-          }
-          if (d2 < best) {
-            best = d2;
+          if (d2[c] < best) {
+            best = d2[c];
             arg = static_cast<uint8_t>(c);
           }
         }
@@ -108,15 +106,7 @@ std::vector<float> ProductQuantizer::BuildLookupTable(const nn::Matrix& queries,
   for (size_t m = 0; m < M; ++m) {
     const float* sub = queries.Row(query_row) + m * sub_dim_;
     const nn::Matrix& book = codebooks_[m];
-    for (size_t c = 0; c < book.rows(); ++c) {
-      const float* entry = book.Row(c);
-      float d2 = 0.0f;
-      for (size_t d = 0; d < sub_dim_; ++d) {
-        const float diff = sub[d] - entry[d];
-        d2 += diff * diff;
-      }
-      table[m * K + c] = d2;
-    }
+    nn::SquaredDistanceOneToMany(book, 0, book.rows(), sub, table.data() + m * K);
   }
   return table;
 }

@@ -4,10 +4,30 @@
 #include <cmath>
 #include <limits>
 
+#include "nn/kernels.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace tasti::cluster {
+
+namespace {
+
+/// Inserts (d2, id) into the sorted prefix best_d2[0..filled). Equal keys
+/// keep insertion order, so scanning representatives in ascending id gives
+/// the same tie-breaks as the scalar reference.
+void InsertSorted(float d2, uint32_t id, size_t filled, float* best_d2,
+                  uint32_t* best_id) {
+  size_t pos = filled;
+  while (pos > 0 && best_d2[pos - 1] > d2) {
+    best_d2[pos] = best_d2[pos - 1];
+    best_id[pos] = best_id[pos - 1];
+    --pos;
+  }
+  best_d2[pos] = d2;
+  best_id[pos] = id;
+}
+
+}  // namespace
 
 TopKDistances ComputeTopK(const nn::Matrix& points, const nn::Matrix& reps,
                           size_t k) {
@@ -23,39 +43,56 @@ TopKDistances ComputeTopK(const nn::Matrix& points, const nn::Matrix& reps,
   topk.rep_ids.assign(n * k, 0);
   topk.distances.assign(n * k, std::numeric_limits<float>::max());
 
-  ParallelFor(0, n, [&](size_t lo, size_t hi) {
-    // Per-record selection buffer: a simple insertion list is fastest for
-    // small k (k <= 16 in practice).
-    std::vector<float> best_d(k);
+  // Representatives packed once into depth-major L1-sized tiles; every
+  // record streams against each tile via the dot-trick batch kernel.
+  const std::vector<nn::PackedBlock> blocks = nn::PackBlocks(reps);
+
+  ParallelForDynamic(0, n, [&](size_t lo, size_t hi, size_t /*worker*/) {
+    std::vector<float> dist2(nn::kDistanceBlockRows);
+    std::vector<float> best_d2(k);
     std::vector<uint32_t> best_id(k);
     for (size_t i = lo; i < hi; ++i) {
+      const float point_norm = nn::RowSquaredNorm(points, i);
       size_t filled = 0;
-      for (size_t j = 0; j < r; ++j) {
-        const float d = nn::Distance(points, i, reps, j);
-        if (filled < k) {
-          // Insert into the sorted prefix.
-          size_t pos = filled;
-          while (pos > 0 && best_d[pos - 1] > d) {
-            best_d[pos] = best_d[pos - 1];
-            best_id[pos] = best_id[pos - 1];
-            --pos;
+      for (const nn::PackedBlock& block : blocks) {
+        nn::SquaredDistanceBatch(points, i, point_norm, block, dist2.data());
+        const size_t base = block.row_begin();
+        for (size_t j = 0; j < block.rows(); ++j) {
+          const float d2 = dist2[j];
+          if (filled < k) {
+            InsertSorted(d2, static_cast<uint32_t>(base + j), filled,
+                         best_d2.data(), best_id.data());
+            ++filled;
+          } else if (d2 < best_d2[k - 1]) {
+            InsertSorted(d2, static_cast<uint32_t>(base + j), k - 1,
+                         best_d2.data(), best_id.data());
           }
-          best_d[pos] = d;
-          best_id[pos] = static_cast<uint32_t>(j);
-          ++filled;
-        } else if (d < best_d[k - 1]) {
-          size_t pos = k - 1;
-          while (pos > 0 && best_d[pos - 1] > d) {
-            best_d[pos] = best_d[pos - 1];
-            best_id[pos] = best_id[pos - 1];
-            --pos;
-          }
-          best_d[pos] = d;
-          best_id[pos] = static_cast<uint32_t>(j);
         }
       }
-      for (size_t j = 0; j < k; ++j) {
-        topk.distances[i * k + j] = best_d[j];
+      // Pin the stored distances to the exact scalar formula: the dot-trick
+      // selects the k nearest, but its cancellation error (up to
+      // ~eps * |x|^2 for near-duplicates) would leak into propagation
+      // weights. Recomputing k exact distances costs k/r of the batch pass.
+      for (size_t j = 0; j < filled; ++j) {
+        best_d2[j] = nn::SquaredDistance(points, i, reps, best_id[j]);
+      }
+      // Exact values may swap near-equal neighbors; restore ascending
+      // order (ties by id, matching the scalar reference's insertion).
+      for (size_t j = 1; j < filled; ++j) {
+        const float d2 = best_d2[j];
+        const uint32_t id = best_id[j];
+        size_t pos = j;
+        while (pos > 0 && (best_d2[pos - 1] > d2 ||
+                           (best_d2[pos - 1] == d2 && best_id[pos - 1] > id))) {
+          best_d2[pos] = best_d2[pos - 1];
+          best_id[pos] = best_id[pos - 1];
+          --pos;
+        }
+        best_d2[pos] = d2;
+        best_id[pos] = id;
+      }
+      for (size_t j = 0; j < filled; ++j) {
+        topk.distances[i * k + j] = std::sqrt(best_d2[j]);
         topk.rep_ids[i * k + j] = best_id[j];
       }
     }
@@ -70,12 +107,24 @@ void UpdateTopKWithNewRep(const nn::Matrix& points, const nn::Matrix& reps,
   TASTI_CHECK(points.rows() == topk->num_records, "topk record count mismatch");
   TASTI_CHECK(rep_row < reps.rows(), "rep_row out of range");
   const size_t k = topk->k;
-  ParallelFor(0, points.rows(), [&](size_t lo, size_t hi) {
+  ParallelForDynamic(0, points.rows(), [&](size_t lo, size_t hi,
+                                           size_t /*worker*/) {
+    std::vector<float> d2_buf(hi - lo);
+    nn::SquaredDistanceOneToMany(points, lo, hi, reps, rep_row, d2_buf.data());
     for (size_t i = lo; i < hi; ++i) {
-      const float d = nn::Distance(points, i, reps, rep_row);
       float* dist = topk->distances.data() + i * k;
       uint32_t* ids = topk->rep_ids.data() + i * k;
-      if (d >= dist[k - 1]) continue;
+      const float thr = dist[k - 1];
+      // Cheap vectorized filter with slack; candidates that survive are
+      // re-evaluated with the exact scalar formula so stored values (and
+      // near-threshold accept/reject decisions) match the scalar path.
+      const float d2 = d2_buf[i - lo];
+      if (thr < std::numeric_limits<float>::max() &&
+          d2 > thr * thr * (1.0f + 1e-3f) + 1e-6f) {
+        continue;
+      }
+      const float d = nn::Distance(points, i, reps, rep_row);
+      if (d >= thr) continue;
       size_t pos = k - 1;
       while (pos > 0 && dist[pos - 1] > d) {
         dist[pos] = dist[pos - 1];

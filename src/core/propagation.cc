@@ -25,6 +25,16 @@ size_t EffectiveK(const TastiIndex& index, const PropagationOptions& options) {
   if (options.k == 0) return stored;
   return std::min(options.k, stored);
 }
+
+// Inverse-distance weight 1 / (d + eps)^p. The propagation loops read one
+// distance per stored neighbor, so std::pow dominated the pass; the common
+// integer exponents take the cheap path. (glibc's pow is correctly rounded,
+// so pow(x, 2) == x * x and pow(x, 1) == x bitwise — results are unchanged.)
+inline double InverseDistanceWeight(double base, double power) {
+  if (power == 2.0) return 1.0 / (base * base);
+  if (power == 1.0) return 1.0 / base;
+  return 1.0 / std::pow(base, power);
+}
 }  // namespace
 
 std::vector<double> PropagateNumeric(const TastiIndex& index,
@@ -36,15 +46,19 @@ std::vector<double> PropagateNumeric(const TastiIndex& index,
   const size_t k = EffectiveK(index, options);
   const auto& topk = index.topk();
   std::vector<double> out(n, 0.0);
+  const size_t stored_k = index.k();
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
+      // One pointer pair per record instead of a multiply per element read.
+      const float* dist = topk.distances.data() + i * stored_k;
+      const uint32_t* ids = topk.rep_ids.data() + i * stored_k;
       double weight_sum = 0.0;
       double score_sum = 0.0;
       for (size_t j = 0; j < k; ++j) {
-        const double w = 1.0 / std::pow(topk.Dist(i, j) + options.epsilon,
-                                        options.weight_power);
+        const double w = InverseDistanceWeight(dist[j] + options.epsilon,
+                                               options.weight_power);
         weight_sum += w;
-        score_sum += w * rep_scores[topk.RepId(i, j)];
+        score_sum += w * rep_scores[ids[j]];
       }
       out[i] = weight_sum > 0.0 ? score_sum / weight_sum : 0.0;
     }
@@ -65,12 +79,15 @@ std::vector<double> PropagateCategorical(const TastiIndex& index,
     // Votes keyed by exact score value; categorical scorers emit a small
     // discrete set, so a flat map is cheap.
     std::unordered_map<double, double> votes;
+    const size_t stored_k = index.k();
     for (size_t i = lo; i < hi; ++i) {
+      const float* dist = topk.distances.data() + i * stored_k;
+      const uint32_t* ids = topk.rep_ids.data() + i * stored_k;
       votes.clear();
       for (size_t j = 0; j < k; ++j) {
-        const double w = 1.0 / std::pow(topk.Dist(i, j) + options.epsilon,
-                                        options.weight_power);
-        votes[rep_scores[topk.RepId(i, j)]] += w;
+        const double w = InverseDistanceWeight(dist[j] + options.epsilon,
+                                               options.weight_power);
+        votes[rep_scores[ids[j]]] += w;
       }
       double best_score = 0.0;
       double best_weight = -1.0;
@@ -101,12 +118,14 @@ std::vector<double> PropagateLimit(const TastiIndex& index,
       // strong candidate even if its single nearest representative scores
       // low (rare events hide at cluster boundaries). Ties within a score
       // level break by distance to that representative (paper Section 6.3).
-      double best_score = rep_scores[topk.RepId(i, 0)];
-      double best_dist = topk.Dist(i, 0);
+      const float* drow = topk.distances.data() + i * topk.k;
+      const uint32_t* idrow = topk.rep_ids.data() + i * topk.k;
+      double best_score = rep_scores[idrow[0]];
+      double best_dist = drow[0];
       const size_t neighbors = use_best_of_k ? topk.k : 1;
       for (size_t j = 1; j < neighbors; ++j) {
-        const double score = rep_scores[topk.RepId(i, j)];
-        const double dist = topk.Dist(i, j);
+        const double score = rep_scores[idrow[j]];
+        const double dist = drow[j];
         if (score > best_score ||
             (score == best_score && dist < best_dist)) {
           best_score = score;

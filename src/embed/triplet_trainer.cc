@@ -1,9 +1,11 @@
 #include "embed/triplet_trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
 #include "cluster/fpf.h"
+#include "nn/kernels.h"
 #include "nn/optimizer.h"
 #include "nn/triplet.h"
 #include "util/status.h"
@@ -103,15 +105,20 @@ void SelectSemiHardNegatives(const nn::Mlp& model, const nn::Matrix& features,
     for (size_t c : (*triplets)[i].negative_candidates) rows.push_back(c);
   }
   const nn::Matrix embedded = model.Infer(features.GatherRows(rows));
+  std::vector<float> cand_d2(candidates);
   for (size_t i = 0; i < b; ++i) {
     const size_t anchor_row = i;
     const float dp = nn::Distance(embedded, anchor_row, embedded, b + i);
+    // Each anchor's candidate rows are contiguous; one batched pass
+    // replaces the per-candidate scalar distance loop.
+    const size_t cand_begin = 2 * b + i * candidates;
+    nn::SquaredDistanceOneToMany(embedded, cand_begin, cand_begin + candidates,
+                                 embedded.Row(anchor_row), cand_d2.data());
     float best_semi = -1.0f;
     float best_hard = -1.0f;
     size_t semi_pick = 0, hard_pick = 0;
     for (size_t c = 0; c < candidates; ++c) {
-      const size_t row = 2 * b + i * candidates + c;
-      const float dn = nn::Distance(embedded, anchor_row, embedded, row);
+      const float dn = std::sqrt(cand_d2[c]);
       if (dn > dp && (best_semi < 0.0f || dn < best_semi)) {
         best_semi = dn;
         semi_pick = c;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/kernels.h"
 #include "util/status.h"
 
 namespace tasti::nn {
@@ -63,13 +64,14 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (c->rows() != m || c->cols() != n) *c = Matrix(m, n);
   c->Fill(0.0f);
-  // i-k-j loop order: unit-stride access on both B and C rows.
+  // i-k-j loop order: unit-stride access on both B and C rows, and the j
+  // loop carries no dependence so it vectorizes. (A zero-skip branch here
+  // would block vectorization and loses on dense data.)
   for (size_t i = 0; i < m; ++i) {
     const float* arow = a.Row(i);
     float* crow = c->Row(i);
     for (size_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       const float* brow = b.Row(p);
       for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
@@ -77,19 +79,9 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
 }
 
 void GemmBT(const Matrix& a, const Matrix& b, Matrix* c) {
-  TASTI_CHECK(a.cols() == b.cols(), "GemmBT inner dimension mismatch");
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  if (c->rows() != m || c->cols() != n) *c = Matrix(m, n);
-  for (size_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c->Row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float acc = 0.0f;
-      for (size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] = acc;
-    }
-  }
+  // Delegates to the register-blocked kernel: B is packed depth-major once
+  // and every row of A streams against each cache-hot tile.
+  GemmBTBlocked(a, b, c);
 }
 
 void GemmATAccum(const Matrix& a, const Matrix& b, Matrix* c) {
@@ -101,7 +93,6 @@ void GemmATAccum(const Matrix& a, const Matrix& b, Matrix* c) {
     const float* brow = b.Row(p);
     for (size_t i = 0; i < m; ++i) {
       const float av = arow[i];
-      if (av == 0.0f) continue;
       float* crow = c->Row(i);
       for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }

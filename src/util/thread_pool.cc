@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace tasti {
 
@@ -107,6 +108,39 @@ void ParallelFor(size_t begin, size_t end,
     pool.Submit([&fn, &latch, lo, hi] {
       t_inside_pool_task = true;
       fn(lo, hi);
+      t_inside_pool_task = false;
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+}
+
+size_t ParallelForMaxWorkers() { return ThreadPool::Global().num_threads(); }
+
+void ParallelForDynamic(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t, size_t)>& fn,
+                        size_t chunk_size) {
+  if (end <= begin) return;
+  chunk_size = std::max<size_t>(1, chunk_size);
+  const size_t n = end - begin;
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  const size_t workers = std::min(pool.num_threads(), num_chunks);
+  // Nested parallelism would deadlock a fixed pool; run nested calls inline.
+  if (workers <= 1 || t_inside_pool_task) {
+    fn(begin, end, 0);
+    return;
+  }
+  std::atomic<size_t> cursor{begin};
+  Latch latch(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([&fn, &latch, &cursor, begin, end, chunk_size, w] {
+      t_inside_pool_task = true;
+      for (;;) {
+        const size_t lo = cursor.fetch_add(chunk_size);
+        if (lo >= end) break;
+        fn(lo, std::min(end, lo + chunk_size), w);
+      }
       t_inside_pool_task = false;
       latch.CountDown();
     });

@@ -60,6 +60,23 @@ void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t min_shard_size = 1024);
 
+/// Upper bound on the `worker` index ParallelForDynamic passes to its body.
+/// Size per-worker scratch and reduction buffers to this.
+size_t ParallelForMaxWorkers();
+
+/// Dynamic-scheduling variant: workers claim fixed-size chunks from a
+/// shared atomic cursor, so skewed shards (FPF tail iterations, IVF probe
+/// lists) load-balance instead of waiting on the slowest static shard.
+/// fn(chunk_begin, chunk_end, worker) runs once per claimed chunk; `worker`
+/// in [0, ParallelForMaxWorkers()) identifies the claiming worker so
+/// callers can keep per-worker reduction state (pad entries to a cache
+/// line — e.g. alignas(64) — to kill false sharing). Chunk boundaries are
+/// deterministic (begin + t * chunk_size); which worker claims which chunk
+/// is not, so per-worker reductions must be combined order-independently.
+void ParallelForDynamic(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t, size_t)>& fn,
+                        size_t chunk_size = 1024);
+
 }  // namespace tasti
 
 #endif  // TASTI_UTIL_THREAD_POOL_H_

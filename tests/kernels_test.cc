@@ -1,0 +1,310 @@
+// Tests for the batched distance-kernel layer (nn/kernels.h): equivalence
+// with the scalar reference kernels across odd shapes, numeric-safety
+// clamps, and end-to-end determinism of the consumers (ComputeTopK,
+// FurthestPointFirst) against scalar reference implementations on the
+// seed datasets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cluster/fpf.h"
+#include "cluster/topk.h"
+#include "data/dataset.h"
+#include "nn/kernels.h"
+#include "nn/matrix.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace tasti {
+namespace {
+
+nn::Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.Normal());
+  }
+  return m;
+}
+
+// Scalar reference: the pre-kernel GemmBT (row-by-row dot products).
+void GemmBTScalar(const nn::Matrix& a, const nn::Matrix& b, nn::Matrix* c) {
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (c->rows() != m || c->cols() != n) *c = nn::Matrix(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t p = 0; p < k; ++p) acc += a.At(i, p) * b.At(j, p);
+      c->At(i, j) = acc;
+    }
+  }
+}
+
+// Scalar reference top-k: the pre-kernel ComputeTopK loop.
+cluster::TopKDistances ComputeTopKScalar(const nn::Matrix& points,
+                                         const nn::Matrix& reps, size_t k) {
+  const size_t n = points.rows();
+  const size_t r = reps.rows();
+  k = std::min(k, r);
+  cluster::TopKDistances topk;
+  topk.k = k;
+  topk.num_records = n;
+  topk.rep_ids.assign(n * k, 0);
+  topk.distances.assign(n * k, std::numeric_limits<float>::max());
+  std::vector<float> best_d(k);
+  std::vector<uint32_t> best_id(k);
+  for (size_t i = 0; i < n; ++i) {
+    size_t filled = 0;
+    for (size_t j = 0; j < r; ++j) {
+      const float d = nn::Distance(points, i, reps, j);
+      if (filled < k || d < best_d[filled - 1]) {
+        size_t pos = filled < k ? filled : k - 1;
+        while (pos > 0 && best_d[pos - 1] > d) {
+          best_d[pos] = best_d[pos - 1];
+          best_id[pos] = best_id[pos - 1];
+          --pos;
+        }
+        best_d[pos] = d;
+        best_id[pos] = static_cast<uint32_t>(j);
+        if (filled < k) ++filled;
+      }
+    }
+    for (size_t j = 0; j < k; ++j) {
+      topk.distances[i * k + j] = best_d[j];
+      topk.rep_ids[i * k + j] = best_id[j];
+    }
+  }
+  return topk;
+}
+
+// Scalar reference FPF: the pre-kernel relax-and-argmax loop.
+cluster::FpfResult FurthestPointFirstScalar(const nn::Matrix& points, size_t k,
+                                            size_t start_index) {
+  const size_t n = points.rows();
+  k = std::min(k, n);
+  cluster::FpfResult result;
+  result.min_distance.assign(n, std::numeric_limits<float>::max());
+  result.assignment.assign(n, 0);
+  size_t current = start_index;
+  for (size_t iter = 0; iter < k; ++iter) {
+    result.centers.push_back(current);
+    float best = -1.0f;
+    size_t arg = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const float d = nn::Distance(points, i, points, current);
+      if (d < result.min_distance[i]) {
+        result.min_distance[i] = d;
+        result.assignment[i] = static_cast<uint32_t>(iter);
+      }
+      if (result.min_distance[i] > best) {
+        best = result.min_distance[i];
+        arg = i;
+      }
+    }
+    current = arg;
+    if (best <= 0.0f && iter + 1 < k) break;
+  }
+  return result;
+}
+
+TEST(KernelsTest, RowSquaredNormsMatchScalar) {
+  for (size_t cols : {1u, 7u, 64u, 130u}) {
+    const nn::Matrix m = RandomMatrix(17, cols, cols);
+    const std::vector<float> norms = nn::RowSquaredNorms(m);
+    ASSERT_EQ(norms.size(), m.rows());
+    for (size_t r = 0; r < m.rows(); ++r) {
+      float expected = 0.0f;
+      for (size_t c = 0; c < cols; ++c) expected += m.At(r, c) * m.At(r, c);
+      EXPECT_NEAR(norms[r], expected, 1e-4f * std::max(1.0f, expected));
+    }
+  }
+}
+
+TEST(KernelsTest, SquaredDistanceBatchMatchesScalarAcrossShapes) {
+  for (size_t cols : {1u, 7u, 64u, 130u}) {
+    const nn::Matrix points = RandomMatrix(23, cols, 100 + cols);
+    const nn::Matrix reps = RandomMatrix(151, cols, 200 + cols);
+    const auto blocks = nn::PackBlocks(reps);
+    std::vector<float> d2(nn::kDistanceBlockRows);
+    for (size_t i = 0; i < points.rows(); ++i) {
+      for (const nn::PackedBlock& block : blocks) {
+        nn::SquaredDistanceBatch(points, i, block, d2.data());
+        for (size_t j = 0; j < block.rows(); ++j) {
+          const float exact =
+              nn::SquaredDistance(points, i, reps, block.row_begin() + j);
+          EXPECT_NEAR(d2[j], exact, 1e-4f * std::max(1.0f, exact))
+              << "cols=" << cols << " i=" << i << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, SquaredDistanceBatchClampsDuplicateRowsToZero) {
+  // A rep that is a bitwise copy of the point must yield exactly zero:
+  // the norms and the blocked dot accumulate in the same order, and the
+  // kernel clamps any residual negative at zero.
+  const nn::Matrix points = RandomMatrix(4, 64, 7);
+  nn::Matrix reps(8, 64);
+  for (size_t j = 0; j < reps.rows(); ++j) reps.SetRow(j, points, j % 4);
+  const auto blocks = nn::PackBlocks(reps);
+  std::vector<float> d2(nn::kDistanceBlockRows);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    nn::SquaredDistanceBatch(points, i, blocks[0], d2.data());
+    EXPECT_EQ(d2[i], 0.0f);
+    EXPECT_EQ(d2[i + 4], 0.0f);
+    for (size_t j = 0; j < 8; ++j) EXPECT_GE(d2[j], 0.0f);
+  }
+}
+
+TEST(KernelsTest, EmptyBlockIsANoop) {
+  const nn::Matrix points = RandomMatrix(2, 16, 3);
+  nn::Matrix reps(0, 16);
+  EXPECT_TRUE(nn::PackBlocks(reps).empty());
+  nn::PackedBlock block;
+  block.Pack(points, 1, 1);  // empty range
+  EXPECT_TRUE(block.empty());
+  float sentinel = 42.0f;
+  nn::SquaredDistanceBatch(points, 0, block, &sentinel);
+  EXPECT_EQ(sentinel, 42.0f);
+}
+
+TEST(KernelsTest, OneToManyAndGatherMatchScalar) {
+  for (size_t cols : {1u, 7u, 64u, 130u}) {
+    const nn::Matrix points = RandomMatrix(37, cols, 300 + cols);
+    const nn::Matrix centers = RandomMatrix(3, cols, 400 + cols);
+    std::vector<float> d2(points.rows());
+    nn::SquaredDistanceOneToMany(points, 0, points.rows(), centers, 1,
+                                 d2.data());
+    for (size_t i = 0; i < points.rows(); ++i) {
+      const float exact = nn::SquaredDistance(points, i, centers, 1);
+      EXPECT_NEAR(d2[i], exact, 1e-4f * std::max(1.0f, exact));
+    }
+    const std::vector<uint32_t> ids = {5, 0, 36, 17, 17};
+    std::vector<float> gathered(ids.size());
+    nn::SquaredDistanceGather(centers, 2, points, ids.data(), ids.size(),
+                              gathered.data());
+    for (size_t t = 0; t < ids.size(); ++t) {
+      const float exact = nn::SquaredDistance(centers, 2, points, ids[t]);
+      EXPECT_NEAR(gathered[t], exact, 1e-4f * std::max(1.0f, exact));
+    }
+    // Empty ranges write nothing.
+    nn::SquaredDistanceOneToMany(points, 4, 4, centers, 0, nullptr);
+    nn::SquaredDistanceGather(centers, 0, points, ids.data(), 0, nullptr);
+  }
+}
+
+TEST(KernelsTest, GemmBTBlockedMatchesScalarAcrossShapes) {
+  struct Shape {
+    size_t m, k, n;
+  };
+  for (const Shape& s : {Shape{1, 1, 1}, Shape{3, 7, 5}, Shape{16, 64, 70},
+                         Shape{5, 130, 129}, Shape{4, 32, 0}}) {
+    const nn::Matrix a = RandomMatrix(s.m, s.k, s.m * 131 + s.k);
+    const nn::Matrix b = RandomMatrix(s.n, s.k, s.n * 137 + s.k);
+    nn::Matrix expected, actual;
+    GemmBTScalar(a, b, &expected);
+    nn::GemmBTBlocked(a, b, &actual);
+    ASSERT_EQ(actual.rows(), s.m);
+    ASSERT_EQ(actual.cols(), s.n);
+    for (size_t i = 0; i < s.m; ++i) {
+      for (size_t j = 0; j < s.n; ++j) {
+        EXPECT_NEAR(actual.At(i, j), expected.At(i, j),
+                    1e-4f * std::max(1.0f, std::fabs(expected.At(i, j))))
+            << s.m << "x" << s.k << "x" << s.n;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, ComputeTopKMatchesScalarReferenceOnRandomData) {
+  const nn::Matrix points = RandomMatrix(500, 64, 11);
+  const nn::Matrix reps = RandomMatrix(130, 64, 12);
+  const auto fast = cluster::ComputeTopK(points, reps, 5);
+  const auto ref = ComputeTopKScalar(points, reps, 5);
+  ASSERT_EQ(fast.k, ref.k);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    for (size_t j = 0; j < fast.k; ++j) {
+      EXPECT_EQ(fast.RepId(i, j), ref.RepId(i, j)) << i << "," << j;
+      EXPECT_NEAR(fast.Dist(i, j), ref.Dist(i, j),
+                  1e-4f * std::max(1.0f, ref.Dist(i, j)));
+    }
+  }
+}
+
+TEST(KernelsTest, ComputeTopKHandlesKLargerThanReps) {
+  const nn::Matrix points = RandomMatrix(20, 7, 21);
+  const nn::Matrix reps = RandomMatrix(3, 7, 22);
+  const auto topk = cluster::ComputeTopK(points, reps, 10);
+  EXPECT_EQ(topk.k, 3u);  // clamped to the rep count
+  const auto ref = ComputeTopKScalar(points, reps, 10);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    for (size_t j = 0; j < topk.k; ++j) {
+      EXPECT_EQ(topk.RepId(i, j), ref.RepId(i, j));
+    }
+  }
+}
+
+TEST(KernelsTest, TopKDeterministicVsScalarOnSeedDataset) {
+  data::DatasetOptions opts;
+  opts.num_records = 1500;
+  const data::Dataset dataset = data::MakeNightStreet(opts);
+  const nn::Matrix& features = dataset.features;
+  std::vector<size_t> rep_rows;
+  for (size_t i = 0; i < 120; ++i) rep_rows.push_back(i * 12 + 1);
+  const nn::Matrix reps = features.GatherRows(rep_rows);
+  const auto fast = cluster::ComputeTopK(features, reps, 5);
+  const auto ref = ComputeTopKScalar(features, reps, 5);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    for (size_t j = 0; j < fast.k; ++j) {
+      ASSERT_EQ(fast.RepId(i, j), ref.RepId(i, j)) << i << "," << j;
+    }
+  }
+  // Run-to-run determinism of the batched implementation itself.
+  const auto again = cluster::ComputeTopK(features, reps, 5);
+  EXPECT_EQ(fast.rep_ids, again.rep_ids);
+  EXPECT_EQ(fast.distances, again.distances);
+}
+
+TEST(KernelsTest, FpfDeterministicVsScalarOnSeedDataset) {
+  data::DatasetOptions opts;
+  opts.num_records = 1200;
+  const data::Dataset dataset = data::MakeNightStreet(opts);
+  const auto fast = cluster::FurthestPointFirst(dataset.features, 40, 17);
+  const auto ref = FurthestPointFirstScalar(dataset.features, 40, 17);
+  ASSERT_EQ(fast.centers.size(), ref.centers.size());
+  for (size_t c = 0; c < fast.centers.size(); ++c) {
+    ASSERT_EQ(fast.centers[c], ref.centers[c]) << "center " << c;
+  }
+  const auto again = cluster::FurthestPointFirst(dataset.features, 40, 17);
+  EXPECT_EQ(fast.centers, again.centers);
+  EXPECT_EQ(fast.assignment, again.assignment);
+}
+
+TEST(KernelsTest, ParallelForDynamicCoversEveryIndexOnce) {
+  const size_t n = 10007;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  const size_t max_workers = ParallelForMaxWorkers();
+  std::atomic<size_t> worker_bound{0};
+  ParallelForDynamic(0, n, [&](size_t lo, size_t hi, size_t w) {
+    size_t seen = worker_bound.load();
+    while (w + 1 > seen && !worker_bound.compare_exchange_weak(seen, w + 1)) {
+    }
+    for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  }, 64);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  EXPECT_LE(worker_bound.load(), std::max<size_t>(1, max_workers));
+  // Empty ranges are a no-op.
+  ParallelForDynamic(5, 5, [&](size_t, size_t, size_t) { FAIL(); }, 16);
+}
+
+}  // namespace
+}  // namespace tasti

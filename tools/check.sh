@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a sanitizer pass over the kernel/cluster tests.
+#
+#   tools/check.sh            # full check
+#   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
+#
+# The sanitizer stage configures the `sanitize` preset (ASan + UBSan via
+# the ASAN CMake option) and runs the tests closest to the raw-pointer
+# kernel code: kernels_test, cluster_test, nn_test, util_test.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipping sanitizer stage (--fast) =="
+  exit 0
+fi
+
+echo "== sanitize: ASan/UBSan build of kernel + cluster tests =="
+cmake --preset sanitize >/dev/null
+cmake --build build-sanitize -j "$(nproc)" \
+  --target kernels_test cluster_test nn_test util_test
+for t in kernels_test cluster_test nn_test util_test; do
+  echo "-- build-sanitize/tests/$t"
+  "build-sanitize/tests/$t"
+done
+echo "== all checks passed =="
