@@ -7,27 +7,45 @@
 //   4. run BlazeIt-style approximate aggregation with an error guarantee.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+//
+// Pass --trace=out.json to export a Chrome trace of the construction and
+// query phases (load it in Perfetto), and --metrics=out.json for the
+// counter snapshot.
 
-#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/index.h"
 #include "core/proxy.h"
 #include "core/scorer.h"
 #include "data/dataset.h"
+#include "eval/reporting.h"
 #include "labeler/labeler.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "queries/aggregation.h"
 #include "util/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tasti;
+
+  // Optional observability outputs (--trace=PATH, --metrics=PATH).
+  std::string trace_path, metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) trace_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) metrics_path = argv[i] + 10;
+  }
+  if (!trace_path.empty()) obs::SetTracingEnabled(true);
+  if (!metrics_path.empty()) obs::SetMetricsEnabled(true);
 
   // 1. A 20,000-frame simulated video (night-street-like workload).
   data::DatasetOptions dataset_options;
   dataset_options.num_records = 20000;
   dataset_options.seed = 42;
   data::Dataset video = data::MakeNightStreet(dataset_options);
-  std::printf("dataset: %s, %zu frames, %zu-dim features\n",
-              video.name.c_str(), video.size(), video.feature_dim());
+  eval::Diag("dataset: %s, %zu frames, %zu-dim features", video.name.c_str(),
+             video.size(), video.feature_dim());
 
   // 2. Build the index. The CachingLabeler deduplicates annotations so
   //    overlapping training/representative records are charged once.
@@ -39,9 +57,9 @@ int main() {
   index_options.num_representatives = 2000;   // N2
   index_options.k = 5;
   core::TastiIndex index = core::TastiIndex::Build(video, &cache, index_options);
-  std::printf("index: %zu representatives, %zu labeler calls, %.1fs compute\n",
-              index.num_representatives(), mask_rcnn.invocations(),
-              index.build_stats().TotalSeconds());
+  eval::Diag("index: %zu representatives, %zu labeler calls, %.1fs compute",
+             index.num_representatives(), mask_rcnn.invocations(),
+             index.build_stats().TotalSeconds());
 
   // 3. Proxy scores for a car-counting query — no per-query model training.
   core::CountScorer count_cars(data::ObjectClass::kCar);
@@ -57,10 +75,31 @@ int main() {
       queries::EstimateMean(proxy, &query_oracle, count_cars, agg_options);
 
   const double truth = Mean(core::ExactScores(video, count_cars));
-  std::printf("estimate: %.4f cars/frame (truth %.4f) using %zu labeler "
-              "calls of %zu frames\n",
-              result.estimate, truth, result.labeler_invocations, video.size());
-  std::printf("proxy/labeler correlation on the sample: %.3f\n",
-              result.proxy_correlation);
+  eval::PrintTakeaway("estimate " + std::to_string(result.estimate) +
+                      " cars/frame (truth " + std::to_string(truth) +
+                      ") using " + std::to_string(result.labeler_invocations) +
+                      " labeler calls of " + std::to_string(video.size()) +
+                      " frames");
+  eval::Diag("proxy/labeler correlation on the sample: %.3f",
+             result.proxy_correlation);
+
+  if (!trace_path.empty()) {
+    const Status status = obs::TraceRecorder::Global().WriteJson(trace_path);
+    if (!status.ok()) {
+      eval::Diag("trace write failed: %s", status.ToString().c_str());
+      return 1;
+    }
+    eval::Diag("wrote trace (%zu events) to %s",
+               obs::TraceRecorder::Global().event_count(), trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    const Status status =
+        obs::MetricsRegistry::Global().WriteJson(metrics_path);
+    if (!status.ok()) {
+      eval::Diag("metrics write failed: %s", status.ToString().c_str());
+      return 1;
+    }
+    eval::Diag("wrote metrics to %s", metrics_path.c_str());
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "core/index_stats.h"
 #include "core/proxy.h"
 #include "data/dataset.h"
+#include "eval/reporting.h"
 #include "labeler/labeler.h"
 #include "util/stats.h"
 
@@ -59,6 +60,11 @@ int main() {
               session.index_invocations(),
               session.index().num_representatives());
   std::printf("%s\n", core::ComputeIndexStats(session.index()).ToString().c_str());
+
+  // The session kept a per-query ledger the whole time: invocations, wall
+  // time by phase, and the price of each query under the paper's labelers.
+  std::printf("\n-- per-query cost attribution --\n");
+  eval::PrintQueryLog(session.query_log());
 
   // --- Streaming: tonight's new footage arrives ---
   std::printf("\n-- streaming ingestion --\n");

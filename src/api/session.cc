@@ -1,8 +1,23 @@
 #include "api/session.h"
 
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace tasti::api {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
 
 TastiSession::TastiSession(const data::Dataset* dataset,
                            labeler::TargetLabeler* labeler,
@@ -16,11 +31,14 @@ TastiSession::TastiSession(const data::Dataset* dataset,
 
 void TastiSession::EnsureIndex() {
   if (index_.has_value()) return;
+  TASTI_SPAN("session.build_index");
+  WallTimer timer;
   const size_t before = labeler_->invocations();
   labeler::CachingLabeler cache(labeler_);
   index_ = core::TastiIndex::Build(*dataset_, &cache, options_.index);
   index_invocations_ = labeler_->invocations() - before;
   total_invocations_ += index_invocations_;
+  query_log_.RecordIndexBuild(index_invocations_, timer.Seconds());
 }
 
 uint64_t TastiSession::NextSeed() {
@@ -35,25 +53,69 @@ const std::vector<double>& TastiSession::ProxyScores(
       scorer.Name() + "#" + std::to_string(static_cast<int>(mode));
   auto it = proxy_cache_.find(key);
   if (it == proxy_cache_.end()) {
+    core::ProxyTimings timings;
     it = proxy_cache_
-             .emplace(key, core::ComputeProxyScores(*index_, scorer, mode))
+             .emplace(key, core::ComputeProxyScores(*index_, scorer, mode, {},
+                                                    &timings))
              .first;
+    last_proxy_timings_ = timings;
   }
   return it->second;
 }
 
 void TastiSession::FinishQuery(const labeler::CachingLabeler& cache,
-                               size_t invocations_before) {
-  total_invocations_ += labeler_->invocations() - invocations_before;
-  if (!options_.auto_crack) return;
-  if (index_->CrackFrom(cache) > 0) {
-    // New representatives change every propagated score.
-    proxy_cache_.clear();
+                               size_t invocations_before,
+                               std::string query_type, std::string params,
+                               double algorithm_seconds,
+                               double oracle_seconds) {
+  const size_t query_invocations =
+      labeler_->invocations() - invocations_before;
+  total_invocations_ += query_invocations;
+
+  size_t cracked = 0;
+  double crack_seconds = 0.0;
+  if (options_.auto_crack) {
+    TASTI_SPAN("session.crack");
+    WallTimer timer;
+    cracked = index_->CrackFrom(cache);
+    crack_seconds = timer.Seconds();
+    if (cracked > 0) {
+      // New representatives change every propagated score.
+      proxy_cache_.clear();
+    }
+  }
+
+  obs::QueryRecord record;
+  record.query_type = std::move(query_type);
+  record.params = std::move(params);
+  record.phases.rep_score_seconds = last_proxy_timings_.rep_score_seconds;
+  record.phases.propagation_seconds = last_proxy_timings_.propagation_seconds;
+  record.phases.algorithm_seconds = algorithm_seconds;
+  record.phases.oracle_seconds = oracle_seconds;
+  record.phases.crack_seconds = crack_seconds;
+  record.labeler_invocations = query_invocations;
+  record.cracked_representatives = cracked;
+  query_log_.AddQuery(std::move(record));
+
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const queries =
+        obs::MetricsRegistry::Global().counter("session.queries", "queries");
+    static obs::Counter* const invocations =
+        obs::MetricsRegistry::Global().counter("session.query_invocations",
+                                               "calls");
+    static obs::Counter* const cracked_reps =
+        obs::MetricsRegistry::Global().counter("session.cracked_reps",
+                                               "representatives");
+    queries->Increment();
+    invocations->Increment(query_invocations);
+    cracked_reps->Increment(cracked);
   }
 }
 
 queries::AggregationResult TastiSession::Aggregate(const core::Scorer& statistic,
                                                    double error_target) {
+  TASTI_SPAN("query.aggregate");
+  last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(statistic);
   const size_t before = labeler_->invocations();
   labeler::CachingLabeler cache(labeler_);
@@ -61,15 +123,23 @@ queries::AggregationResult TastiSession::Aggregate(const core::Scorer& statistic
   opts.error_target = error_target;
   opts.confidence = options_.confidence;
   opts.seed = NextSeed();
+  WallTimer algo_timer;
+  obs::TimedLabeler timed(&cache, &algo_timer);
   queries::AggregationResult result =
-      queries::EstimateMean(proxy, &cache, statistic, opts);
-  FinishQuery(cache, before);
+      queries::EstimateMean(proxy, &timed, statistic, opts);
+  algo_timer.Pause();
+  FinishQuery(cache, before, "aggregate",
+              "scorer=" + statistic.Name() +
+                  " error_target=" + FmtDouble(error_target),
+              algo_timer.Seconds(), timed.seconds());
   return result;
 }
 
 queries::PredicateAggregationResult TastiSession::AggregateWhere(
     const core::Scorer& predicate, const core::Scorer& statistic,
     double error_target) {
+  TASTI_SPAN("query.aggregate_where");
+  last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
   const size_t before = labeler_->invocations();
   labeler::CachingLabeler cache(labeler_);
@@ -77,15 +147,23 @@ queries::PredicateAggregationResult TastiSession::AggregateWhere(
   opts.error_target = error_target;
   opts.confidence = options_.confidence;
   opts.seed = NextSeed();
+  WallTimer algo_timer;
+  obs::TimedLabeler timed(&cache, &algo_timer);
   queries::PredicateAggregationResult result = queries::EstimateMeanWithPredicate(
-      proxy, &cache, predicate, statistic, opts);
-  FinishQuery(cache, before);
+      proxy, &timed, predicate, statistic, opts);
+  algo_timer.Pause();
+  FinishQuery(cache, before, "aggregate_where",
+              "predicate=" + predicate.Name() + " statistic=" +
+                  statistic.Name() + " error_target=" + FmtDouble(error_target),
+              algo_timer.Seconds(), timed.seconds());
   return result;
 }
 
 queries::SupgResult TastiSession::SelectWithRecall(const core::Scorer& predicate,
                                                    double recall_target,
                                                    size_t budget) {
+  TASTI_SPAN("query.select_recall");
+  last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
   const size_t before = labeler_->invocations();
   labeler::CachingLabeler cache(labeler_);
@@ -94,14 +172,23 @@ queries::SupgResult TastiSession::SelectWithRecall(const core::Scorer& predicate
   opts.confidence = options_.confidence;
   opts.budget = budget;
   opts.seed = NextSeed();
+  WallTimer algo_timer;
+  obs::TimedLabeler timed(&cache, &algo_timer);
   queries::SupgResult result =
-      queries::SupgRecallSelect(proxy, &cache, predicate, opts);
-  FinishQuery(cache, before);
+      queries::SupgRecallSelect(proxy, &timed, predicate, opts);
+  algo_timer.Pause();
+  FinishQuery(cache, before, "supg_recall",
+              "predicate=" + predicate.Name() +
+                  " recall_target=" + FmtDouble(recall_target) +
+                  " budget=" + std::to_string(budget),
+              algo_timer.Seconds(), timed.seconds());
   return result;
 }
 
 queries::SupgResult TastiSession::SelectWithPrecision(
     const core::Scorer& predicate, double precision_target, size_t budget) {
+  TASTI_SPAN("query.select_precision");
+  last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
   const size_t before = labeler_->invocations();
   labeler::CachingLabeler cache(labeler_);
@@ -110,42 +197,65 @@ queries::SupgResult TastiSession::SelectWithPrecision(
   opts.confidence = options_.confidence;
   opts.budget = budget;
   opts.seed = NextSeed();
+  WallTimer algo_timer;
+  obs::TimedLabeler timed(&cache, &algo_timer);
   queries::SupgResult result =
-      queries::SupgPrecisionSelect(proxy, &cache, predicate, opts);
-  FinishQuery(cache, before);
+      queries::SupgPrecisionSelect(proxy, &timed, predicate, opts);
+  algo_timer.Pause();
+  FinishQuery(cache, before, "supg_precision",
+              "predicate=" + predicate.Name() +
+                  " precision_target=" + FmtDouble(precision_target) +
+                  " budget=" + std::to_string(budget),
+              algo_timer.Seconds(), timed.seconds());
   return result;
 }
 
 queries::ThresholdSelectResult TastiSession::Select(const core::Scorer& predicate,
                                                     size_t validation_budget) {
+  TASTI_SPAN("query.select");
+  last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
   const size_t before = labeler_->invocations();
   labeler::CachingLabeler cache(labeler_);
   queries::ThresholdSelectOptions opts;
   opts.validation_budget = validation_budget;
   opts.seed = NextSeed();
+  WallTimer algo_timer;
+  obs::TimedLabeler timed(&cache, &algo_timer);
   queries::ThresholdSelectResult result =
-      queries::ThresholdSelect(proxy, &cache, predicate, opts);
-  FinishQuery(cache, before);
+      queries::ThresholdSelect(proxy, &timed, predicate, opts);
+  algo_timer.Pause();
+  FinishQuery(cache, before, "threshold_select",
+              "predicate=" + predicate.Name() + " validation_budget=" +
+                  std::to_string(validation_budget),
+              algo_timer.Seconds(), timed.seconds());
   return result;
 }
 
 queries::LimitResult TastiSession::Limit(const core::Scorer& predicate,
                                          size_t want) {
+  TASTI_SPAN("query.limit");
+  last_proxy_timings_ = {};
   const std::vector<double> ranking =
       ProxyScores(predicate, core::PropagationMode::kLimit);
   const size_t before = labeler_->invocations();
   labeler::CachingLabeler cache(labeler_);
   queries::LimitOptions opts;
   opts.want = want;
+  WallTimer algo_timer;
+  obs::TimedLabeler timed(&cache, &algo_timer);
   queries::LimitResult result =
-      queries::LimitQuery(ranking, &cache, predicate, opts);
+      queries::LimitQuery(ranking, &timed, predicate, opts);
+  algo_timer.Pause();
   ++queries_executed_;
-  FinishQuery(cache, before);
+  FinishQuery(cache, before, "limit",
+              "predicate=" + predicate.Name() + " want=" + std::to_string(want),
+              algo_timer.Seconds(), timed.seconds());
   return result;
 }
 
 double TastiSession::EstimateDirect(const core::Scorer& statistic) {
+  TASTI_SPAN("query.estimate_direct");
   return queries::DirectAggregate(ProxyScores(statistic));
 }
 

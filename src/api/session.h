@@ -31,6 +31,7 @@
 #include "core/scorer.h"
 #include "data/dataset.h"
 #include "labeler/labeler.h"
+#include "obs/query_log.h"
 #include "queries/aggregation.h"
 #include "queries/limit.h"
 #include "queries/noguarantee.h"
@@ -119,6 +120,14 @@ class TastiSession {
   /// Queries executed so far.
   size_t queries_executed() const { return queries_executed_; }
 
+  /// Per-query cost ledger: one record per query with wall time split by
+  /// phase, labeler invocations attributed to that query, and their price
+  /// under the Table-1 cost model. The attribution invariant
+  /// (index + sum of queries == labeler->invocations()) holds when the
+  /// labeler entered the session with a zero invocation counter.
+  const obs::QueryLog& query_log() const { return query_log_; }
+  obs::QueryLog& mutable_query_log() { return query_log_; }
+
   /// Proxy scores for a scorer (cached until the next crack).
   const std::vector<double>& ProxyScores(
       const core::Scorer& scorer,
@@ -128,10 +137,15 @@ class TastiSession {
   void EnsureIndex();
   uint64_t NextSeed();
   // Runs after every query: accounts the labeler calls it consumed,
-  // cracks the index with the query's labels, and invalidates cached
-  // proxies if anything changed.
+  // cracks the index with the query's labels, invalidates cached proxies
+  // if anything changed, and appends the query's record to the log.
+  // `algorithm_seconds` is pure algorithm time (the TimedLabeler pauses
+  // the timer inside oracle calls); `oracle_seconds` is the wall time
+  // inside those calls.
   void FinishQuery(const labeler::CachingLabeler& cache,
-                   size_t invocations_before);
+                   size_t invocations_before, std::string query_type,
+                   std::string params, double algorithm_seconds,
+                   double oracle_seconds);
 
   const data::Dataset* dataset_;
   labeler::TargetLabeler* labeler_;
@@ -141,6 +155,10 @@ class TastiSession {
   size_t total_invocations_ = 0;
   size_t index_invocations_ = 0;
   size_t queries_executed_ = 0;
+  obs::QueryLog query_log_;
+  // Proxy phase times of the current query; zero when ProxyScores hits
+  // its cache. Reset by each query method before calling ProxyScores.
+  core::ProxyTimings last_proxy_timings_;
 };
 
 }  // namespace tasti::api

@@ -7,6 +7,8 @@
 #include "cluster/kmeans.h"
 #include "embed/pretrained.h"
 #include "embed/triplet_trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -20,6 +22,13 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
               "labeler/dataset record count mismatch");
   TASTI_CHECK(options.num_representatives > 0, "need at least one representative");
   TASTI_CHECK(options.k > 0, "k must be positive");
+
+  TASTI_SPAN("index.build");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const builds =
+        obs::MetricsRegistry::Global().counter("index.builds", "builds");
+    builds->Increment();
+  }
 
   TastiIndex index;
   index.options_ = options;
@@ -58,6 +67,7 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
   // Step 3: embed every record; the index retains the embedder so new
   // records can be ingested later (streaming).
   {
+    TASTI_SPAN("index.embed");
     WallTimer timer;
     index.embeddings_ = embedder->Embed(dataset.features);
     index.build_stats_.embed_seconds = timer.Seconds();
@@ -72,6 +82,7 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
 
   // Step 4: select cluster representatives.
   {
+    TASTI_SPAN("index.select_reps");
     WallTimer timer;
     switch (options.rep_selection) {
       case RepSelectionPolicy::kFpfMixed:
@@ -94,6 +105,7 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
 
   // Annotate representatives with the target labeler.
   {
+    TASTI_SPAN("index.annotate_reps");
     const size_t invocations_before = labeler->invocations();
     index.rep_labels_.reserve(index.rep_record_ids_.size());
     for (size_t record : index.rep_record_ids_) {
@@ -109,6 +121,7 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
 
   // Step 5: min-k distances (exact, or IVF-approximate at scale).
   {
+    TASTI_SPAN("index.min_k");
     WallTimer timer;
     if (options.use_ivf) {
       cluster::IvfOptions ivf_options;
@@ -152,6 +165,7 @@ void TastiIndex::AddRepresentative(size_t record_id, data::LabelerOutput label) 
 }
 
 size_t TastiIndex::CrackFrom(const labeler::CachingLabeler& cache) {
+  TASTI_SPAN("index.crack");
   // Collect the new representatives first so the embedding matrix grows
   // once, not per record.
   std::vector<size_t> additions;
@@ -183,6 +197,7 @@ size_t TastiIndex::CrackFrom(const labeler::CachingLabeler& cache) {
 }
 
 size_t TastiIndex::AppendRecords(const nn::Matrix& new_features) {
+  TASTI_SPAN("index.append_records");
   TASTI_CHECK(embedder_ != nullptr,
               "AppendRecords requires the index's embedding network");
   TASTI_CHECK(new_features.rows() > 0, "no records to append");

@@ -1,24 +1,44 @@
 #include "core/proxy.h"
 
+#include "obs/trace.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace tasti::core {
 
 std::vector<double> ComputeProxyScores(const TastiIndex& index,
                                        const Scorer& scorer,
                                        PropagationMode mode,
-                                       const PropagationOptions& options) {
-  const std::vector<double> rep_scores = RepresentativeScores(index, scorer);
+                                       const PropagationOptions& options,
+                                       ProxyTimings* timings) {
+  WallTimer timer;
+  std::vector<double> rep_scores;
+  {
+    TASTI_SPAN("query.proxy.rep_scores");
+    rep_scores = RepresentativeScores(index, scorer);
+  }
+  if (timings != nullptr) {
+    timings->rep_score_seconds = timer.Seconds();
+    timer.Restart();
+  }
+
+  TASTI_SPAN("query.proxy.propagate");
+  std::vector<double> propagated;
   switch (mode) {
     case PropagationMode::kNumeric:
-      return PropagateNumeric(index, rep_scores, options);
+      propagated = PropagateNumeric(index, rep_scores, options);
+      break;
     case PropagationMode::kCategorical:
-      return PropagateCategorical(index, rep_scores, options);
+      propagated = PropagateCategorical(index, rep_scores, options);
+      break;
     case PropagationMode::kLimit:
-      return PropagateLimit(index, rep_scores);
+      propagated = PropagateLimit(index, rep_scores);
+      break;
+    default:
+      TASTI_CHECK(false, "unknown propagation mode");
   }
-  TASTI_CHECK(false, "unknown propagation mode");
-  return {};
+  if (timings != nullptr) timings->propagation_seconds = timer.Seconds();
+  return propagated;
 }
 
 std::vector<double> ExactScores(const data::Dataset& dataset,

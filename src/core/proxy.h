@@ -26,11 +26,20 @@ enum class PropagationMode {
   kLimit,
 };
 
-/// Generates proxy scores for every record.
+/// Wall-time split of one ComputeProxyScores call, for per-query cost
+/// attribution (obs::QueryLog).
+struct ProxyTimings {
+  double rep_score_seconds = 0.0;    ///< scorer over the representatives
+  double propagation_seconds = 0.0;  ///< propagation to all records
+};
+
+/// Generates proxy scores for every record. When `timings` is non-null it
+/// receives the wall time of the two phases.
 std::vector<double> ComputeProxyScores(const TastiIndex& index,
                                        const Scorer& scorer,
                                        PropagationMode mode = PropagationMode::kNumeric,
-                                       const PropagationOptions& options = {});
+                                       const PropagationOptions& options = {},
+                                       ProxyTimings* timings = nullptr);
 
 /// Exact scores for every record via a ground-truth labeler — used by the
 /// evaluation harness to measure proxy quality, never by query processing.

@@ -8,6 +8,7 @@
 #include "nn/kernels.h"
 #include "nn/optimizer.h"
 #include "nn/triplet.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -153,21 +154,27 @@ TripletTrainResult TrainTripletEmbedder(const nn::Matrix& features,
   // Step 1-2: mine training records (FPF over pretrained embeddings, or
   // uniform random for the ablation).
   const size_t n1 = std::min(options.num_training_records, features.rows());
-  if (options.use_fpf_mining) {
-    const nn::Matrix pre = pretrained.Embed(features);
-    cluster::FpfResult fpf = cluster::FurthestPointFirst(
-        pre, n1, static_cast<size_t>(rng.UniformInt(pre.rows())));
-    result.training_indices = fpf.centers;
-  } else {
-    result.training_indices =
-        cluster::RandomSelection(features.rows(), n1, &rng);
+  {
+    TASTI_SPAN("index.fpf_mine");
+    if (options.use_fpf_mining) {
+      const nn::Matrix pre = pretrained.Embed(features);
+      cluster::FpfResult fpf = cluster::FurthestPointFirst(
+          pre, n1, static_cast<size_t>(rng.UniformInt(pre.rows())));
+      result.training_indices = fpf.centers;
+    } else {
+      result.training_indices =
+          cluster::RandomSelection(features.rows(), n1, &rng);
+    }
   }
 
   // Step 3: annotate and bucket.
   std::vector<data::LabelerOutput> annotations;
   annotations.reserve(result.training_indices.size());
-  for (size_t idx : result.training_indices) {
-    annotations.push_back(labeler->Label(idx));
+  {
+    TASTI_SPAN("index.annotate_train");
+    for (size_t idx : result.training_indices) {
+      annotations.push_back(labeler->Label(idx));
+    }
   }
   const Buckets buckets = BucketTrainingData(annotations, closeness.bucket_key);
 
@@ -183,6 +190,7 @@ TripletTrainResult TrainTripletEmbedder(const nn::Matrix& features,
                                         ? options.triplets_per_epoch
                                         : 2 * result.training_indices.size();
 
+  TASTI_SPAN("index.triplet_train");
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
     std::vector<Triplet> triplets = SampleTriplets(
         buckets, triplets_per_epoch, std::max<size_t>(1, options.negative_candidates),

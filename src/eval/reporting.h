@@ -3,10 +3,17 @@
 
 /// \file reporting.h
 /// Uniform console output for the figure/table benches: a banner naming
-/// the experiment, the paper's reference numbers, and the measured table.
+/// the experiment, the paper's reference numbers, the measured table, and
+/// a diagnostic sink for progress chatter.
+///
+/// All example/tool diagnostics route through Diag() instead of raw
+/// printf, so a single SetQuiet(true) silences progress output (e.g. when
+/// a tool's stdout must stay machine-parseable) without touching the
+/// call sites.
 
 #include <string>
 
+#include "obs/query_log.h"
 #include "util/table.h"
 
 namespace tasti::eval {
@@ -24,6 +31,23 @@ void PrintTable(const TablePrinter& table);
 
 /// Prints a one-line measured takeaway, prefixed with "measured:".
 void PrintTakeaway(const std::string& text);
+
+/// Suppresses Diag() output (reports above still print).
+void SetQuiet(bool quiet);
+bool Quiet();
+
+/// printf-style diagnostic line ("# " prefix, newline appended). No-op
+/// when SetQuiet(true) is in effect.
+void Diag(const char* format, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+/// Folds a session's QueryLog into an experiment report: the index
+/// charge, one table row per query (type, invocations, phase seconds,
+/// human-labeler dollars), and the session totals.
+void PrintQueryLog(const obs::QueryLog& log);
 
 }  // namespace tasti::eval
 

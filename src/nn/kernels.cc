@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace tasti::nn {
@@ -74,6 +75,19 @@ void PackedBlock::Pack(const Matrix& reps, size_t row_begin, size_t row_end) {
 
 std::vector<PackedBlock> PackBlocks(const Matrix& reps, size_t block_rows) {
   TASTI_CHECK(block_rows > 0, "PackBlocks requires a positive block size");
+  // Coarse counters only at kernel entry points that amortize over many
+  // rows; the per-row inner kernels (DotBatch, SquaredDistanceBatch) stay
+  // uninstrumented so the disabled path adds nothing measurable.
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const calls =
+        obs::MetricsRegistry::Global().counter("kernels.pack_blocks.calls",
+                                               "calls");
+    static obs::Counter* const rows =
+        obs::MetricsRegistry::Global().counter("kernels.pack_blocks.rows",
+                                               "rows");
+    calls->Increment();
+    rows->Increment(reps.rows());
+  }
   std::vector<PackedBlock> blocks;
   blocks.reserve((reps.rows() + block_rows - 1) / block_rows);
   for (size_t lo = 0; lo < reps.rows(); lo += block_rows) {
@@ -138,6 +152,12 @@ void SquaredDistanceBatch(const Matrix& points, size_t point_row,
 void SquaredDistanceOneToMany(const Matrix& m, size_t lo, size_t hi,
                               const float* y, float* out) {
   TASTI_CHECK(lo <= hi && hi <= m.rows(), "OneToMany row range out of bounds");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const rows =
+        obs::MetricsRegistry::Global().counter("kernels.one_to_many.rows",
+                                               "rows");
+    rows->Increment(hi - lo);
+  }
   const size_t d = m.cols();
   for (size_t i = lo; i < hi; ++i) {
     out[i - lo] = SquaredDistanceFlat(m.Row(i), y, d);
@@ -154,6 +174,11 @@ void SquaredDistanceGather(const Matrix& queries, size_t query_row,
                            const Matrix& reps, const uint32_t* ids,
                            size_t count, float* out) {
   TASTI_CHECK(queries.cols() == reps.cols(), "Gather dimension mismatch");
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const rows =
+        obs::MetricsRegistry::Global().counter("kernels.gather.rows", "rows");
+    rows->Increment(count);
+  }
   const float* q = queries.Row(query_row);
   const size_t d = reps.cols();
   for (size_t t = 0; t < count; ++t) {
@@ -164,6 +189,14 @@ void SquaredDistanceGather(const Matrix& queries, size_t query_row,
 void GemmBTBlocked(const Matrix& a, const Matrix& b, Matrix* c) {
   TASTI_CHECK(a.cols() == b.cols(), "GemmBT inner dimension mismatch");
   const size_t m = a.rows(), n = b.rows();
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const calls =
+        obs::MetricsRegistry::Global().counter("kernels.gemmbt.calls", "calls");
+    static obs::Counter* const cells =
+        obs::MetricsRegistry::Global().counter("kernels.gemmbt.cells", "cells");
+    calls->Increment();
+    cells->Increment(static_cast<uint64_t>(m) * n);
+  }
   if (c->rows() != m || c->cols() != n) *c = Matrix(m, n);
   const std::vector<PackedBlock> blocks = PackBlocks(b);
   for (const PackedBlock& block : blocks) {

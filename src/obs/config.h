@@ -1,0 +1,56 @@
+#ifndef TASTI_OBS_CONFIG_H_
+#define TASTI_OBS_CONFIG_H_
+
+/// \file config.h
+/// Global observability switches.
+///
+/// Tracing and metrics are off by default and must cost next to nothing
+/// while off: every instrumentation site guards itself with one relaxed
+/// atomic load and a branch (see Span in trace.h and the TASTI_METRIC_*
+/// helpers in metrics.h). The flags are constinit atomics — no static
+/// initialization guard on the hot path.
+
+#include <atomic>
+
+namespace tasti::obs {
+
+/// Process-wide observability configuration.
+struct Config {
+  std::atomic<bool> tracing{false};
+  std::atomic<bool> metrics{false};
+};
+
+inline constinit Config g_config;
+
+/// One relaxed load: the only cost a disabled span pays.
+inline bool TracingEnabled() {
+  return g_config.tracing.load(std::memory_order_relaxed);
+}
+
+/// One relaxed load: the only cost a disabled metric update pays.
+inline bool MetricsEnabled() {
+  return g_config.metrics.load(std::memory_order_relaxed);
+}
+
+inline void SetTracingEnabled(bool on) {
+  g_config.tracing.store(on, std::memory_order_relaxed);
+}
+
+inline void SetMetricsEnabled(bool on) {
+  g_config.metrics.store(on, std::memory_order_relaxed);
+}
+
+/// Convenience: flip both subsystems at once.
+inline void EnableAll() {
+  SetTracingEnabled(true);
+  SetMetricsEnabled(true);
+}
+
+inline void DisableAll() {
+  SetTracingEnabled(false);
+  SetMetricsEnabled(false);
+}
+
+}  // namespace tasti::obs
+
+#endif  // TASTI_OBS_CONFIG_H_

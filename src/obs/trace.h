@@ -1,0 +1,148 @@
+#ifndef TASTI_OBS_TRACE_H_
+#define TASTI_OBS_TRACE_H_
+
+/// \file trace.h
+/// Low-overhead tracing with RAII spans and Chrome trace_event export.
+///
+/// Spans record where wall time goes across index construction and query
+/// processing. Each completed span becomes one Chrome "X" (complete) event
+/// — name, steady-clock timestamp, duration, thread id — so the export is
+/// well-formed by construction (no unpaired begin/end) and loads directly
+/// in chrome://tracing or Perfetto.
+///
+/// Concurrency: events land in per-thread buffers. Each buffer has its own
+/// mutex (uncontended on the hot path — only export racing a writer ever
+/// blocks), and the buffer registry is guarded separately. A disabled span
+/// costs one relaxed atomic load and a branch; nothing is allocated.
+///
+/// Span names must be string literals (or otherwise outlive the recorder):
+/// events store the pointer, not a copy.
+///
+///   {
+///     obs::Span span("index.embed");
+///     ...  // work
+///   }  // event recorded here, if tracing was enabled at construction
+///
+/// The span naming scheme is documented in DESIGN.md §8.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/config.h"
+#include "util/status.h"
+
+namespace tasti::obs {
+
+/// One completed span. Timestamps are microseconds on the steady clock,
+/// relative to the recorder's construction (or last Clear()).
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t ts_us = 0;
+  int64_t dur_us = 0;
+  uint32_t tid = 0;
+};
+
+/// Collects spans from any number of threads and exports Chrome trace
+/// JSON. Thread-safe. Use Global() for the process-wide recorder that the
+/// Span(name) convenience constructor targets.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Process-wide recorder (never destroyed, so worker threads may record
+  /// during static teardown without use-after-free).
+  static TraceRecorder& Global();
+
+  /// Microseconds since the recorder epoch (steady clock).
+  int64_t NowMicros() const;
+
+  /// Appends one completed event from the calling thread.
+  void Record(const char* name, int64_t ts_us, int64_t dur_us);
+
+  /// Snapshot of every buffered event (merged across threads, ordered by
+  /// timestamp).
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total buffered events.
+  size_t event_count() const;
+
+  /// Drops all buffered events and resets the epoch.
+  void Clear();
+
+  /// Chrome trace_event JSON: {"traceEvents": [...]} with "X" phase
+  /// events, ts/dur in microseconds.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    std::thread::id owner;
+    uint32_t tid = 0;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  const uint64_t recorder_id_;
+  mutable std::mutex mu_;  // guards buffers_ (the list, not the contents)
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::chrono::steady_clock::time_point epoch_;
+  uint32_t next_tid_ = 1;
+};
+
+/// RAII span over the global recorder. If tracing is disabled at
+/// construction, the destructor is a null-pointer check and nothing is
+/// recorded (a span that straddles a disable still completes — events are
+/// never half-recorded).
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (TracingEnabled()) Begin(&TraceRecorder::Global(), name);
+  }
+
+  /// Records into a specific recorder regardless of the global flag
+  /// (test hook).
+  Span(TraceRecorder* recorder, const char* name) { Begin(recorder, name); }
+
+  ~Span() {
+    if (recorder_ != nullptr) {
+      recorder_->Record(name_, start_us_, recorder_->NowMicros() - start_us_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void Begin(TraceRecorder* recorder, const char* name) {
+    recorder_ = recorder;
+    name_ = name;
+    start_us_ = recorder->NowMicros();
+  }
+
+  TraceRecorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace tasti::obs
+
+/// Names a scoped span without inventing a variable name at the call site.
+#define TASTI_SPAN_CONCAT_(a, b) a##b
+#define TASTI_SPAN_CONCAT(a, b) TASTI_SPAN_CONCAT_(a, b)
+#define TASTI_SPAN(name) \
+  ::tasti::obs::Span TASTI_SPAN_CONCAT(tasti_span_, __LINE__)(name)
+
+#endif  // TASTI_OBS_TRACE_H_

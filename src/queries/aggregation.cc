@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -96,18 +97,21 @@ AggregationResult EstimateMean(const std::vector<double>& proxy_scores,
     return half <= options.error_target;
   };
 
-  for (size_t taken = 0; taken < max_samples; ++taken) {
-    const size_t record = order[taken];
-    const data::LabelerOutput label = labeler->Label(record);
-    samples.f.push_back(scorer.Score(label));
-    samples.p.push_back(proxy_scores[record]);
+  {
+    TASTI_SPAN("query.agg.sample");
+    for (size_t taken = 0; taken < max_samples; ++taken) {
+      const size_t record = order[taken];
+      const data::LabelerOutput label = labeler->Label(record);
+      samples.f.push_back(scorer.Score(label));
+      samples.p.push_back(proxy_scores[record]);
 
-    const size_t count = taken + 1;
-    if (count >= options.min_samples &&
-        (count - options.min_samples) % options.check_interval == 0) {
-      if (evaluate_stop(count)) {
-        result.converged = true;
-        break;
+      const size_t count = taken + 1;
+      if (count >= options.min_samples &&
+          (count - options.min_samples) % options.check_interval == 0) {
+        if (evaluate_stop(count)) {
+          result.converged = true;
+          break;
+        }
       }
     }
   }

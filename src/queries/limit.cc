@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace tasti::queries {
@@ -29,6 +30,7 @@ LimitResult LimitQuery(const std::vector<double>& ranking_scores,
   });
 
   LimitResult result;
+  TASTI_SPAN("query.limit.scan");
   for (size_t i = 0; i < cap; ++i) {
     const size_t record = order[i];
     const data::LabelerOutput label = labeler->Label(record);

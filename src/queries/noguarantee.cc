@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -46,9 +47,12 @@ ThresholdSelectResult ThresholdSelect(const std::vector<double>& proxy_scores,
   std::vector<bool> val_truth;
   val_proxy.reserve(budget);
   val_truth.reserve(budget);
-  for (size_t record : validation) {
-    val_proxy.push_back(proxy_scores[record]);
-    val_truth.push_back(predicate.Score(labeler->Label(record)) >= 0.5);
+  {
+    TASTI_SPAN("query.select.validate");
+    for (size_t record : validation) {
+      val_proxy.push_back(proxy_scores[record]);
+      val_truth.push_back(predicate.Score(labeler->Label(record)) >= 0.5);
+    }
   }
 
   // Sweep thresholds over the observed proxy range; pick the best F1.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -84,6 +85,7 @@ PredicateAggregationResult EstimateMeanWithPredicate(
     return result.half_width <= options.error_target;
   };
 
+  TASTI_SPAN("query.predagg.sample");
   for (size_t taken = 0; taken < max_samples; ++taken) {
     const double target = rng.Uniform() * total_weight;
     const size_t record = std::min(

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -51,21 +52,26 @@ SupgResult SupgRecallSelect(const std::vector<double>& proxy_scores,
   };
   std::vector<Sampled> samples;
   samples.reserve(budget);
-  for (size_t s = 0; s < budget; ++s) {
-    const double target = rng.Uniform() * total_weight;
-    const size_t record = static_cast<size_t>(
-        std::lower_bound(prefix.begin(), prefix.end(), target) - prefix.begin());
-    const size_t clamped = std::min(record, n - 1);
-    const data::LabelerOutput label = labeler->Label(clamped);
-    Sampled sample;
-    sample.record = clamped;
-    sample.proxy = std::clamp(proxy_scores[clamped], 0.0, 1.0);
-    sample.importance =
-        (1.0 / static_cast<double>(n)) / (weights[clamped] / total_weight);
-    sample.positive = scorer.Score(label) >= 0.5;
-    samples.push_back(sample);
+  {
+    TASTI_SPAN("query.supg.sample");
+    for (size_t s = 0; s < budget; ++s) {
+      const double target = rng.Uniform() * total_weight;
+      const size_t record = static_cast<size_t>(
+          std::lower_bound(prefix.begin(), prefix.end(), target) -
+          prefix.begin());
+      const size_t clamped = std::min(record, n - 1);
+      const data::LabelerOutput label = labeler->Label(clamped);
+      Sampled sample;
+      sample.record = clamped;
+      sample.proxy = std::clamp(proxy_scores[clamped], 0.0, 1.0);
+      sample.importance =
+          (1.0 / static_cast<double>(n)) / (weights[clamped] / total_weight);
+      sample.positive = scorer.Score(label) >= 0.5;
+      samples.push_back(sample);
+    }
   }
 
+  TASTI_SPAN("query.supg.threshold");
   // Importance-weighted positive mass, overall and below each candidate
   // threshold. Candidates are the distinct sampled proxy values.
   std::sort(samples.begin(), samples.end(),
@@ -171,20 +177,24 @@ SupgResult SupgPrecisionSelect(const std::vector<double>& proxy_scores,
   };
   std::vector<Sampled> samples;
   samples.reserve(budget);
-  for (size_t s = 0; s < budget; ++s) {
-    const double target = rng.Uniform() * total_weight;
-    const size_t record = std::min(
-        static_cast<size_t>(std::lower_bound(prefix.begin(), prefix.end(),
-                                             target) -
-                            prefix.begin()),
-        n - 1);
-    const data::LabelerOutput label = labeler->Label(record);
-    samples.push_back({record, std::clamp(proxy_scores[record], 0.0, 1.0),
-                       (1.0 / static_cast<double>(n)) /
-                           (weights[record] / total_weight),
-                       scorer.Score(label) >= 0.5});
+  {
+    TASTI_SPAN("query.supg.sample");
+    for (size_t s = 0; s < budget; ++s) {
+      const double target = rng.Uniform() * total_weight;
+      const size_t record = std::min(
+          static_cast<size_t>(std::lower_bound(prefix.begin(), prefix.end(),
+                                               target) -
+                              prefix.begin()),
+          n - 1);
+      const data::LabelerOutput label = labeler->Label(record);
+      samples.push_back({record, std::clamp(proxy_scores[record], 0.0, 1.0),
+                         (1.0 / static_cast<double>(n)) /
+                             (weights[record] / total_weight),
+                         scorer.Score(label) >= 0.5});
+    }
   }
 
+  TASTI_SPAN("query.supg.threshold");
   // Walk candidate thresholds from high to low; keep the lowest threshold
   // whose importance-weighted precision above it clears the inflated
   // target. This maximizes the returned set (recall) subject to precision.

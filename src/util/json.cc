@@ -1,0 +1,233 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace tasti::json {
+
+bool Value::AsBool() const {
+  TASTI_CHECK(is_bool(), "JSON value is not a bool");
+  return bool_;
+}
+
+double Value::AsDouble() const {
+  TASTI_CHECK(is_number(), "JSON value is not a number");
+  return number_;
+}
+
+const std::string& Value::AsString() const {
+  TASTI_CHECK(is_string(), "JSON value is not a string");
+  return string_;
+}
+
+const std::vector<Value>& Value::AsArray() const {
+  TASTI_CHECK(is_array(), "JSON value is not an array");
+  return array_;
+}
+
+const std::map<std::string, Value>& Value::AsObject() const {
+  TASTI_CHECK(is_object(), "JSON value is not an object");
+  return object_;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+double Value::GetNumberOr(const std::string& key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_ : fallback;
+}
+
+std::string Value::GetStringOr(const std::string& key,
+                               const std::string& fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_ : fallback;
+}
+
+/// Recursive-descent parser over the input text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Parse() {
+    Value root;
+    Status st = ParseValue(&root, 0);
+    if (!st.ok()) return st;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->type_ = Value::Type::kString;
+        return ParseString(&out->string_);
+      case 't':
+      case 'f':
+        return ParseKeyword(c == 't' ? "true" : "false", out);
+      case 'n':
+        return ParseKeyword("null", out);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseKeyword(const char* word, Value* out) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return Error(std::string("expected '") + word + "'");
+      }
+    }
+    if (word[0] == 'n') {
+      out->type_ = Value::Type::kNull;
+    } else {
+      out->type_ = Value::Type::kBool;
+      out->bool_ = word[0] == 't';
+    }
+    return Status::OK();
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    out->type_ = Value::Type::kNumber;
+    out->number_ = parsed;
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error("bad \\u escape digit");
+            }
+            if (code > 0xFF) return Error("\\u escape beyond Latin-1 unsupported");
+            out->push_back(static_cast<char>(code));
+            break;
+          }
+          default:
+            return Error("unknown escape character");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    Consume('[');
+    out->type_ = Value::Type::kArray;
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    for (;;) {
+      Value element;
+      TASTI_RETURN_NOT_OK(ParseValue(&element, depth + 1));
+      out->array_.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    Consume('{');
+    out->type_ = Value::Type::kObject;
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      TASTI_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      Value member;
+      TASTI_RETURN_NOT_OK(ParseValue(&member, depth + 1));
+      out->object_.emplace(std::move(key), std::move(member));
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<Value> Value::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace tasti::json

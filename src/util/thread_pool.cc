@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace tasti {
 
@@ -11,7 +15,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -25,12 +29,25 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::unique_lock<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
     ++in_flight_;
+    depth = tasks_.size();
   }
   task_ready_.notify_one();
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const submitted =
+        obs::MetricsRegistry::Global().counter("threadpool.tasks_submitted",
+                                               "tasks");
+    static obs::Histogram* const queue_depth =
+        obs::MetricsRegistry::Global().histogram(
+            "threadpool.queue_depth",
+            obs::ExponentialBuckets(1.0, 2.0, 12), "tasks");
+    submitted->Increment();
+    queue_depth->Observe(static_cast<double>(depth));
+  }
 }
 
 void ThreadPool::Wait() {
@@ -38,7 +55,13 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker) {
+  // Instrument pointers resolve lazily (metrics may be enabled after the
+  // pool spins up) and are cached per worker thread; registry instruments
+  // are never destroyed, so the cached pointers cannot dangle.
+  obs::Counter* busy_micros = nullptr;
+  obs::Counter* total_busy = nullptr;
+  obs::Counter* completed = nullptr;
   for (;;) {
     std::function<void()> task;
     {
@@ -51,7 +74,27 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    if (obs::MetricsEnabled()) {
+      if (busy_micros == nullptr) {
+        obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+        busy_micros = registry.counter(
+            "threadpool.worker." + std::to_string(worker) + ".busy_micros",
+            "micros");
+        total_busy = registry.counter("threadpool.busy_micros", "micros");
+        completed = registry.counter("threadpool.tasks_completed", "tasks");
+      }
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      const auto micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      busy_micros->Increment(micros);
+      total_busy->Increment(micros);
+      completed->Increment();
+    } else {
+      task();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
       --in_flight_;

@@ -42,7 +42,7 @@ class ThreadPool {
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

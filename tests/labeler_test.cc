@@ -8,6 +8,7 @@
 #include "labeler/cost_model.h"
 #include "labeler/crowd.h"
 #include "labeler/labeler.h"
+#include "obs/query_log.h"
 
 namespace tasti::labeler {
 namespace {
@@ -230,6 +231,86 @@ TEST(CrowdLabelerTest, WorksAsIndexTargetLabeler) {
   // Each of the <= 200 annotated records costs num_workers invocations.
   EXPECT_LE(crowd.invocations(), 200u * 3u);
   EXPECT_GE(crowd.invocations(), 100u * 3u);
+}
+
+// ---------- Wrapper invocation contract ----------
+//
+// TargetLabeler::invocations() is documented as "including those of
+// wrapped labelers": every wrapper must delegate counting to its inner
+// labeler so that, however deep the wrapping (caching inside timing
+// inside caching...), all layers agree with the base oracle. These are
+// regression tests for the per-query attribution in obs::QueryLog, which
+// relies on deltas of the base counter.
+
+TEST(WrapperContractTest, NestedCachingChainsAgreeWithOracle) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler oracle(&ds);
+  CachingLabeler inner(&oracle);
+  CachingLabeler outer(&inner);
+  outer.Label(3);
+  outer.Label(3);  // outer cache hit: no new invocation anywhere
+  inner.Label(3);  // inner cache hit
+  outer.Label(4);
+  EXPECT_EQ(oracle.invocations(), 2u);
+  EXPECT_EQ(inner.invocations(), 2u);
+  EXPECT_EQ(outer.invocations(), 2u);
+}
+
+TEST(WrapperContractTest, ResetPropagatesToTheBaseOracle) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler oracle(&ds);
+  CachingLabeler cache(&oracle);
+  obs::TimedLabeler timed(&cache, nullptr);
+  timed.Label(0);
+  timed.Label(1);
+  EXPECT_EQ(timed.invocations(), 2u);
+  timed.ResetInvocations();
+  EXPECT_EQ(oracle.invocations(), 0u);
+  EXPECT_EQ(cache.invocations(), 0u);
+  EXPECT_EQ(timed.invocations(), 0u);
+}
+
+TEST(WrapperContractTest, TimedLabelerDelegatesCountingAndRecords) {
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler oracle(&ds);
+  obs::TimedLabeler timed(&oracle, nullptr);
+  EXPECT_EQ(timed.num_records(), oracle.num_records());
+  const data::LabelerOutput out = timed.Label(6);
+  EXPECT_EQ(data::CountBoxes(out), data::CountBoxes(ds.ground_truth[6]));
+  EXPECT_EQ(timed.invocations(), 1u);
+  EXPECT_EQ(oracle.invocations(), 1u);
+  EXPECT_GE(timed.seconds(), 0.0);
+}
+
+TEST(WrapperContractTest, TimedOverCachingChargesLikeCaching) {
+  // Timing must not perturb counting: a cache hit through the timed
+  // wrapper still costs zero oracle invocations.
+  data::Dataset ds = SmallVideoDataset();
+  SimulatedLabeler oracle(&ds);
+  CachingLabeler cache(&oracle);
+  obs::TimedLabeler timed(&cache, nullptr);
+  timed.Label(7);
+  timed.Label(7);
+  timed.Label(7);
+  EXPECT_EQ(oracle.invocations(), 1u);
+  EXPECT_EQ(timed.invocations(), 1u);
+  ASSERT_EQ(cache.labeled_indices().size(), 1u);
+}
+
+TEST(WrapperContractTest, CrowdWrappedInCacheChargesWorkersOnce) {
+  // A CrowdLabeler charges num_workers invocations per distinct record;
+  // caching on top must preserve that (not collapse it to one, not
+  // double-charge repeats).
+  data::Dataset ds = SmallVideoDataset();
+  CrowdOptions opts;
+  opts.num_workers = 5;
+  CrowdLabeler crowd(&ds, opts);
+  CachingLabeler cache(&crowd);
+  cache.Label(0);
+  cache.Label(0);
+  cache.Label(1);
+  EXPECT_EQ(crowd.invocations(), 10u);
+  EXPECT_EQ(cache.invocations(), 10u);
 }
 
 // ---------- Cost model ----------

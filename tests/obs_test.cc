@@ -1,0 +1,452 @@
+// Unit tests for obs/: trace recorder + spans, metrics registry,
+// query log, and the per-query attribution invariant end-to-end through a
+// TastiSession. The concurrency tests double as the sanitizer workload:
+// tools/check.sh runs this binary under ASan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "core/scorer.h"
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tasti {
+namespace {
+
+/// Saves and restores the global observability flags, so tests can flip
+/// them without leaking state into other tests in the same process.
+class ObsFlagsGuard {
+ public:
+  ObsFlagsGuard()
+      : tracing_(obs::TracingEnabled()), metrics_(obs::MetricsEnabled()) {}
+  ~ObsFlagsGuard() {
+    obs::SetTracingEnabled(tracing_);
+    obs::SetMetricsEnabled(metrics_);
+  }
+
+ private:
+  bool tracing_;
+  bool metrics_;
+};
+
+// ---------- Spans / TraceRecorder ----------
+
+TEST(TraceTest, DisabledSpansLeaveZeroEvents) {
+  ObsFlagsGuard guard;
+  obs::SetTracingEnabled(false);
+  const size_t before = obs::TraceRecorder::Global().event_count();
+  {
+    TASTI_SPAN("obs_test.disabled.outer");
+    TASTI_SPAN("obs_test.disabled.inner");
+  }
+  EXPECT_EQ(obs::TraceRecorder::Global().event_count(), before);
+}
+
+TEST(TraceTest, EnabledSpansRecordToTheGlobalRecorder) {
+  ObsFlagsGuard guard;
+  obs::SetTracingEnabled(true);
+  const size_t before = obs::TraceRecorder::Global().event_count();
+  { TASTI_SPAN("obs_test.enabled"); }
+  obs::SetTracingEnabled(false);
+  EXPECT_EQ(obs::TraceRecorder::Global().event_count(), before + 1);
+}
+
+TEST(TraceTest, SpanStraddlingDisableStillCompletes) {
+  // The flag is checked at construction only: a span opened while tracing
+  // is on records its event even if tracing is switched off mid-span, so
+  // the export never contains half-recorded state.
+  ObsFlagsGuard guard;
+  obs::SetTracingEnabled(true);
+  const size_t before = obs::TraceRecorder::Global().event_count();
+  {
+    TASTI_SPAN("obs_test.straddle");
+    obs::SetTracingEnabled(false);
+  }
+  EXPECT_EQ(obs::TraceRecorder::Global().event_count(), before + 1);
+}
+
+TEST(TraceTest, LocalRecorderCapturesNestedSpans) {
+  obs::TraceRecorder recorder;
+  {
+    obs::Span outer(&recorder, "outer");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    { obs::Span inner(&recorder, "inner"); }
+  }
+  const std::vector<obs::TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Snapshot is ordered by start time: outer first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Proper containment.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  EXPECT_GE(events[0].dur_us, 2000);
+}
+
+TEST(TraceTest, ClearDropsEventsAndResetsEpoch) {
+  obs::TraceRecorder recorder;
+  { obs::Span span(&recorder, "before_clear"); }
+  EXPECT_EQ(recorder.event_count(), 1u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  { obs::Span span(&recorder, "after_clear"); }
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after_clear");
+}
+
+TEST(TraceTest, CrossThreadSpansGetDistinctTidsAndWellFormedJson) {
+  obs::TraceRecorder recorder;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      obs::Span outer(&recorder, "thread.outer");
+      for (int i = 0; i < 3; ++i) {
+        obs::Span inner(&recorder, "thread.inner");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every thread got its own tid, and inner spans nest inside their
+  // thread's outer span.
+  const std::vector<obs::TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * 4));
+  std::map<uint32_t, obs::TraceEvent> outers;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string(e.name) == "thread.outer") {
+      EXPECT_EQ(outers.count(e.tid), 0u) << "duplicate outer on one tid";
+      outers[e.tid] = e;
+    }
+  }
+  EXPECT_EQ(outers.size(), static_cast<size_t>(kThreads));
+  for (const obs::TraceEvent& e : events) {
+    if (std::string(e.name) != "thread.inner") continue;
+    ASSERT_EQ(outers.count(e.tid), 1u);
+    const obs::TraceEvent& outer = outers[e.tid];
+    EXPECT_GE(e.ts_us, outer.ts_us);
+    EXPECT_LE(e.ts_us + e.dur_us, outer.ts_us + outer.dur_us);
+  }
+
+  // The export parses as Chrome trace JSON with complete events only.
+  const Result<json::Value> doc = json::Value::Parse(recorder.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* trace_events = doc->Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->is_array());
+  ASSERT_EQ(trace_events->AsArray().size(), events.size());
+  for (const json::Value& event : trace_events->AsArray()) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_EQ(event.GetStringOr("ph", ""), "X");
+    EXPECT_FALSE(event.GetStringOr("name", "").empty());
+    for (const char* field : {"ts", "dur", "pid", "tid"}) {
+      const json::Value* v = event.Find(field);
+      ASSERT_NE(v, nullptr) << field;
+      EXPECT_TRUE(v->is_number()) << field;
+    }
+    EXPECT_GE(event.GetNumberOr("dur", -1.0), 0.0);
+  }
+}
+
+// ---------- Metrics ----------
+
+TEST(MetricsTest, RegistryGetOrCreateReturnsStablePointers) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.counter("obs_test.counter", "calls");
+  obs::Counter* b = registry.counter("obs_test.counter");
+  EXPECT_EQ(a, b);
+  obs::Gauge* g1 = registry.gauge("obs_test.gauge");
+  obs::Gauge* g2 = registry.gauge("obs_test.gauge");
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(MetricsTest, ConcurrentCounterIncrementsAreExact) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.counter("obs_test.concurrent", "calls");
+  constexpr size_t kUpdates = 200000;
+  ParallelFor(0, kUpdates, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) counter->Increment();
+  }, 64);
+  EXPECT_EQ(counter->value(), kUpdates);
+  counter->Increment(42);
+  EXPECT_EQ(counter->value(), kUpdates + 42);
+}
+
+TEST(MetricsTest, ConcurrentRegistrationYieldsOneInstrument) {
+  // Get-or-create racing across threads must hand every caller the same
+  // instrument (this is the TSan target for registry locking).
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<obs::Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      obs::Counter* c = registry.counter("obs_test.race", "calls");
+      c->Increment();
+      seen[static_cast<size_t>(t)] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[t]);
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(MetricsTest, HistogramBucketsByInclusiveUpperBound) {
+  obs::Histogram hist({1.0, 2.0, 4.0});
+  hist.Observe(0.5);   // bucket 0
+  hist.Observe(1.0);   // bucket 0 (le = inclusive)
+  hist.Observe(3.0);   // bucket 2
+  hist.Observe(100.0); // overflow bucket
+  EXPECT_EQ(hist.count(), 4u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 104.5);
+  ASSERT_EQ(hist.num_buckets(), 4u);
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 0u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+}
+
+TEST(MetricsTest, ConcurrentHistogramObservationsConserveCount) {
+  obs::Histogram hist(obs::ExponentialBuckets(1.0, 2.0, 10));
+  constexpr size_t kUpdates = 100000;
+  ParallelFor(0, kUpdates, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      hist.Observe(static_cast<double>(i % 1024));
+    }
+  }, 64);
+  EXPECT_EQ(hist.count(), kUpdates);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < hist.num_buckets(); ++i) {
+    bucket_total += hist.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, kUpdates);
+}
+
+TEST(MetricsTest, ExponentialBucketsGrowGeometrically) {
+  const std::vector<double> bounds = obs::ExponentialBuckets(1.0, 2.0, 5);
+  ASSERT_EQ(bounds.size(), 5u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[4], 16.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_GT(bounds[i], bounds[i - 1]);
+  }
+}
+
+TEST(MetricsTest, JsonSnapshotIsSortedAndTyped) {
+  obs::MetricsRegistry registry;
+  registry.counter("zeta.calls", "calls")->Increment(7);
+  registry.gauge("alpha.depth", "tasks")->Set(3.5);
+  registry.histogram("mid.latency", {1.0, 10.0}, "micros")->Observe(5.0);
+
+  const Result<json::Value> doc = json::Value::Parse(registry.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_array());
+  const std::vector<json::Value>& metrics = doc->AsArray();
+  ASSERT_EQ(metrics.size(), 3u);
+  // Sorted by name.
+  EXPECT_EQ(metrics[0].GetStringOr("metric", ""), "alpha.depth");
+  EXPECT_EQ(metrics[1].GetStringOr("metric", ""), "mid.latency");
+  EXPECT_EQ(metrics[2].GetStringOr("metric", ""), "zeta.calls");
+
+  EXPECT_EQ(metrics[0].GetStringOr("type", ""), "gauge");
+  EXPECT_DOUBLE_EQ(metrics[0].GetNumberOr("value", 0.0), 3.5);
+  EXPECT_EQ(metrics[0].GetStringOr("unit", ""), "tasks");
+
+  EXPECT_EQ(metrics[1].GetStringOr("type", ""), "histogram");
+  EXPECT_DOUBLE_EQ(metrics[1].GetNumberOr("count", 0.0), 1.0);
+  const json::Value* buckets = metrics[1].Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  EXPECT_EQ(buckets->AsArray().size(), 3u);  // two bounds + inf
+
+  EXPECT_EQ(metrics[2].GetStringOr("type", ""), "counter");
+  EXPECT_DOUBLE_EQ(metrics[2].GetNumberOr("value", 0.0), 7.0);
+}
+
+TEST(MetricsTest, ResetAllZeroesValuesButKeepsRegistrations) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter = registry.counter("obs_test.reset", "calls");
+  counter->Increment(9);
+  registry.ResetAll();
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(registry.counter("obs_test.reset"), counter);
+}
+
+// ---------- QueryLog ----------
+
+TEST(QueryLogTest, PricesQueriesWithTheCostModel) {
+  obs::QueryLog log;
+  obs::QueryRecord record;
+  record.query_type = "aggregate";
+  record.labeler_invocations = 300;
+  record.phases.algorithm_seconds = 0.25;
+  record.phases.oracle_seconds = 0.75;
+  log.AddQuery(record);
+
+  ASSERT_EQ(log.queries().size(), 1u);
+  const obs::QueryRecord& stored = log.queries()[0];
+  const labeler::CostModel& model = log.cost_model();
+  EXPECT_DOUBLE_EQ(stored.human_dollars, 300 * model.human_dollars_per_label);
+  EXPECT_DOUBLE_EQ(stored.mask_rcnn_seconds,
+                   300 * model.mask_rcnn_seconds_per_label);
+  EXPECT_DOUBLE_EQ(stored.ssd_seconds, 300 * model.ssd_seconds_per_label);
+  EXPECT_DOUBLE_EQ(log.total_query_seconds(), 1.0);
+}
+
+TEST(QueryLogTest, TotalsCombineIndexAndQueries) {
+  obs::QueryLog log;
+  log.RecordIndexBuild(1000, 12.5);
+  obs::QueryRecord a;
+  a.labeler_invocations = 40;
+  obs::QueryRecord b;
+  b.labeler_invocations = 60;
+  log.AddQuery(a);
+  log.AddQuery(b);
+  EXPECT_EQ(log.index_invocations(), 1000u);
+  EXPECT_DOUBLE_EQ(log.index_build_seconds(), 12.5);
+  EXPECT_EQ(log.total_invocations(), 1100u);
+  log.Clear();
+  EXPECT_EQ(log.total_invocations(), 0u);
+  EXPECT_TRUE(log.queries().empty());
+}
+
+TEST(QueryLogTest, JsonExportRoundTrips) {
+  obs::QueryLog log;
+  log.RecordIndexBuild(500, 3.0);
+  obs::QueryRecord record;
+  record.query_type = "supg_recall";
+  record.params = "recall=0.9 budget=500";
+  record.labeler_invocations = 500;
+  record.cracked_representatives = 480;
+  record.phases.rep_score_seconds = 0.1;
+  record.phases.propagation_seconds = 0.2;
+  log.AddQuery(record);
+
+  const Result<json::Value> doc = json::Value::Parse(log.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* index = doc->Find("index");
+  ASSERT_NE(index, nullptr);
+  EXPECT_DOUBLE_EQ(index->GetNumberOr("labeler_invocations", 0.0), 500.0);
+  const json::Value* queries = doc->Find("queries");
+  ASSERT_NE(queries, nullptr);
+  ASSERT_TRUE(queries->is_array());
+  ASSERT_EQ(queries->AsArray().size(), 1u);
+  const json::Value& q = queries->AsArray()[0];
+  EXPECT_EQ(q.GetStringOr("query_type", ""), "supg_recall");
+  EXPECT_DOUBLE_EQ(q.GetNumberOr("labeler_invocations", 0.0), 500.0);
+  const json::Value* phases = q.Find("phase_seconds");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_NEAR(phases->GetNumberOr("total", 0.0), 0.3, 1e-6);
+  const json::Value* totals = doc->Find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_DOUBLE_EQ(totals->GetNumberOr("labeler_invocations", 0.0), 1000.0);
+}
+
+// ---------- TimedLabeler ----------
+
+/// Labeler that burns a fixed wall time per call, for testing that phase
+/// timers exclude oracle time.
+class SlowLabeler : public labeler::TargetLabeler {
+ public:
+  explicit SlowLabeler(size_t num_records) : num_records_(num_records) {}
+  data::LabelerOutput Label(size_t) override {
+    ++invocations_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return {};
+  }
+  size_t num_records() const override { return num_records_; }
+  size_t invocations() const override { return invocations_; }
+  void ResetInvocations() override { invocations_ = 0; }
+
+ private:
+  size_t num_records_;
+  size_t invocations_ = 0;
+};
+
+TEST(TimedLabelerTest, PausesThePhaseTimerDuringOracleCalls) {
+  SlowLabeler oracle(10);
+  WallTimer algorithm_timer;
+  obs::TimedLabeler timed(&oracle, &algorithm_timer);
+  for (size_t i = 0; i < 3; ++i) timed.Label(i);
+  algorithm_timer.Pause();
+  // ~30ms went to the oracle; the algorithm timer must not have seen it.
+  EXPECT_GE(timed.seconds(), 0.025);
+  EXPECT_LT(algorithm_timer.Seconds(), 0.015);
+  EXPECT_EQ(timed.invocations(), 3u);
+}
+
+TEST(TimedLabelerTest, NullTimerMeasuresWithoutPausing) {
+  SlowLabeler oracle(10);
+  obs::TimedLabeler timed(&oracle, nullptr);
+  timed.Label(0);
+  EXPECT_GE(timed.seconds(), 0.008);
+  EXPECT_EQ(oracle.invocations(), 1u);
+}
+
+// ---------- End-to-end attribution through a session ----------
+
+TEST(SessionAttributionTest, LedgerMatchesTheOracleCounter) {
+  data::DatasetOptions dataset_options;
+  dataset_options.num_records = 2000;
+  dataset_options.seed = 5;
+  data::Dataset video = data::MakeNightStreet(dataset_options);
+  labeler::SimulatedLabeler oracle(&video);
+
+  api::SessionOptions options;
+  options.index.num_training_records = 100;
+  options.index.num_representatives = 200;
+  api::TastiSession session(&video, &oracle, options);
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  core::PresenceScorer has_car(data::ObjectClass::kCar);
+  core::AtLeastCountScorer busy(data::ObjectClass::kCar, 2);
+
+  session.Aggregate(cars, 0.1);
+  session.SelectWithRecall(has_car, 0.9, 150);
+  session.Limit(busy, 5);
+
+  const obs::QueryLog& log = session.query_log();
+  ASSERT_EQ(log.queries().size(), 3u);
+  EXPECT_EQ(log.queries()[0].query_type, "aggregate");
+  EXPECT_EQ(log.queries()[1].query_type, "supg_recall");
+  EXPECT_EQ(log.queries()[2].query_type, "limit");
+
+  // The invariant the whole ledger exists for: index charge plus per-query
+  // charges equals the oracle's own counter, with nothing lost or
+  // double-counted.
+  EXPECT_EQ(log.total_invocations(), oracle.invocations());
+  EXPECT_EQ(log.index_invocations(), session.index_invocations());
+  EXPECT_EQ(log.total_invocations(), session.total_labeler_invocations());
+
+  // Every query consumed labeler calls and the phase clocks moved.
+  for (const obs::QueryRecord& query : log.queries()) {
+    EXPECT_GT(query.labeler_invocations, 0u) << query.query_type;
+    EXPECT_GE(query.phases.TotalSeconds(), 0.0) << query.query_type;
+    EXPECT_GT(query.human_dollars, 0.0) << query.query_type;
+  }
+  // The first query built the index and paid proxy scoring for it.
+  EXPECT_GT(log.index_invocations(), 0u);
+  EXPECT_GT(log.index_build_seconds(), 0.0);
+  const obs::QueryPhaseTimes& first = log.queries()[0].phases;
+  EXPECT_GT(first.rep_score_seconds + first.propagation_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace tasti

@@ -9,7 +9,6 @@
 // m x n GemmBT), median of repeated timed runs.
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <functional>
@@ -18,10 +17,12 @@
 #include <vector>
 
 #include "cluster/topk.h"
+#include "eval/reporting.h"
 #include "kernel_baselines.h"
 #include "nn/kernels.h"
 #include "nn/matrix.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace tasti {
 namespace {
@@ -35,19 +36,18 @@ nn::Matrix RandomPoints(size_t n, size_t dim, uint64_t seed) {
   return m;
 }
 
-/// Times fn to at least `min_total` seconds, returns median ns per call.
+/// Times fn for at least 50ms per repetition, returns median ns per call.
 double MedianNsPerOp(const std::function<void()>& fn) {
-  using Clock = std::chrono::steady_clock;
   fn();  // warm-up
   std::vector<double> samples;
   for (int rep = 0; rep < 5; ++rep) {
-    const auto start = Clock::now();
+    WallTimer timer;
     size_t calls = 0;
     double elapsed = 0.0;
     do {
       fn();
       ++calls;
-      elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+      elapsed = timer.Seconds();
     } while (elapsed < 0.05);
     samples.push_back(elapsed * 1e9 / static_cast<double>(calls));
   }
@@ -163,13 +163,15 @@ int main(int argc, char** argv) {
   std::fprintf(out, "]\n");
   std::fclose(out);
 
-  // Console summary with speedups for the paired rows.
+  // Console summary with speedups for the paired rows (diagnostics only;
+  // the JSON file is the machine-readable artifact).
   for (size_t i = 0; i + 1 < rows.size(); i += 2) {
-    std::printf("%-18s %12.0f ns/op\n%-18s %12.0f ns/op  (%.2fx)\n",
-                rows[i].kernel.c_str(), rows[i].ns_per_op,
-                rows[i + 1].kernel.c_str(), rows[i + 1].ns_per_op,
-                rows[i].ns_per_op / rows[i + 1].ns_per_op);
+    eval::Diag("%-18s %12.0f ns/op", rows[i].kernel.c_str(),
+               rows[i].ns_per_op);
+    eval::Diag("%-18s %12.0f ns/op  (%.2fx)", rows[i + 1].kernel.c_str(),
+               rows[i + 1].ns_per_op,
+               rows[i].ns_per_op / rows[i + 1].ns_per_op);
   }
-  std::printf("wrote %s\n", out_path);
+  eval::Diag("wrote %s", out_path);
   return 0;
 }

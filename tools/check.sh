@@ -1,32 +1,50 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a sanitizer pass over the kernel/cluster tests.
+# Tier-1 verify plus sanitizer passes over the concurrency-sensitive tests.
 #
 #   tools/check.sh            # full check
-#   tools/check.sh --fast     # tier-1 only (skip the sanitizer build)
+#   tools/check.sh --fast     # tier-1 only (skip the sanitizer builds)
 #
-# The sanitizer stage configures the `sanitize` preset (ASan + UBSan via
+# The tier-1 stage runs the full ctest suite, which includes the
+# trace_check / trace_check_workload fixtures: they exercise the tracing
+# pipeline end-to-end (quickstart + tasti_cli workload with --trace, then
+# validate_trace on the emitted Chrome JSON).
+#
+# The sanitize stage configures the `sanitize` preset (ASan + UBSan via
 # the ASAN CMake option) and runs the tests closest to the raw-pointer
-# kernel code: kernels_test, cluster_test, nn_test, util_test.
+# kernel code plus the observability tests: kernels_test, cluster_test,
+# nn_test, util_test, obs_test.
+#
+# The tsan stage builds with ThreadSanitizer and runs the tests whose
+# value is concurrent correctness: the obs counters/spans and the thread
+# pool they instrument.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: release build + full test suite =="
+echo "== tier-1: release build + full test suite (incl. trace_check) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipping sanitizer stage (--fast) =="
+  echo "== skipping sanitizer stages (--fast) =="
   exit 0
 fi
 
-echo "== sanitize: ASan/UBSan build of kernel + cluster tests =="
+echo "== sanitize: ASan/UBSan build of kernel + cluster + obs tests =="
 cmake --preset sanitize >/dev/null
 cmake --build build-sanitize -j "$(nproc)" \
-  --target kernels_test cluster_test nn_test util_test
-for t in kernels_test cluster_test nn_test util_test; do
+  --target kernels_test cluster_test nn_test util_test obs_test
+for t in kernels_test cluster_test nn_test util_test obs_test; do
   echo "-- build-sanitize/tests/$t"
   "build-sanitize/tests/$t"
+done
+
+echo "== tsan: ThreadSanitizer build of concurrency tests =="
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$(nproc)" --target obs_test util_test
+for t in obs_test util_test; do
+  echo "-- build-tsan/tests/$t"
+  "build-tsan/tests/$t"
 done
 echo "== all checks passed =="

@@ -13,9 +13,16 @@
 //   tasti_cli limit     --dataset night-street --records 20000 \
 //                       --index /tmp/ns.idx --query atleast --min-count 5 \
 //                       --want 10
+//   tasti_cli workload  --dataset night-street --records 8000 \
+//                       --trace=trace.json --metrics=metrics.json
 //
 // Datasets are regenerated deterministically from (--dataset, --records,
 // --seed), so a saved index stays consistent with its data.
+//
+// Observability: every command accepts --trace=PATH (Chrome trace_event
+// JSON, loadable in Perfetto) and --metrics=PATH (metrics snapshot; for
+// `workload` the document also carries the session's per-query cost
+// ledger). Flags may be written `--key value` or `--key=value`.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,13 +31,19 @@
 #include <memory>
 #include <string>
 
+#include "api/session.h"
 #include "core/index.h"
 #include "core/index_stats.h"
 #include "core/proxy.h"
 #include "core/scorer.h"
 #include "core/serialize.h"
 #include "data/dataset.h"
+#include "eval/reporting.h"
 #include "labeler/labeler.h"
+#include "obs/config.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
 #include "queries/aggregation.h"
 #include "queries/limit.h"
 #include "queries/supg.h"
@@ -59,16 +72,68 @@ struct Args {
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: tasti_cli <build|info|aggregate|select|limit> [flags]\n"
-               "  common: --dataset <name> --records N --seed S --index PATH\n"
-               "  build:  --train N1 --reps N2 --k K --out PATH [--pretrained]\n"
-               "  query:  --query <count|presence|atleast|meanx> --class "
-               "<car|bus> [--min-count N]\n"
-               "  aggregate: --error E   select: --recall R --budget B   "
-               "limit: --want W\n"
-               "  datasets: night-street taipei amsterdam wikisql common-voice\n");
+  std::fprintf(
+      stderr,
+      "usage: tasti_cli <build|info|aggregate|select|limit|workload> [flags]\n"
+      "  common: --dataset <name> --records N --seed S --index PATH\n"
+      "          --trace=PATH (Chrome trace JSON) --metrics=PATH (snapshot)\n"
+      "  build:  --train N1 --reps N2 --k K --out PATH [--pretrained]\n"
+      "  query:  --query <count|presence|atleast|meanx> --class "
+      "<car|bus> [--min-count N]\n"
+      "  aggregate: --error E   select: --recall R --budget B   "
+      "limit: --want W\n"
+      "  workload: --train N1 --reps N2 --error E --budget B --want W\n"
+      "  datasets: night-street taipei amsterdam wikisql common-voice\n");
   return 2;
+}
+
+/// Enables tracing/metrics when the matching output flag is present.
+void EnableObservability(const Args& args) {
+  if (!args.Get("trace", "").empty()) obs::SetTracingEnabled(true);
+  if (!args.Get("metrics", "").empty()) obs::SetMetricsEnabled(true);
+}
+
+/// Writes the trace and metrics files requested on the command line.
+/// `log` (optional) embeds a session's query ledger in the metrics
+/// document; `oracle_invocations` (when >= 0) records the target
+/// labeler's own counter so consumers can check the attribution
+/// invariant without re-running.
+int WriteObservability(const Args& args, const obs::QueryLog* log,
+                       long long oracle_invocations = -1) {
+  const std::string trace_path = args.Get("trace", "");
+  if (!trace_path.empty()) {
+    const Status status = obs::TraceRecorder::Global().WriteJson(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace (%zu events) to %s\n",
+                obs::TraceRecorder::Global().event_count(), trace_path.c_str());
+  }
+  const std::string metrics_path = args.Get("metrics", "");
+  if (!metrics_path.empty()) {
+    std::string doc = "{\n\"metrics\": ";
+    doc += obs::MetricsRegistry::Global().ToJson();
+    if (log != nullptr) {
+      doc += ",\n\"query_log\": ";
+      doc += log->ToJson();
+    }
+    if (oracle_invocations >= 0) {
+      doc += ",\n\"oracle_invocations\": ";
+      doc += std::to_string(oracle_invocations);
+    }
+    doc += "\n}\n";
+    FILE* out = std::fopen(metrics_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::fwrite(doc.data(), 1, doc.size(), out);
+    std::fclose(out);
+    std::printf("wrote metrics to %s\n", metrics_path.c_str());
+  }
+  return 0;
 }
 
 Result<data::DatasetId> ParseDatasetId(const std::string& name) {
@@ -229,6 +294,87 @@ int RunLimit(const Args& args) {
   return 0;
 }
 
+// Runs a mixed query workload through a TastiSession: index construction
+// (charged to the session), then aggregate, recall-select,
+// precision-select, threshold-select, and limit queries, with the
+// per-query cost ledger printed and exported. This is the one-command
+// demonstration of the observability surface:
+//
+//   tasti_cli workload --dataset night-street --records 8000 \
+//       --trace=trace.json --metrics=metrics.json
+int RunWorkload(const Args& args) {
+  data::DatasetOptions dataset_opts;
+  const Result<data::DatasetId> id =
+      ParseDatasetId(args.Get("dataset", "night-street"));
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 2;
+  }
+  dataset_opts.num_records = static_cast<size_t>(args.GetInt("records", 8000));
+  dataset_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const data::Dataset dataset = data::MakeDataset(*id, dataset_opts);
+
+  labeler::SimulatedLabeler oracle(&dataset);
+  api::SessionOptions session_opts;
+  session_opts.index.num_training_records =
+      static_cast<size_t>(args.GetInt("train", 400));
+  session_opts.index.num_representatives =
+      static_cast<size_t>(args.GetInt("reps", 800));
+  session_opts.index.k = static_cast<size_t>(args.GetInt("k", 5));
+  session_opts.index.seed = dataset_opts.seed;
+  session_opts.seed = static_cast<uint64_t>(args.GetInt("query-seed", 7));
+  api::TastiSession session(&dataset, &oracle, session_opts);
+
+  const auto aggregation = MakeScorer(args, dataset);
+  // Selection/limit predicates: reuse the dataset-appropriate scorer for
+  // text/speech; for video, select multi-object frames and hunt busy ones.
+  std::unique_ptr<core::Scorer> selection;
+  std::unique_ptr<core::Scorer> limit_predicate;
+  if (dataset.modality == data::Modality::kVideo) {
+    const std::string cls_name = args.Get("class", "car");
+    const data::ObjectClass cls = cls_name == "bus" ? data::ObjectClass::kBus
+                                                    : data::ObjectClass::kCar;
+    selection = std::make_unique<core::AtLeastCountScorer>(cls, 2);
+    limit_predicate = std::make_unique<core::AtLeastCountScorer>(cls, 4);
+  } else {
+    selection = MakeScorer(args, dataset);
+    limit_predicate = MakeScorer(args, dataset);
+  }
+
+  const double error = args.GetDouble("error", 0.07);
+  const size_t budget = static_cast<size_t>(args.GetInt("budget", 400));
+  const size_t want = static_cast<size_t>(args.GetInt("want", 10));
+
+  const auto agg = session.Aggregate(*aggregation, error);
+  std::printf("aggregate: %.4f +- %.4f (%zu labeler calls)\n", agg.estimate,
+              agg.half_width, agg.labeler_invocations);
+  const auto recall_sel = session.SelectWithRecall(*selection, 0.9, budget);
+  std::printf("recall-select: %zu records (threshold %.3f)\n",
+              recall_sel.selected.size(), recall_sel.threshold);
+  const auto precision_sel =
+      session.SelectWithPrecision(*selection, 0.9, budget);
+  std::printf("precision-select: %zu records (threshold %.3f)\n",
+              precision_sel.selected.size(), precision_sel.threshold);
+  const auto threshold_sel = session.Select(*selection, budget);
+  std::printf("threshold-select: %zu records (F1 %.3f on validation)\n",
+              threshold_sel.selected.size(), threshold_sel.validation_f1);
+  const auto limit = session.Limit(*limit_predicate, want);
+  std::printf("limit: found %zu/%zu after %zu labeler calls\n",
+              limit.found.size(), want, limit.labeler_invocations);
+
+  std::printf("\n");
+  eval::PrintQueryLog(session.query_log());
+  if (session.query_log().total_invocations() != oracle.invocations()) {
+    std::fprintf(stderr,
+                 "attribution mismatch: ledger %zu vs oracle %zu calls\n",
+                 session.query_log().total_invocations(),
+                 oracle.invocations());
+    return 1;
+  }
+  return WriteObservability(args, &session.query_log(),
+                            static_cast<long long>(oracle.invocations()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,17 +383,33 @@ int main(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) return Usage();
-    const std::string key = argv[i] + 2;
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+    std::string key = argv[i] + 2;
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.flags[key] = argv[++i];
     } else {
       args.flags[key] = "1";  // boolean flag
     }
   }
-  if (args.command == "build") return RunBuild(args);
-  if (args.command == "info") return RunInfo(args);
-  if (args.command == "aggregate") return RunAggregate(args);
-  if (args.command == "select") return RunSelect(args);
-  if (args.command == "limit") return RunLimit(args);
-  return Usage();
+  EnableObservability(args);
+  int rc;
+  if (args.command == "build") {
+    rc = RunBuild(args);
+  } else if (args.command == "info") {
+    rc = RunInfo(args);
+  } else if (args.command == "aggregate") {
+    rc = RunAggregate(args);
+  } else if (args.command == "select") {
+    rc = RunSelect(args);
+  } else if (args.command == "limit") {
+    rc = RunLimit(args);
+  } else if (args.command == "workload") {
+    return RunWorkload(args);  // writes its own ledger-bearing outputs
+  } else {
+    return Usage();
+  }
+  if (rc != 0) return rc;
+  return WriteObservability(args, nullptr);
 }

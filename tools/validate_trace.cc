@@ -1,0 +1,154 @@
+// validate_trace: structural validator for the Chrome trace_event JSON
+// emitted by obs::TraceRecorder, used by the trace_check CTest.
+//
+//   validate_trace trace.json [--require=name ...] [--min-query-types=N]
+//
+// Checks:
+//   1. the file parses as JSON with a "traceEvents" array,
+//   2. every event is a complete ("X") event with name/ts/dur/pid/tid,
+//   3. per tid, events form properly nested intervals (a span either
+//      contains or is disjoint from any other span on the same thread —
+//      no partial overlap, which would render as a broken flame graph),
+//   4. every --require='d span name occurs at least once,
+//   5. at least --min-query-types distinct "query.*" span families
+//      (second path component, e.g. query.supg.sample -> supg) appear.
+//
+// Exits 0 when all checks pass; prints the first failure and exits 1
+// otherwise.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using tasti::json::Value;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "validate_trace: %s\n", message.c_str());
+  return 1;
+}
+
+struct Interval {
+  long long ts;
+  long long end;
+  std::string name;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: validate_trace trace.json [--require=name ...] "
+                 "[--min-query-types=N]\n");
+    return 2;
+  }
+  std::vector<std::string> required;
+  size_t min_query_types = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--require=", 10) == 0) {
+      required.emplace_back(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--min-query-types=", 18) == 0) {
+      min_query_types = static_cast<size_t>(std::atol(argv[i] + 18));
+    } else {
+      return Fail(std::string("unknown flag: ") + argv[i]);
+    }
+  }
+
+  std::ifstream in(argv[1]);
+  if (!in) return Fail(std::string("cannot open ") + argv[1]);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const tasti::Result<Value> doc = Value::Parse(buffer.str());
+  if (!doc.ok()) return Fail("parse error: " + doc.status().ToString());
+  const Value* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return Fail("missing traceEvents array");
+  }
+
+  std::set<std::string> seen_names;
+  std::set<std::string> query_families;
+  std::map<long long, std::vector<Interval>> by_tid;
+  size_t index = 0;
+  for (const Value& event : events->AsArray()) {
+    const std::string at = "event " + std::to_string(index++);
+    if (!event.is_object()) return Fail(at + ": not an object");
+    const Value* name = event.Find("name");
+    if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+      return Fail(at + ": missing name");
+    }
+    if (event.GetStringOr("ph", "") != "X") {
+      return Fail(at + " (" + name->AsString() + "): ph is not \"X\"");
+    }
+    for (const char* field : {"ts", "dur", "pid", "tid"}) {
+      const Value* v = event.Find(field);
+      if (v == nullptr || !v->is_number()) {
+        return Fail(at + " (" + name->AsString() + "): missing numeric " +
+                    field);
+      }
+    }
+    if (event.GetNumberOr("dur", -1.0) < 0.0) {
+      return Fail(at + " (" + name->AsString() + "): negative dur");
+    }
+    seen_names.insert(name->AsString());
+    if (name->AsString().rfind("query.", 0) == 0) {
+      const std::string rest = name->AsString().substr(6);
+      query_families.insert(rest.substr(0, rest.find('.')));
+    }
+    Interval interval;
+    interval.ts = static_cast<long long>(event.GetNumberOr("ts", 0.0));
+    interval.end =
+        interval.ts + static_cast<long long>(event.GetNumberOr("dur", 0.0));
+    interval.name = name->AsString();
+    by_tid[static_cast<long long>(event.GetNumberOr("tid", 0.0))].push_back(
+        interval);
+  }
+
+  // Nesting check per thread: sort by (ts asc, end desc) and walk a stack
+  // of enclosing spans. A span starting before the innermost open span
+  // ends must also end within it.
+  for (auto& [tid, intervals] : by_tid) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.ts != b.ts) return a.ts < b.ts;
+                return a.end > b.end;
+              });
+    std::vector<Interval> stack;
+    for (const Interval& interval : intervals) {
+      while (!stack.empty() && stack.back().end <= interval.ts) {
+        stack.pop_back();
+      }
+      if (!stack.empty() && interval.end > stack.back().end) {
+        return Fail("tid " + std::to_string(tid) + ": span '" + interval.name +
+                    "' partially overlaps '" + stack.back().name + "'");
+      }
+      stack.push_back(interval);
+    }
+  }
+
+  for (const std::string& name : required) {
+    if (seen_names.count(name) == 0) {
+      return Fail("required span missing: " + name);
+    }
+  }
+  if (query_families.size() < min_query_types) {
+    return Fail("expected >= " + std::to_string(min_query_types) +
+                " distinct query span families, saw " +
+                std::to_string(query_families.size()));
+  }
+
+  std::printf("validate_trace: OK (%zu events, %zu distinct spans, %zu "
+              "threads)\n",
+              index, seen_names.size(), by_tid.size());
+  return 0;
+}
