@@ -1,6 +1,8 @@
 #include "api/session.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -22,21 +24,33 @@ std::string FmtDouble(double v) {
 TastiSession::TastiSession(const data::Dataset* dataset,
                            labeler::TargetLabeler* labeler,
                            SessionOptions options)
-    : dataset_(dataset), labeler_(labeler), options_(options) {
+    : dataset_(dataset), options_(std::move(options)) {
   TASTI_CHECK(dataset != nullptr, "TastiSession requires a dataset");
   TASTI_CHECK(labeler != nullptr, "TastiSession requires a labeler");
   TASTI_CHECK(labeler->num_records() == dataset->size(),
               "labeler/dataset record count mismatch");
+  owned_adapter_ = std::make_unique<labeler::FallibleAdapter>(labeler);
+  oracle_ = owned_adapter_.get();
+}
+
+TastiSession::TastiSession(const data::Dataset* dataset,
+                           labeler::FallibleLabeler* oracle,
+                           SessionOptions options)
+    : dataset_(dataset), oracle_(oracle), options_(std::move(options)) {
+  TASTI_CHECK(dataset != nullptr, "TastiSession requires a dataset");
+  TASTI_CHECK(oracle != nullptr, "TastiSession requires an oracle");
+  TASTI_CHECK(oracle->num_records() == dataset->size(),
+              "oracle/dataset record count mismatch");
 }
 
 void TastiSession::EnsureIndex() {
   if (index_.has_value()) return;
   TASTI_SPAN("session.build_index");
   WallTimer timer;
-  const size_t before = labeler_->invocations();
-  labeler::CachingLabeler cache(labeler_);
+  const size_t before = oracle_->invocations();
+  labeler::CachingFallibleLabeler cache(oracle_);
   index_ = core::TastiIndex::Build(*dataset_, &cache, options_.index);
-  index_invocations_ = labeler_->invocations() - before;
+  index_invocations_ = oracle_->invocations() - before;
   total_invocations_ += index_invocations_;
   query_log_.RecordIndexBuild(index_invocations_, timer.Seconds());
 }
@@ -63,13 +77,42 @@ const std::vector<double>& TastiSession::ProxyScores(
   return it->second;
 }
 
-void TastiSession::FinishQuery(const labeler::CachingLabeler& cache,
+size_t TastiSession::RepairFailedReps() {
+  if (!options_.repair_failed_reps ||
+      index_->num_failed_representatives() == 0) {
+    return 0;
+  }
+  TASTI_SPAN("session.repair_reps");
+  const std::vector<size_t> positions =
+      index_->failed_representative_positions();
+  const std::vector<size_t> records = index_->failed_rep_record_ids();
+  const size_t attempts =
+      std::min(positions.size(), options_.max_rep_repairs_per_query);
+  size_t repaired = 0;
+  for (size_t i = 0; i < attempts; ++i) {
+    Result<data::LabelerOutput> label = oracle_->TryLabel(records[i]);
+    if (!label.ok()) continue;  // still failing; retried after a later query
+    index_->RepairRepresentative(positions[i], *std::move(label));
+    ++repaired;
+  }
+  reps_repaired_ += repaired;
+  if (repaired > 0) {
+    // Repaired representatives re-enter propagation.
+    proxy_cache_.clear();
+  }
+  return repaired;
+}
+
+void TastiSession::FinishQuery(const labeler::CachingFallibleLabeler& cache,
                                size_t invocations_before,
                                std::string query_type, std::string params,
-                               double algorithm_seconds,
-                               double oracle_seconds) {
+                               double algorithm_seconds, double oracle_seconds,
+                               size_t failed_oracle_calls) {
+  // Repairs run inside the query's accounting window so the attribution
+  // invariant (index + sum of queries == oracle invocations) still holds.
+  const size_t repaired = RepairFailedReps();
   const size_t query_invocations =
-      labeler_->invocations() - invocations_before;
+      oracle_->invocations() - invocations_before;
   total_invocations_ += query_invocations;
 
   size_t cracked = 0;
@@ -77,7 +120,15 @@ void TastiSession::FinishQuery(const labeler::CachingLabeler& cache,
   if (options_.auto_crack) {
     TASTI_SPAN("session.crack");
     WallTimer timer;
-    cracked = index_->CrackFrom(cache);
+    const std::vector<size_t>& labeled = cache.labeled_indices();
+    std::vector<data::LabelerOutput> labels;
+    labels.reserve(labeled.size());
+    for (size_t record : labeled) {
+      std::optional<data::LabelerOutput> label = cache.CachedLabel(record);
+      TASTI_CHECK(label.has_value(), "labeled index without a cached label");
+      labels.push_back(*std::move(label));
+    }
+    cracked = index_->CrackFromLabels(labeled, labels);
     crack_seconds = timer.Seconds();
     if (cracked > 0) {
       // New representatives change every propagated score.
@@ -95,6 +146,8 @@ void TastiSession::FinishQuery(const labeler::CachingLabeler& cache,
   record.phases.crack_seconds = crack_seconds;
   record.labeler_invocations = query_invocations;
   record.cracked_representatives = cracked;
+  record.failed_oracle_calls = failed_oracle_calls;
+  record.repaired_representatives = repaired;
   query_log_.AddQuery(std::move(record));
 
   if (obs::MetricsEnabled()) {
@@ -106,9 +159,17 @@ void TastiSession::FinishQuery(const labeler::CachingLabeler& cache,
     static obs::Counter* const cracked_reps =
         obs::MetricsRegistry::Global().counter("session.cracked_reps",
                                                "representatives");
+    static obs::Counter* const failed_calls =
+        obs::MetricsRegistry::Global().counter("session.failed_oracle_calls",
+                                               "calls");
+    static obs::Counter* const repaired_reps =
+        obs::MetricsRegistry::Global().counter("session.repaired_reps",
+                                               "representatives");
     queries->Increment();
     invocations->Increment(query_invocations);
     cracked_reps->Increment(cracked);
+    failed_calls->Increment(failed_oracle_calls);
+    repaired_reps->Increment(repaired);
   }
 }
 
@@ -117,21 +178,28 @@ queries::AggregationResult TastiSession::Aggregate(const core::Scorer& statistic
   TASTI_SPAN("query.aggregate");
   last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(statistic);
-  const size_t before = labeler_->invocations();
-  labeler::CachingLabeler cache(labeler_);
+  const size_t before = oracle_->invocations();
+  labeler::CachingFallibleLabeler cache(oracle_);
   queries::AggregationOptions opts;
   opts.error_target = error_target;
   opts.confidence = options_.confidence;
   opts.seed = NextSeed();
   WallTimer algo_timer;
-  obs::TimedLabeler timed(&cache, &algo_timer);
-  queries::AggregationResult result =
-      queries::EstimateMean(proxy, &timed, statistic, opts);
+  obs::TimedOracle timed(&cache, &algo_timer);
+  Result<queries::AggregationResult> r =
+      queries::TryEstimateMean(proxy, &timed, statistic, opts);
   algo_timer.Pause();
+  last_query_status_ = r.status();
+  queries::AggregationResult result =
+      r.ok() ? std::move(r).value() : queries::AggregationResult{};
+  if (!last_query_status_.ok()) {
+    result.failed_oracle_calls = oracle_->invocations() - before;
+  }
   FinishQuery(cache, before, "aggregate",
               "scorer=" + statistic.Name() +
                   " error_target=" + FmtDouble(error_target),
-              algo_timer.Seconds(), timed.seconds());
+              algo_timer.Seconds(), timed.seconds(),
+              result.failed_oracle_calls);
   return result;
 }
 
@@ -141,21 +209,29 @@ queries::PredicateAggregationResult TastiSession::AggregateWhere(
   TASTI_SPAN("query.aggregate_where");
   last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
-  const size_t before = labeler_->invocations();
-  labeler::CachingLabeler cache(labeler_);
+  const size_t before = oracle_->invocations();
+  labeler::CachingFallibleLabeler cache(oracle_);
   queries::PredicateAggregationOptions opts;
   opts.error_target = error_target;
   opts.confidence = options_.confidence;
   opts.seed = NextSeed();
   WallTimer algo_timer;
-  obs::TimedLabeler timed(&cache, &algo_timer);
-  queries::PredicateAggregationResult result = queries::EstimateMeanWithPredicate(
-      proxy, &timed, predicate, statistic, opts);
+  obs::TimedOracle timed(&cache, &algo_timer);
+  Result<queries::PredicateAggregationResult> r =
+      queries::TryEstimateMeanWithPredicate(proxy, &timed, predicate,
+                                            statistic, opts);
   algo_timer.Pause();
+  last_query_status_ = r.status();
+  queries::PredicateAggregationResult result =
+      r.ok() ? std::move(r).value() : queries::PredicateAggregationResult{};
+  if (!last_query_status_.ok()) {
+    result.failed_oracle_calls = oracle_->invocations() - before;
+  }
   FinishQuery(cache, before, "aggregate_where",
               "predicate=" + predicate.Name() + " statistic=" +
                   statistic.Name() + " error_target=" + FmtDouble(error_target),
-              algo_timer.Seconds(), timed.seconds());
+              algo_timer.Seconds(), timed.seconds(),
+              result.failed_oracle_calls);
   return result;
 }
 
@@ -165,23 +241,30 @@ queries::SupgResult TastiSession::SelectWithRecall(const core::Scorer& predicate
   TASTI_SPAN("query.select_recall");
   last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
-  const size_t before = labeler_->invocations();
-  labeler::CachingLabeler cache(labeler_);
+  const size_t before = oracle_->invocations();
+  labeler::CachingFallibleLabeler cache(oracle_);
   queries::SupgOptions opts;
   opts.recall_target = recall_target;
   opts.confidence = options_.confidence;
   opts.budget = budget;
   opts.seed = NextSeed();
   WallTimer algo_timer;
-  obs::TimedLabeler timed(&cache, &algo_timer);
-  queries::SupgResult result =
-      queries::SupgRecallSelect(proxy, &timed, predicate, opts);
+  obs::TimedOracle timed(&cache, &algo_timer);
+  Result<queries::SupgResult> r =
+      queries::TrySupgRecallSelect(proxy, &timed, predicate, opts);
   algo_timer.Pause();
+  last_query_status_ = r.status();
+  queries::SupgResult result = r.ok() ? std::move(r).value()
+                                      : queries::SupgResult{};
+  if (!last_query_status_.ok()) {
+    result.failed_oracle_calls = oracle_->invocations() - before;
+  }
   FinishQuery(cache, before, "supg_recall",
               "predicate=" + predicate.Name() +
                   " recall_target=" + FmtDouble(recall_target) +
                   " budget=" + std::to_string(budget),
-              algo_timer.Seconds(), timed.seconds());
+              algo_timer.Seconds(), timed.seconds(),
+              result.failed_oracle_calls);
   return result;
 }
 
@@ -190,23 +273,30 @@ queries::SupgResult TastiSession::SelectWithPrecision(
   TASTI_SPAN("query.select_precision");
   last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
-  const size_t before = labeler_->invocations();
-  labeler::CachingLabeler cache(labeler_);
+  const size_t before = oracle_->invocations();
+  labeler::CachingFallibleLabeler cache(oracle_);
   queries::SupgPrecisionOptions opts;
   opts.precision_target = precision_target;
   opts.confidence = options_.confidence;
   opts.budget = budget;
   opts.seed = NextSeed();
   WallTimer algo_timer;
-  obs::TimedLabeler timed(&cache, &algo_timer);
-  queries::SupgResult result =
-      queries::SupgPrecisionSelect(proxy, &timed, predicate, opts);
+  obs::TimedOracle timed(&cache, &algo_timer);
+  Result<queries::SupgResult> r =
+      queries::TrySupgPrecisionSelect(proxy, &timed, predicate, opts);
   algo_timer.Pause();
+  last_query_status_ = r.status();
+  queries::SupgResult result = r.ok() ? std::move(r).value()
+                                      : queries::SupgResult{};
+  if (!last_query_status_.ok()) {
+    result.failed_oracle_calls = oracle_->invocations() - before;
+  }
   FinishQuery(cache, before, "supg_precision",
               "predicate=" + predicate.Name() +
                   " precision_target=" + FmtDouble(precision_target) +
                   " budget=" + std::to_string(budget),
-              algo_timer.Seconds(), timed.seconds());
+              algo_timer.Seconds(), timed.seconds(),
+              result.failed_oracle_calls);
   return result;
 }
 
@@ -215,20 +305,27 @@ queries::ThresholdSelectResult TastiSession::Select(const core::Scorer& predicat
   TASTI_SPAN("query.select");
   last_proxy_timings_ = {};
   const std::vector<double> proxy = ProxyScores(predicate);
-  const size_t before = labeler_->invocations();
-  labeler::CachingLabeler cache(labeler_);
+  const size_t before = oracle_->invocations();
+  labeler::CachingFallibleLabeler cache(oracle_);
   queries::ThresholdSelectOptions opts;
   opts.validation_budget = validation_budget;
   opts.seed = NextSeed();
   WallTimer algo_timer;
-  obs::TimedLabeler timed(&cache, &algo_timer);
-  queries::ThresholdSelectResult result =
-      queries::ThresholdSelect(proxy, &timed, predicate, opts);
+  obs::TimedOracle timed(&cache, &algo_timer);
+  Result<queries::ThresholdSelectResult> r =
+      queries::TryThresholdSelect(proxy, &timed, predicate, opts);
   algo_timer.Pause();
+  last_query_status_ = r.status();
+  queries::ThresholdSelectResult result =
+      r.ok() ? std::move(r).value() : queries::ThresholdSelectResult{};
+  if (!last_query_status_.ok()) {
+    result.failed_oracle_calls = oracle_->invocations() - before;
+  }
   FinishQuery(cache, before, "threshold_select",
               "predicate=" + predicate.Name() + " validation_budget=" +
                   std::to_string(validation_budget),
-              algo_timer.Seconds(), timed.seconds());
+              algo_timer.Seconds(), timed.seconds(),
+              result.failed_oracle_calls);
   return result;
 }
 
@@ -238,19 +335,26 @@ queries::LimitResult TastiSession::Limit(const core::Scorer& predicate,
   last_proxy_timings_ = {};
   const std::vector<double> ranking =
       ProxyScores(predicate, core::PropagationMode::kLimit);
-  const size_t before = labeler_->invocations();
-  labeler::CachingLabeler cache(labeler_);
+  const size_t before = oracle_->invocations();
+  labeler::CachingFallibleLabeler cache(oracle_);
   queries::LimitOptions opts;
   opts.want = want;
   WallTimer algo_timer;
-  obs::TimedLabeler timed(&cache, &algo_timer);
-  queries::LimitResult result =
-      queries::LimitQuery(ranking, &timed, predicate, opts);
+  obs::TimedOracle timed(&cache, &algo_timer);
+  Result<queries::LimitResult> r =
+      queries::TryLimitQuery(ranking, &timed, predicate, opts);
   algo_timer.Pause();
+  last_query_status_ = r.status();
+  queries::LimitResult result = r.ok() ? std::move(r).value()
+                                       : queries::LimitResult{};
+  if (!last_query_status_.ok()) {
+    result.failed_oracle_calls = oracle_->invocations() - before;
+  }
   ++queries_executed_;
   FinishQuery(cache, before, "limit",
               "predicate=" + predicate.Name() + " want=" + std::to_string(want),
-              algo_timer.Seconds(), timed.seconds());
+              algo_timer.Seconds(), timed.seconds(),
+              result.failed_oracle_calls);
   return result;
 }
 

@@ -31,6 +31,7 @@
 #include "core/scorer.h"
 #include "data/dataset.h"
 #include "labeler/labeler.h"
+#include "labeler/resilient.h"
 #include "obs/query_log.h"
 #include "queries/aggregation.h"
 #include "queries/limit.h"
@@ -46,6 +47,11 @@ struct SessionOptions {
   core::IndexOptions index;
   /// Crack the index with each query's annotations (recommended).
   bool auto_crack = true;
+  /// Re-attempt oracle annotation of failed representatives after each
+  /// query (self-healing; only relevant with a fallible oracle).
+  bool repair_failed_reps = true;
+  /// Cap on repair attempts per query, bounding the extra oracle cost.
+  size_t max_rep_repairs_per_query = 16;
   /// Success probability shared by all guarantee-carrying queries.
   double confidence = 0.95;
   /// Base seed; each query perturbs it deterministically.
@@ -58,6 +64,13 @@ class TastiSession {
  public:
   /// The dataset and labeler must outlive the session.
   TastiSession(const data::Dataset* dataset, labeler::TargetLabeler* labeler,
+               SessionOptions options);
+
+  /// Fallible-oracle session: queries run degraded when oracle calls fail
+  /// (see last_query_status()), the index builds with placeholder labels
+  /// for failed representatives, and cracking repairs them over time. The
+  /// dataset and oracle must outlive the session.
+  TastiSession(const data::Dataset* dataset, labeler::FallibleLabeler* oracle,
                SessionOptions options);
 
   // --- Queries (each consumes target-labeler invocations) ---
@@ -120,6 +133,14 @@ class TastiSession {
   /// Queries executed so far.
   size_t queries_executed() const { return queries_executed_; }
 
+  /// Status of the most recent query. OK when the query produced a usable
+  /// (possibly degraded) result; an error — e.g. Unavailable when every
+  /// oracle call failed — means the returned result was a default value.
+  const Status& last_query_status() const { return last_query_status_; }
+
+  /// Failed representatives repaired across the session so far.
+  size_t representatives_repaired() const { return reps_repaired_; }
+
   /// Per-query cost ledger: one record per query with wall time split by
   /// phase, labeler invocations attributed to that query, and their price
   /// under the Table-1 cost model. The attribution invariant
@@ -136,25 +157,33 @@ class TastiSession {
  private:
   void EnsureIndex();
   uint64_t NextSeed();
-  // Runs after every query: accounts the labeler calls it consumed,
-  // cracks the index with the query's labels, invalidates cached proxies
-  // if anything changed, and appends the query's record to the log.
-  // `algorithm_seconds` is pure algorithm time (the TimedLabeler pauses
-  // the timer inside oracle calls); `oracle_seconds` is the wall time
-  // inside those calls.
-  void FinishQuery(const labeler::CachingLabeler& cache,
+  // Re-attempts oracle annotation of failed representatives (capped by
+  // max_rep_repairs_per_query). Returns the number repaired.
+  size_t RepairFailedReps();
+  // Runs after every query: repairs failed representatives (their oracle
+  // cost is attributed to this query), accounts the oracle calls the query
+  // consumed, cracks the index with the query's labels, invalidates cached
+  // proxies if anything changed, and appends the query's record to the
+  // log. `algorithm_seconds` is pure algorithm time (the TimedOracle
+  // pauses the timer inside oracle calls); `oracle_seconds` is the wall
+  // time inside those calls.
+  void FinishQuery(const labeler::CachingFallibleLabeler& cache,
                    size_t invocations_before, std::string query_type,
                    std::string params, double algorithm_seconds,
-                   double oracle_seconds);
+                   double oracle_seconds, size_t failed_oracle_calls);
 
   const data::Dataset* dataset_;
-  labeler::TargetLabeler* labeler_;
+  labeler::FallibleLabeler* oracle_ = nullptr;
+  // Owns the adapter when the session was built from a TargetLabeler.
+  std::unique_ptr<labeler::FallibleAdapter> owned_adapter_;
   SessionOptions options_;
   std::optional<core::TastiIndex> index_;
   std::unordered_map<std::string, std::vector<double>> proxy_cache_;
   size_t total_invocations_ = 0;
   size_t index_invocations_ = 0;
   size_t queries_executed_ = 0;
+  size_t reps_repaired_ = 0;
+  Status last_query_status_ = Status::OK();
   obs::QueryLog query_log_;
   // Proxy phase times of the current query; zero when ProxyScores hits
   // its cache. Reset by each query method before calling ProxyScores.

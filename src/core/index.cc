@@ -18,6 +18,14 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
                              labeler::TargetLabeler* labeler,
                              const IndexOptions& options) {
   TASTI_CHECK(labeler != nullptr, "Build requires a labeler");
+  labeler::FallibleAdapter adapter(labeler);
+  return Build(dataset, &adapter, options);
+}
+
+TastiIndex TastiIndex::Build(const data::Dataset& dataset,
+                             labeler::FallibleLabeler* labeler,
+                             const IndexOptions& options) {
+  TASTI_CHECK(labeler != nullptr, "Build requires a labeler");
   TASTI_CHECK(labeler->num_records() == dataset.size(),
               "labeler/dataset record count mismatch");
   TASTI_CHECK(options.num_representatives > 0, "need at least one representative");
@@ -54,10 +62,17 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
     train_options.use_fpf_mining = options.use_fpf_mining;
     train_options.seed = options.seed * 1315423911ULL + 1;
     const size_t invocations_before = labeler->invocations();
+    // Triplet mining needs some label for every sampled record; a failed
+    // annotation falls back to the modality's neutral label (and is
+    // counted) rather than aborting the build.
+    labeler::BestEffortLabeler best_effort(
+        labeler, labeler::DefaultLabelFor(dataset.modality));
     embed::TripletTrainResult trained_result = embed::TrainTripletEmbedder(
-        dataset.features, pretrained, labeler, dataset.closeness, train_options);
+        dataset.features, pretrained, &best_effort, dataset.closeness,
+        train_options);
     index.build_stats_.training_invocations =
         labeler->invocations() - invocations_before;
+    index.build_stats_.training_label_failures = best_effort.failures();
     index.build_stats_.final_triplet_loss = trained_result.final_loss;
     trained = std::move(trained_result.embedder);
     embedder = trained.get();
@@ -103,16 +118,33 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
     index.build_stats_.cluster_seconds = timer.Seconds();
   }
 
-  // Annotate representatives with the target labeler.
+  // Annotate representatives with the target labeler. A representative
+  // whose annotation fails permanently stays in the set but is marked
+  // invalid; propagation excludes it and cracking can repair it later.
   {
     TASTI_SPAN("index.annotate_reps");
     const size_t invocations_before = labeler->invocations();
     index.rep_labels_.reserve(index.rep_record_ids_.size());
+    index.rep_label_valid_.reserve(index.rep_record_ids_.size());
     for (size_t record : index.rep_record_ids_) {
-      index.rep_labels_.push_back(labeler->Label(record));
+      Result<data::LabelerOutput> label = labeler->TryLabel(record);
+      if (label.ok()) {
+        index.rep_labels_.push_back(std::move(label).value());
+        index.rep_label_valid_.push_back(1);
+      } else {
+        index.rep_labels_.push_back(labeler::DefaultLabelFor(dataset.modality));
+        index.rep_label_valid_.push_back(0);
+        ++index.num_failed_reps_;
+      }
     }
     index.build_stats_.rep_invocations =
         labeler->invocations() - invocations_before;
+    index.build_stats_.failed_representatives = index.num_failed_reps_;
+    if (index.num_failed_reps_ > 0 && obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .counter("index.failed_reps", "reps")
+          ->Increment(index.num_failed_reps_);
+    }
   }
 
   index.rep_embeddings_ = index.embeddings_.GatherRows(index.rep_record_ids_);
@@ -159,26 +191,46 @@ void TastiIndex::AddRepresentative(size_t record_id, data::LabelerOutput label) 
   const uint32_t new_rep_id = static_cast<uint32_t>(rep_record_ids_.size());
   rep_record_ids_.push_back(record_id);
   rep_labels_.push_back(std::move(label));
+  rep_label_valid_.push_back(1);
   rep_embeddings_ = AppendRows(rep_embeddings_, embeddings_, {record_id});
   cluster::UpdateTopKWithNewRep(embeddings_, rep_embeddings_,
                                 rep_embeddings_.rows() - 1, new_rep_id, &topk_);
 }
 
 size_t TastiIndex::CrackFrom(const labeler::CachingLabeler& cache) {
+  std::vector<size_t> records;
+  std::vector<data::LabelerOutput> labels;
+  for (size_t record : cache.labeled_indices()) {
+    if (is_rep_[record]) continue;
+    records.push_back(record);
+    labels.push_back(*cache.CachedLabel(record));
+  }
+  return CrackFromLabels(records, labels);
+}
+
+size_t TastiIndex::CrackFromLabels(const std::vector<size_t>& records,
+                                   const std::vector<data::LabelerOutput>& labels) {
   TASTI_SPAN("index.crack");
+  TASTI_CHECK(records.size() == labels.size(),
+              "CrackFromLabels: records/labels size mismatch");
   // Collect the new representatives first so the embedding matrix grows
   // once, not per record.
   std::vector<size_t> additions;
-  for (size_t record : cache.labeled_indices()) {
-    if (!is_rep_[record]) additions.push_back(record);
+  std::vector<size_t> addition_pos;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (!is_rep_[records[i]]) {
+      additions.push_back(records[i]);
+      addition_pos.push_back(i);
+    }
   }
   if (additions.empty()) return 0;
 
   const size_t old_count = rep_record_ids_.size();
-  for (size_t record : additions) {
-    is_rep_[record] = 1;
-    rep_record_ids_.push_back(record);
-    rep_labels_.push_back(*cache.CachedLabel(record));
+  for (size_t i = 0; i < additions.size(); ++i) {
+    is_rep_[additions[i]] = 1;
+    rep_record_ids_.push_back(additions[i]);
+    rep_labels_.push_back(labels[addition_pos[i]]);
+    rep_label_valid_.push_back(1);
   }
   rep_embeddings_ = AppendRows(rep_embeddings_, embeddings_, additions);
 
@@ -230,6 +282,37 @@ size_t TastiIndex::AppendRecords(const nn::Matrix& new_features) {
 bool TastiIndex::IsRepresentative(size_t record_id) const {
   TASTI_CHECK(record_id < is_rep_.size(), "record_id out of range");
   return is_rep_[record_id] != 0;
+}
+
+std::vector<size_t> TastiIndex::failed_representative_positions() const {
+  std::vector<size_t> positions;
+  if (num_failed_reps_ == 0) return positions;
+  for (size_t i = 0; i < rep_label_valid_.size(); ++i) {
+    if (rep_label_valid_[i] == 0) positions.push_back(i);
+  }
+  return positions;
+}
+
+std::vector<size_t> TastiIndex::failed_rep_record_ids() const {
+  std::vector<size_t> ids;
+  for (size_t pos : failed_representative_positions()) {
+    ids.push_back(rep_record_ids_[pos]);
+  }
+  return ids;
+}
+
+void TastiIndex::RepairRepresentative(size_t rep_pos, data::LabelerOutput label) {
+  TASTI_CHECK(rep_pos < rep_labels_.size(), "rep_pos out of range");
+  TASTI_CHECK(rep_label_valid_[rep_pos] == 0,
+              "RepairRepresentative on a valid representative");
+  rep_labels_[rep_pos] = std::move(label);
+  rep_label_valid_[rep_pos] = 1;
+  --num_failed_reps_;
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const repairs =
+        obs::MetricsRegistry::Global().counter("index.rep_repairs", "reps");
+    repairs->Increment();
+  }
 }
 
 }  // namespace tasti::core

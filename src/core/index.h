@@ -39,6 +39,10 @@ struct BuildStats {
   size_t training_invocations = 0;  ///< labeler calls for triplet data
   size_t rep_invocations = 0;       ///< labeler calls for representatives
   double final_triplet_loss = 0.0;
+  /// Representatives whose annotation failed permanently (degraded build).
+  size_t failed_representatives = 0;
+  /// Training annotations that failed and used a fallback label.
+  size_t training_label_failures = 0;
 
   double TotalSeconds() const {
     return mine_seconds + train_seconds + embed_seconds + cluster_seconds +
@@ -60,6 +64,15 @@ class TastiIndex {
                           labeler::TargetLabeler* labeler,
                           const IndexOptions& options);
 
+  /// Builds against a fallible oracle. Construction never aborts on oracle
+  /// failure: representatives whose annotation fails permanently are kept
+  /// in the representative set but marked invalid (rep_label_valid()), and
+  /// propagation excludes them. With a fault-free oracle this is
+  /// bit-identical to the infallible overload (which delegates here).
+  static TastiIndex Build(const data::Dataset& dataset,
+                          labeler::FallibleLabeler* oracle,
+                          const IndexOptions& options);
+
   // --- Read accessors ---
 
   /// Record indices of the representatives, in representative order.
@@ -78,6 +91,26 @@ class TastiIndex {
 
   /// Min-k distances from every record to its nearest representatives.
   const cluster::TopKDistances& topk() const { return topk_; }
+
+  /// Per-representative validity flags, aligned with rep_labels(). 0 marks
+  /// a representative whose oracle annotation failed; its label is a
+  /// placeholder and must not feed propagation.
+  const std::vector<uint8_t>& rep_label_valid() const {
+    return rep_label_valid_;
+  }
+
+  /// Representatives currently lacking a valid annotation.
+  size_t num_failed_representatives() const { return num_failed_reps_; }
+
+  /// Positions (into rep_record_ids()) of failed representatives.
+  std::vector<size_t> failed_representative_positions() const;
+
+  /// Record ids of failed representatives.
+  std::vector<size_t> failed_rep_record_ids() const;
+
+  /// Installs a late-arriving annotation for the failed representative at
+  /// `rep_pos`, restoring it to the propagation set (index self-healing).
+  void RepairRepresentative(size_t rep_pos, data::LabelerOutput label);
 
   size_t num_records() const { return embeddings_.rows(); }
   size_t num_representatives() const { return rep_record_ids_.size(); }
@@ -112,6 +145,12 @@ class TastiIndex {
   /// Returns the number of representatives added.
   size_t CrackFrom(const labeler::CachingLabeler& cache);
 
+  /// Bulk-adds annotated records by parallel (record id, label) vectors,
+  /// skipping records that are already representatives. Returns the number
+  /// of representatives added.
+  size_t CrackFromLabels(const std::vector<size_t>& records,
+                         const std::vector<data::LabelerOutput>& labels);
+
   /// True if the record is currently a representative.
   bool IsRepresentative(size_t record_id) const;
 
@@ -126,6 +165,8 @@ class TastiIndex {
   nn::Matrix rep_embeddings_;
   std::vector<size_t> rep_record_ids_;
   std::vector<data::LabelerOutput> rep_labels_;
+  std::vector<uint8_t> rep_label_valid_;  // aligned with rep_labels_
+  size_t num_failed_reps_ = 0;
   std::vector<uint8_t> is_rep_;  // per record flag
   cluster::TopKDistances topk_;
   BuildStats build_stats_;

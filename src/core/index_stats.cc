@@ -11,6 +11,8 @@ IndexStats ComputeIndexStats(const TastiIndex& index) {
   IndexStats stats;
   stats.num_records = index.num_records();
   stats.num_representatives = index.num_representatives();
+  stats.num_failed_representatives = index.num_failed_representatives();
+  stats.failed_representatives = index.failed_rep_record_ids();
   if (stats.num_records == 0 || stats.num_representatives == 0) return stats;
 
   const auto& topk = index.topk();
@@ -43,7 +45,17 @@ std::string IndexStats::ToString() const {
                 num_records, num_representatives, mean_nearest_distance,
                 p99_nearest_distance, max_nearest_distance, mean_cluster_size,
                 largest_cluster, empty_clusters);
-  return buf;
+  std::string out = buf;
+  if (num_failed_representatives > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " | degraded: %zu failed reps (coverage %.1f%%)",
+                  num_failed_representatives,
+                  100.0 * static_cast<double>(num_representatives -
+                                              num_failed_representatives) /
+                      static_cast<double>(num_representatives));
+    out += buf;
+  }
+  return out;
 }
 
 }  // namespace tasti::core

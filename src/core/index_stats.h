@@ -31,6 +31,11 @@ struct IndexStats {
   size_t num_records = 0;
   size_t num_representatives = 0;
 
+  /// Degraded coverage: representatives whose oracle annotation failed.
+  /// They stay in the set (propagation skips them) until repaired.
+  size_t num_failed_representatives = 0;
+  std::vector<size_t> failed_representatives;  ///< their record ids
+
   /// Renders a short human-readable report.
   std::string ToString() const;
 };

@@ -13,11 +13,28 @@ std::vector<double> RepresentativeScores(const TastiIndex& index,
                                          const Scorer& scorer) {
   std::vector<double> scores;
   scores.reserve(index.num_representatives());
-  for (const data::LabelerOutput& label : index.rep_labels()) {
-    scores.push_back(scorer.Score(label));
+  const auto& labels = index.rep_labels();
+  const bool degraded = index.num_failed_representatives() > 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (degraded && index.rep_label_valid()[i] == 0) {
+      // Placeholder score for a failed representative; propagation skips
+      // it, so the value never reaches a proxy.
+      scores.push_back(0.0);
+      continue;
+    }
+    scores.push_back(scorer.Score(labels[i]));
   }
   return scores;
 }
+
+namespace {
+// Validity mask for propagation, or nullptr when every representative is
+// annotated (the common case keeps its branch-free inner loop).
+const uint8_t* ValidityMask(const TastiIndex& index) {
+  return index.num_failed_representatives() > 0 ? index.rep_label_valid().data()
+                                                : nullptr;
+}
+}  // namespace
 
 namespace {
 size_t EffectiveK(const TastiIndex& index, const PropagationOptions& options) {
@@ -47,6 +64,7 @@ std::vector<double> PropagateNumeric(const TastiIndex& index,
   const auto& topk = index.topk();
   std::vector<double> out(n, 0.0);
   const size_t stored_k = index.k();
+  const uint8_t* valid = ValidityMask(index);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       // One pointer pair per record instead of a multiply per element read.
@@ -55,6 +73,7 @@ std::vector<double> PropagateNumeric(const TastiIndex& index,
       double weight_sum = 0.0;
       double score_sum = 0.0;
       for (size_t j = 0; j < k; ++j) {
+        if (valid != nullptr && valid[ids[j]] == 0) continue;
         const double w = InverseDistanceWeight(dist[j] + options.epsilon,
                                                options.weight_power);
         weight_sum += w;
@@ -75,6 +94,7 @@ std::vector<double> PropagateCategorical(const TastiIndex& index,
   const size_t k = EffectiveK(index, options);
   const auto& topk = index.topk();
   std::vector<double> out(n, 0.0);
+  const uint8_t* valid = ValidityMask(index);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     // Votes keyed by exact score value; categorical scorers emit a small
     // discrete set, so a flat map is cheap.
@@ -85,6 +105,7 @@ std::vector<double> PropagateCategorical(const TastiIndex& index,
       const uint32_t* ids = topk.rep_ids.data() + i * stored_k;
       votes.clear();
       for (size_t j = 0; j < k; ++j) {
+        if (valid != nullptr && valid[ids[j]] == 0) continue;
         const double w = InverseDistanceWeight(dist[j] + options.epsilon,
                                                options.weight_power);
         votes[rep_scores[ids[j]]] += w;
@@ -111,6 +132,7 @@ std::vector<double> PropagateLimit(const TastiIndex& index,
   const size_t n = index.num_records();
   const auto& topk = index.topk();
   std::vector<double> out(n, 0.0);
+  const uint8_t* valid = ValidityMask(index);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       // Rank by the best-scoring representative within the stored min-k
@@ -120,21 +142,25 @@ std::vector<double> PropagateLimit(const TastiIndex& index,
       // level break by distance to that representative (paper Section 6.3).
       const float* drow = topk.distances.data() + i * topk.k;
       const uint32_t* idrow = topk.rep_ids.data() + i * topk.k;
-      double best_score = rep_scores[idrow[0]];
-      double best_dist = drow[0];
+      double best_score = 0.0;
+      double best_dist = 0.0;
+      bool any = false;
       const size_t neighbors = use_best_of_k ? topk.k : 1;
-      for (size_t j = 1; j < neighbors; ++j) {
+      for (size_t j = 0; j < neighbors; ++j) {
+        if (valid != nullptr && valid[idrow[j]] == 0) continue;
         const double score = rep_scores[idrow[j]];
         const double dist = drow[j];
-        if (score > best_score ||
+        if (!any || score > best_score ||
             (score == best_score && dist < best_dist)) {
+          any = true;
           best_score = score;
           best_dist = dist;
         }
       }
       // Bonus in (0, 1): closer records of the same score rank earlier;
-      // never crosses an integer score boundary.
-      out[i] = best_score + 0.999 / (1.0 + best_dist);
+      // never crosses an integer score boundary. Records with no valid
+      // neighbor rank after everything (degraded coverage).
+      out[i] = any ? best_score + 0.999 / (1.0 + best_dist) : -1.0;
     }
   }, 2048);
   return out;

@@ -8,6 +8,7 @@
 #include "embed/pretrained.h"
 #include "embed/triplet_trainer.h"
 #include "nn/serialize.h"
+#include "util/checksum.h"
 
 
 namespace tasti::core {
@@ -15,7 +16,9 @@ namespace tasti::core {
 namespace {
 
 constexpr uint32_t kMagic = 0x54535449;  // "TSTI"
-constexpr uint32_t kVersion = 2;
+// v3: per-representative validity flags (degraded builds) + integrity
+// footer over the whole buffer.
+constexpr uint32_t kVersion = 3;
 
 // --- primitive writers/readers over a string buffer ---
 
@@ -147,7 +150,7 @@ bool GetLabel(const std::string& in, size_t* at, data::LabelerOutput* label) {
 
 }  // namespace
 
-std::string IndexSerializer::SerializeToString(const TastiIndex& index) {
+Result<std::string> IndexSerializer::SerializeToString(const TastiIndex& index) {
   std::string out;
   Put<uint32_t>(&out, kMagic);
   Put<uint32_t>(&out, kVersion);
@@ -168,6 +171,8 @@ std::string IndexSerializer::SerializeToString(const TastiIndex& index) {
   for (const data::LabelerOutput& label : index.rep_labels_) {
     PutLabel(&out, label);
   }
+  // v3: validity flags (0 marks a representative whose annotation failed).
+  PutVector(&out, index.rep_label_valid_);
 
   Put<uint64_t>(&out, index.topk_.k);
   Put<uint64_t>(&out, index.topk_.num_records);
@@ -185,17 +190,22 @@ std::string IndexSerializer::SerializeToString(const TastiIndex& index) {
                  index.embedder_.get())) {
     Put<uint8_t>(&out, 2);
     Put<uint64_t>(&out, trained->embedding_dim());
-    const std::string blob = nn::SerializeMlp(trained->model());
-    Put<uint64_t>(&out, blob.size());
-    out.append(blob);
+    Result<std::string> blob = nn::SerializeMlp(trained->model());
+    TASTI_RETURN_NOT_OK(blob.status());
+    Put<uint64_t>(&out, blob->size());
+    out.append(*blob);
   } else {
     Put<uint8_t>(&out, 0);  // no embedder (or an unknown custom type)
   }
+  AppendChecksumFooter(&out);
   return out;
 }
 
 Result<TastiIndex> IndexSerializer::DeserializeFromString(
-    const std::string& buffer) {
+    const std::string& raw) {
+  Result<size_t> payload_size = VerifyChecksumFooter(raw);
+  TASTI_RETURN_NOT_OK(payload_size.status());
+  const std::string buffer = raw.substr(0, *payload_size);
   size_t at = 0;
   uint32_t magic = 0, version = 0;
   if (!Get(buffer, &at, &magic) || magic != kMagic) {
@@ -236,6 +246,17 @@ Result<TastiIndex> IndexSerializer::DeserializeFromString(
     if (!GetLabel(buffer, &at, &index.rep_labels_[i])) {
       return Status::InvalidArgument("truncated labels");
     }
+  }
+
+  if (!GetVector(buffer, &at, &index.rep_label_valid_)) {
+    return Status::InvalidArgument("truncated validity flags");
+  }
+  if (index.rep_label_valid_.size() != num_labels) {
+    return Status::InvalidArgument("validity/label count mismatch");
+  }
+  index.num_failed_reps_ = 0;
+  for (uint8_t valid : index.rep_label_valid_) {
+    if (valid == 0) ++index.num_failed_reps_;
   }
 
   uint64_t topk_k = 0, topk_n = 0;
@@ -299,8 +320,9 @@ Result<TastiIndex> IndexSerializer::DeserializeFromString(
 Status IndexSerializer::Save(const TastiIndex& index, const std::string& path) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return Status::IOError("cannot open for writing: " + path);
-  const std::string buffer = SerializeToString(index);
-  file.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  Result<std::string> buffer = SerializeToString(index);
+  TASTI_RETURN_NOT_OK(buffer.status());
+  file.write(buffer->data(), static_cast<std::streamsize>(buffer->size()));
   if (!file) return Status::IOError("write failed: " + path);
   return Status::OK();
 }

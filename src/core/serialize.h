@@ -25,10 +25,14 @@ class IndexSerializer {
   /// Reads an index from `path`.
   static Result<TastiIndex> Load(const std::string& path);
 
-  /// Serializes to an in-memory buffer (used by tests and Save).
-  static std::string SerializeToString(const TastiIndex& index);
+  /// Serializes to an in-memory buffer (used by tests and Save). The
+  /// buffer ends with an integrity footer (util/checksum.h). Fails if the
+  /// embedded embedder cannot be serialized.
+  static Result<std::string> SerializeToString(const TastiIndex& index);
 
-  /// Parses from an in-memory buffer.
+  /// Parses from an in-memory buffer. The footer is verified before any
+  /// payload bytes are interpreted, so truncated or bit-flipped files are
+  /// rejected with a Status.
   static Result<TastiIndex> DeserializeFromString(const std::string& buffer);
 };
 

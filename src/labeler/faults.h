@@ -1,0 +1,125 @@
+#ifndef TASTI_LABELER_FAULTS_H_
+#define TASTI_LABELER_FAULTS_H_
+
+/// \file faults.h
+/// Deterministic fault injection for the oracle path.
+///
+/// A FaultInjectingLabeler wraps an infallible TargetLabeler and makes it
+/// behave like a production oracle: transient outages, timeouts, throttling
+/// bursts, corrupt outputs, crash windows, and permanently-dead records.
+/// Every fault decision is a pure function of (schedule seed, record index,
+/// per-record attempt number, global attempt number), so a chaos run is
+/// exactly reproducible and retrying genuinely transient faults succeeds
+/// on a later attempt.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "util/status.h"
+
+namespace tasti::labeler {
+
+/// A window of global attempt numbers [begin, end) during which every call
+/// fails, simulating an oracle process crash + restart.
+struct CrashWindow {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Declarative description of when and how the oracle misbehaves.
+/// Rates are per-attempt probabilities decided by seeded hashing.
+struct FaultSchedule {
+  /// Probability an attempt fails transiently (retry succeeds eventually).
+  double transient_rate = 0.0;
+  /// Probability an attempt exceeds its deadline.
+  double timeout_rate = 0.0;
+  /// Probability an attempt returns seeded garbage instead of the truth.
+  double corrupt_rate = 0.0;
+  /// Every `throttle_period` global attempts, the first `throttle_burst`
+  /// of them are rejected with ResourceExhausted (0 disables).
+  size_t throttle_period = 0;
+  size_t throttle_burst = 0;
+  /// Global-attempt windows during which every call fails.
+  std::vector<CrashWindow> crash_windows;
+  /// Records that always fail with a non-retryable error.
+  std::vector<size_t> permanent_failures;
+  /// Probability a record is permanently failed (decided per record).
+  double permanent_rate = 0.0;
+  /// Simulated latency of a normal call, in virtual ms.
+  double base_latency_ms = 5.0;
+  /// Simulated latency of a timed-out call, in virtual ms.
+  double timeout_latency_ms = 120.0;
+  uint64_t seed = 0;
+};
+
+/// Parses a compact schedule spec of comma-separated key=value pairs:
+///
+///   transient=0.1,timeout=0.05,corrupt=0.01,throttle=100:8,
+///   crash=500:100,perm=3;7;11,perm-rate=0.002,latency=5,
+///   timeout-latency=120,seed=9
+///
+/// `throttle=PERIOD:BURST`; `crash=BEGIN:LENGTH` (repeatable);
+/// `perm=IDX;IDX;...` lists permanently-failed records.
+Result<FaultSchedule> ParseFaultSchedule(const std::string& spec);
+
+/// Tally of injected faults by category.
+struct FaultCounts {
+  size_t transient = 0;
+  size_t timeout = 0;
+  size_t throttle = 0;
+  size_t corrupt = 0;
+  size_t crash = 0;
+  size_t permanent = 0;
+
+  size_t total() const {
+    return transient + timeout + throttle + corrupt + crash + permanent;
+  }
+};
+
+/// Wraps an infallible TargetLabeler in a scheduled, seeded fault model.
+///
+/// Fault precedence per attempt: permanent failure, then crash window,
+/// then throttling, then transient error, then timeout, then corruption,
+/// then success. `invocations()` counts every attempt (the paper's cost
+/// metric is calls made, not calls that produced a usable label); the
+/// inner labeler is only consulted when an attempt reaches the
+/// success/corrupt stage.
+class FaultInjectingLabeler : public FallibleLabeler {
+ public:
+  /// The inner labeler must outlive the wrapper.
+  FaultInjectingLabeler(TargetLabeler* inner, FaultSchedule schedule);
+
+  Result<data::LabelerOutput> TryLabel(size_t index) override;
+  size_t num_records() const override { return inner_->num_records(); }
+  size_t invocations() const override { return attempts_; }
+  void ResetInvocations() override { attempts_ = 0; }
+  double last_call_latency_ms() const override { return last_latency_ms_; }
+
+  const FaultSchedule& schedule() const { return schedule_; }
+  /// Swaps the schedule mid-run (e.g. to heal an outage in a test).
+  void set_schedule(FaultSchedule schedule);
+
+  const FaultCounts& fault_counts() const { return counts_; }
+
+  /// True if the schedule marks `index` permanently failed.
+  bool IsPermanentlyFailed(size_t index) const;
+
+ private:
+  /// Seeded garbage label matching the true label's modality.
+  data::LabelerOutput CorruptLabel(size_t index, size_t attempt) const;
+
+  TargetLabeler* inner_;
+  FaultSchedule schedule_;
+  FaultCounts counts_;
+  size_t attempts_ = 0;                  // global attempt counter
+  std::vector<uint32_t> record_attempts_;  // per-record attempt counters
+  double last_latency_ms_ = 0.0;
+};
+
+}  // namespace tasti::labeler
+
+#endif  // TASTI_LABELER_FAULTS_H_

@@ -2,11 +2,45 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/random.h"
 #include "util/status.h"
 
 namespace tasti::labeler {
+
+FallibleAdapter::FallibleAdapter(TargetLabeler* inner) : inner_(inner) {
+  TASTI_CHECK(inner != nullptr, "FallibleAdapter requires an inner labeler");
+}
+
+Result<data::LabelerOutput> FallibleAdapter::TryLabel(size_t index) {
+  return inner_->Label(index);
+}
+
+BestEffortLabeler::BestEffortLabeler(FallibleLabeler* inner,
+                                     data::LabelerOutput fallback)
+    : inner_(inner), fallback_(std::move(fallback)) {
+  TASTI_CHECK(inner != nullptr, "BestEffortLabeler requires an inner labeler");
+}
+
+data::LabelerOutput BestEffortLabeler::Label(size_t index) {
+  Result<data::LabelerOutput> r = inner_->TryLabel(index);
+  if (r.ok()) return std::move(r).value();
+  ++failures_;
+  return fallback_;
+}
+
+data::LabelerOutput DefaultLabelFor(data::Modality modality) {
+  switch (modality) {
+    case data::Modality::kVideo:
+      return data::VideoLabel{};
+    case data::Modality::kText:
+      return data::TextLabel{};
+    case data::Modality::kSpeech:
+      return data::SpeechLabel{};
+  }
+  return data::VideoLabel{};
+}
 
 SimulatedLabeler::SimulatedLabeler(const data::Dataset* dataset)
     : dataset_(dataset) {

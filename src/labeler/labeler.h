@@ -17,6 +17,7 @@
 
 #include "data/dataset.h"
 #include "data/schema.h"
+#include "util/status.h"
 
 namespace tasti::labeler {
 
@@ -38,6 +39,79 @@ class TargetLabeler {
   /// Resets the invocation counter.
   virtual void ResetInvocations() = 0;
 };
+
+/// A target labeler whose calls can fail.
+///
+/// Production oracles (remote model servers, crowd pipelines) time out,
+/// throttle, and return garbage; TryLabel surfaces those outcomes as a
+/// Result instead of aborting. Every TryLabel call counts as one
+/// invocation whether or not it succeeds — the paper's cost metric is
+/// calls made, not calls that returned a usable label.
+class FallibleLabeler {
+ public:
+  virtual ~FallibleLabeler() = default;
+
+  /// Attempts to label record `index`.
+  virtual Result<data::LabelerOutput> TryLabel(size_t index) = 0;
+
+  /// Number of records this labeler can label.
+  virtual size_t num_records() const = 0;
+
+  /// Attempts so far, including failed ones.
+  virtual size_t invocations() const = 0;
+
+  /// Resets the invocation counter.
+  virtual void ResetInvocations() = 0;
+
+  /// Simulated wall-clock cost of the most recent TryLabel, in ms. Used by
+  /// resilience wrappers to advance their virtual clock deterministically.
+  virtual double last_call_latency_ms() const { return 0.0; }
+};
+
+/// Adapts an infallible TargetLabeler to the FallibleLabeler interface.
+/// Every call succeeds; invocation counting passes through to the inner
+/// labeler so existing cost accounting is unchanged.
+class FallibleAdapter : public FallibleLabeler {
+ public:
+  /// The inner labeler must outlive the adapter.
+  explicit FallibleAdapter(TargetLabeler* inner);
+
+  Result<data::LabelerOutput> TryLabel(size_t index) override;
+  size_t num_records() const override { return inner_->num_records(); }
+  size_t invocations() const override { return inner_->invocations(); }
+  void ResetInvocations() override { inner_->ResetInvocations(); }
+
+ private:
+  TargetLabeler* inner_;
+};
+
+/// Adapts a FallibleLabeler back to the infallible TargetLabeler interface
+/// by substituting a fallback label when a call fails. Used where the
+/// algorithm needs *some* label for every record (e.g. triplet mining for
+/// embedding training) and a default is acceptable; failures are counted
+/// so callers can report degraded coverage.
+class BestEffortLabeler : public TargetLabeler {
+ public:
+  /// The inner labeler must outlive the wrapper.
+  BestEffortLabeler(FallibleLabeler* inner, data::LabelerOutput fallback);
+
+  data::LabelerOutput Label(size_t index) override;
+  size_t num_records() const override { return inner_->num_records(); }
+  size_t invocations() const override { return inner_->invocations(); }
+  void ResetInvocations() override { inner_->ResetInvocations(); }
+
+  /// Calls that failed and received the fallback label.
+  size_t failures() const { return failures_; }
+
+ private:
+  FallibleLabeler* inner_;
+  data::LabelerOutput fallback_;
+  size_t failures_ = 0;
+};
+
+/// Returns a neutral "no information" label for the given modality, used
+/// as the BestEffortLabeler fallback during degraded index construction.
+data::LabelerOutput DefaultLabelFor(data::Modality modality);
 
 /// Exact simulated labeler: returns the dataset's ground truth. Stands in
 /// for Mask R-CNN / human annotation at full accuracy.

@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <cstring>
 
+#include "util/checksum.h"
+
 namespace tasti::nn {
 
 namespace {
@@ -49,11 +51,13 @@ bool GetMatrix(const std::string& in, size_t* at, Matrix* m) {
 
 }  // namespace
 
-std::string SerializeMlp(const Mlp& mlp) {
+Result<std::string> SerializeMlp(const Mlp& mlp) {
   std::string out;
   Put<uint32_t>(&out, kMagic);
   Put<uint32_t>(&out, static_cast<uint32_t>(mlp.num_layers()));
-  mlp.VisitLayers([&out](const Layer& layer) {
+  Status layer_status = Status::OK();
+  mlp.VisitLayers([&out, &layer_status](const Layer& layer) {
+    if (!layer_status.ok()) return;
     const std::string name = layer.Name();
     if (name == "Linear") {
       const auto& lin = static_cast<const Linear&>(layer);
@@ -67,32 +71,39 @@ std::string SerializeMlp(const Mlp& mlp) {
     } else if (name == "L2Normalize") {
       Put<uint8_t>(&out, static_cast<uint8_t>(LayerTag::kL2Normalize));
     } else {
-      TASTI_CHECK(false, "unknown layer in SerializeMlp: " + name);
+      layer_status =
+          Status::InvalidArgument("unknown layer in SerializeMlp: " + name);
     }
   });
+  TASTI_RETURN_NOT_OK(layer_status);
+  AppendChecksumFooter(&out);
   return out;
 }
 
 Result<Mlp> DeserializeMlp(const std::string& buffer) {
+  Result<size_t> payload_size = VerifyChecksumFooter(buffer);
+  TASTI_RETURN_NOT_OK(payload_size.status());
+  const std::string payload = buffer.substr(0, *payload_size);
   size_t at = 0;
   uint32_t magic = 0, num_layers = 0;
-  if (!Get(buffer, &at, &magic) || magic != kMagic) {
+  if (!Get(payload, &at, &magic) || magic != kMagic) {
     return Status::InvalidArgument("bad magic: not a serialized MLP");
   }
-  if (!Get(buffer, &at, &num_layers)) {
+  if (!Get(payload, &at, &num_layers)) {
     return Status::InvalidArgument("truncated MLP header");
   }
   Mlp mlp;
   Rng dummy(0);
   for (uint32_t l = 0; l < num_layers; ++l) {
     uint8_t tag = 0;
-    if (!Get(buffer, &at, &tag)) {
+    if (!Get(payload, &at, &tag)) {
       return Status::InvalidArgument("truncated layer tag");
     }
     switch (static_cast<LayerTag>(tag)) {
       case LayerTag::kLinear: {
         Matrix weight, bias;
-        if (!GetMatrix(buffer, &at, &weight) || !GetMatrix(buffer, &at, &bias)) {
+        if (!GetMatrix(payload, &at, &weight) ||
+            !GetMatrix(payload, &at, &bias)) {
           return Status::InvalidArgument("truncated Linear weights");
         }
         if (weight.cols() != bias.cols() || bias.rows() != 1) {

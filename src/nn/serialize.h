@@ -13,10 +13,13 @@
 
 namespace tasti::nn {
 
-/// Serializes the architecture and weights of an MLP.
-std::string SerializeMlp(const Mlp& mlp);
+/// Serializes the architecture and weights of an MLP, with an integrity
+/// footer (util/checksum.h). Fails on an unserializable layer type instead
+/// of aborting.
+Result<std::string> SerializeMlp(const Mlp& mlp);
 
-/// Parses an MLP previously produced by SerializeMlp.
+/// Parses an MLP previously produced by SerializeMlp. The integrity footer
+/// is verified first, so truncated or bit-flipped buffers fail cleanly.
 Result<Mlp> DeserializeMlp(const std::string& buffer);
 
 }  // namespace tasti::nn

@@ -72,7 +72,11 @@ std::string QueryLog::ToJson() const {
     out += "\",\n     \"labeler_invocations\": " +
            std::to_string(q.labeler_invocations) +
            ", \"cracked_representatives\": " +
-           std::to_string(q.cracked_representatives) + ",\n";
+           std::to_string(q.cracked_representatives) +
+           ", \"failed_oracle_calls\": " +
+           std::to_string(q.failed_oracle_calls) +
+           ", \"repaired_representatives\": " +
+           std::to_string(q.repaired_representatives) + ",\n";
     out += "     \"phase_seconds\": {\"rep_score\": " +
            Fmt(q.phases.rep_score_seconds) +
            ", \"propagation\": " + Fmt(q.phases.propagation_seconds) +

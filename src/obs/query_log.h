@@ -49,8 +49,15 @@ struct QueryRecord {
   std::string query_type;  ///< "aggregate", "supg_recall", "limit", ...
   std::string params;      ///< e.g. "scorer=count_car error_target=0.05"
   QueryPhaseTimes phases;
-  size_t labeler_invocations = 0;   ///< attributed to this query alone
+  /// Oracle attempts attributed to this query alone. Includes attempts
+  /// that failed — the cost metric is calls made, not labels obtained.
+  size_t labeler_invocations = 0;
   size_t cracked_representatives = 0;
+  /// Oracle calls that failed after retries during this query.
+  size_t failed_oracle_calls = 0;
+  /// Previously-failed representatives repaired after this query
+  /// (self-healing crack; see SessionOptions::repair_failed_reps).
+  size_t repaired_representatives = 0;
 
   // Cost of this query's labeler invocations under each Table-1 labeler,
   // in its native unit (filled by QueryLog::AddQuery from its CostModel).
@@ -132,6 +139,42 @@ class TimedLabeler : public labeler::TargetLabeler {
 
  private:
   labeler::TargetLabeler* inner_;
+  WallTimer* paused_;
+  double seconds_ = 0.0;
+};
+
+/// FallibleLabeler counterpart of TimedLabeler: measures wall time inside
+/// the wrapped oracle (successful or not) and pauses the caller's phase
+/// timer around each call.
+class TimedOracle : public labeler::FallibleLabeler {
+ public:
+  /// Both pointers must outlive the wrapper; `paused_while_labeling` may
+  /// be null (pure measurement).
+  TimedOracle(labeler::FallibleLabeler* inner, WallTimer* paused_while_labeling)
+      : inner_(inner), paused_(paused_while_labeling) {}
+
+  Result<data::LabelerOutput> TryLabel(size_t index) override {
+    const bool pause = paused_ != nullptr && paused_->running();
+    if (pause) paused_->Pause();
+    WallTimer call_timer;
+    Result<data::LabelerOutput> out = inner_->TryLabel(index);
+    seconds_ += call_timer.Seconds();
+    if (pause) paused_->Resume();
+    return out;
+  }
+
+  size_t num_records() const override { return inner_->num_records(); }
+  size_t invocations() const override { return inner_->invocations(); }
+  void ResetInvocations() override { inner_->ResetInvocations(); }
+  double last_call_latency_ms() const override {
+    return inner_->last_call_latency_ms();
+  }
+
+  /// Wall seconds spent inside the wrapped oracle so far.
+  double seconds() const { return seconds_; }
+
+ private:
+  labeler::FallibleLabeler* inner_;
   WallTimer* paused_;
   double seconds_ = 0.0;
 };

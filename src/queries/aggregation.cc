@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "obs/trace.h"
 #include "util/random.h"
@@ -36,7 +38,19 @@ AggregationResult EstimateMean(const std::vector<double>& proxy_scores,
                                const core::Scorer& scorer,
                                const AggregationOptions& options) {
   TASTI_CHECK(labeler != nullptr, "EstimateMean requires a labeler");
-  TASTI_CHECK(proxy_scores.size() == labeler->num_records(),
+  labeler::FallibleAdapter adapter(labeler);
+  Result<AggregationResult> r =
+      TryEstimateMean(proxy_scores, &adapter, scorer, options);
+  TASTI_CHECK(r.ok(), "EstimateMean failed with an infallible labeler: " +
+                          r.status().ToString());
+  return std::move(r).value();
+}
+
+Result<AggregationResult> TryEstimateMean(
+    const std::vector<double>& proxy_scores, labeler::FallibleLabeler* oracle,
+    const core::Scorer& scorer, const AggregationOptions& options) {
+  TASTI_CHECK(oracle != nullptr, "TryEstimateMean requires an oracle");
+  TASTI_CHECK(proxy_scores.size() == oracle->num_records(),
               "proxy scores must cover every record");
   TASTI_CHECK(options.error_target > 0.0, "error target must be positive");
   TASTI_CHECK(options.confidence > 0.0 && options.confidence < 1.0,
@@ -101,8 +115,16 @@ AggregationResult EstimateMean(const std::vector<double>& proxy_scores,
     TASTI_SPAN("query.agg.sample");
     for (size_t taken = 0; taken < max_samples; ++taken) {
       const size_t record = order[taken];
-      const data::LabelerOutput label = labeler->Label(record);
-      samples.f.push_back(scorer.Score(label));
+      Result<data::LabelerOutput> label = oracle->TryLabel(record);
+      if (label.ok()) {
+        samples.f.push_back(scorer.Score(*label));
+      } else {
+        // Keep the slot: substitute the proxy score so the sample count
+        // and stopping rule are unaffected (reported as a substitution).
+        ++result.failed_oracle_calls;
+        ++result.substituted_samples;
+        samples.f.push_back(proxy_scores[record]);
+      }
       samples.p.push_back(proxy_scores[record]);
 
       const size_t count = taken + 1;
@@ -123,6 +145,11 @@ AggregationResult EstimateMean(const std::vector<double>& proxy_scores,
   }
   result.labeler_invocations = samples.f.size();
   result.proxy_correlation = PearsonCorrelation(samples.p, samples.f);
+  if (!samples.f.empty() && result.failed_oracle_calls == samples.f.size()) {
+    return Status::Unavailable("aggregation: every oracle call failed (" +
+                               std::to_string(result.failed_oracle_calls) +
+                               " attempts)");
+  }
   return result;
 }
 

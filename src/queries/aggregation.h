@@ -51,6 +51,11 @@ struct AggregationResult {
   double control_coefficient = 0.0;
   /// True if the error target was met before exhausting max_samples.
   bool converged = false;
+  /// Oracle calls that failed after retries (fallible path only).
+  size_t failed_oracle_calls = 0;
+  /// Failed samples whose labeler score was replaced by the proxy score
+  /// (keeps the sample size and stopping rule intact at some bias cost).
+  size_t substituted_samples = 0;
 };
 
 /// Estimates the mean of `scorer` over all records.
@@ -63,6 +68,16 @@ AggregationResult EstimateMean(const std::vector<double>& proxy_scores,
                                labeler::TargetLabeler* labeler,
                                const core::Scorer& scorer,
                                const AggregationOptions& options);
+
+/// Fallible-oracle variant. A sample whose oracle call fails keeps its
+/// slot with the propagated proxy score substituted for the labeler score
+/// (the mean stays defined and the stopping rule keeps its sample count;
+/// substitutions are reported for bias accounting). Fails with Unavailable
+/// only if every oracle call failed. With a fault-free oracle this is
+/// bit-identical to EstimateMean (which delegates here).
+Result<AggregationResult> TryEstimateMean(
+    const std::vector<double>& proxy_scores, labeler::FallibleLabeler* oracle,
+    const core::Scorer& scorer, const AggregationOptions& options);
 
 }  // namespace tasti::queries
 

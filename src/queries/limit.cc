@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
+#include <utility>
 
 #include "obs/trace.h"
 #include "util/status.h"
@@ -13,7 +15,20 @@ LimitResult LimitQuery(const std::vector<double>& ranking_scores,
                        const core::Scorer& predicate,
                        const LimitOptions& options) {
   TASTI_CHECK(labeler != nullptr, "LimitQuery requires a labeler");
-  TASTI_CHECK(ranking_scores.size() == labeler->num_records(),
+  labeler::FallibleAdapter adapter(labeler);
+  Result<LimitResult> r =
+      TryLimitQuery(ranking_scores, &adapter, predicate, options);
+  TASTI_CHECK(r.ok(), "LimitQuery failed with an infallible labeler: " +
+                          r.status().ToString());
+  return std::move(r).value();
+}
+
+Result<LimitResult> TryLimitQuery(const std::vector<double>& ranking_scores,
+                                  labeler::FallibleLabeler* oracle,
+                                  const core::Scorer& predicate,
+                                  const LimitOptions& options) {
+  TASTI_CHECK(oracle != nullptr, "TryLimitQuery requires an oracle");
+  TASTI_CHECK(ranking_scores.size() == oracle->num_records(),
               "ranking scores must cover every record");
   TASTI_CHECK(options.want > 0, "want must be positive");
 
@@ -33,15 +48,26 @@ LimitResult LimitQuery(const std::vector<double>& ranking_scores,
   TASTI_SPAN("query.limit.scan");
   for (size_t i = 0; i < cap; ++i) {
     const size_t record = order[i];
-    const data::LabelerOutput label = labeler->Label(record);
+    Result<data::LabelerOutput> label = oracle->TryLabel(record);
     ++result.labeler_invocations;
-    if (predicate.Score(label) >= 0.5) {
+    if (!label.ok()) {
+      // Skip the record; the call still consumed budget.
+      ++result.failed_oracle_calls;
+      continue;
+    }
+    if (predicate.Score(*label) >= 0.5) {
       result.found.push_back(record);
       if (result.found.size() >= options.want) {
         result.satisfied = true;
         break;
       }
     }
+  }
+  if (result.labeler_invocations > 0 &&
+      result.failed_oracle_calls == result.labeler_invocations) {
+    return Status::Unavailable("limit: every oracle call failed (" +
+                               std::to_string(result.failed_oracle_calls) +
+                               " attempts)");
   }
   return result;
 }

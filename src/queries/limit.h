@@ -32,6 +32,9 @@ struct LimitResult {
   size_t labeler_invocations = 0;
   /// True if `want` matches were found within the budget.
   bool satisfied = false;
+  /// Oracle calls that failed after retries (fallible path only); the
+  /// scan skips those records and continues down the ranking.
+  size_t failed_oracle_calls = 0;
 };
 
 /// Runs the ranked scan. `ranking_scores` orders records (descending);
@@ -40,6 +43,15 @@ LimitResult LimitQuery(const std::vector<double>& ranking_scores,
                        labeler::TargetLabeler* labeler,
                        const core::Scorer& predicate,
                        const LimitOptions& options);
+
+/// Fallible-oracle variant. A record whose oracle call fails is skipped
+/// (it still consumes budget — the call was made) and the scan continues.
+/// Fails with Unavailable only if no call succeeded. With a fault-free
+/// oracle this is bit-identical to LimitQuery (which delegates here).
+Result<LimitResult> TryLimitQuery(const std::vector<double>& ranking_scores,
+                                  labeler::FallibleLabeler* oracle,
+                                  const core::Scorer& predicate,
+                                  const LimitOptions& options);
 
 }  // namespace tasti::queries
 

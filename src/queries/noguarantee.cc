@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "obs/trace.h"
 #include "util/random.h"
@@ -33,7 +35,19 @@ ThresholdSelectResult ThresholdSelect(const std::vector<double>& proxy_scores,
                                       const core::Scorer& predicate,
                                       const ThresholdSelectOptions& options) {
   TASTI_CHECK(labeler != nullptr, "ThresholdSelect requires a labeler");
-  TASTI_CHECK(proxy_scores.size() == labeler->num_records(),
+  labeler::FallibleAdapter adapter(labeler);
+  Result<ThresholdSelectResult> r =
+      TryThresholdSelect(proxy_scores, &adapter, predicate, options);
+  TASTI_CHECK(r.ok(), "ThresholdSelect failed with an infallible labeler: " +
+                          r.status().ToString());
+  return std::move(r).value();
+}
+
+Result<ThresholdSelectResult> TryThresholdSelect(
+    const std::vector<double>& proxy_scores, labeler::FallibleLabeler* oracle,
+    const core::Scorer& predicate, const ThresholdSelectOptions& options) {
+  TASTI_CHECK(oracle != nullptr, "TryThresholdSelect requires an oracle");
+  TASTI_CHECK(proxy_scores.size() == oracle->num_records(),
               "proxy scores must cover every record");
   TASTI_CHECK(options.num_candidates >= 2, "need at least two candidates");
 
@@ -47,12 +61,23 @@ ThresholdSelectResult ThresholdSelect(const std::vector<double>& proxy_scores,
   std::vector<bool> val_truth;
   val_proxy.reserve(budget);
   val_truth.reserve(budget);
+  size_t failed_calls = 0;
   {
     TASTI_SPAN("query.select.validate");
     for (size_t record : validation) {
+      Result<data::LabelerOutput> label = oracle->TryLabel(record);
+      if (!label.ok()) {
+        // Fit on the validation labels that succeeded.
+        ++failed_calls;
+        continue;
+      }
       val_proxy.push_back(proxy_scores[record]);
-      val_truth.push_back(predicate.Score(labeler->Label(record)) >= 0.5);
+      val_truth.push_back(predicate.Score(*label) >= 0.5);
     }
+  }
+  if (budget > 0 && failed_calls == budget) {
+    return Status::Unavailable("threshold-select: every oracle call failed (" +
+                               std::to_string(failed_calls) + " attempts)");
   }
 
   // Sweep thresholds over the observed proxy range; pick the best F1.
@@ -62,6 +87,7 @@ ThresholdSelectResult ThresholdSelect(const std::vector<double>& proxy_scores,
 
   ThresholdSelectResult result;
   result.labeler_invocations = budget;
+  result.failed_oracle_calls = failed_calls;
   double best_f1 = -1.0;
   for (size_t c = 0; c < options.num_candidates; ++c) {
     const double threshold =

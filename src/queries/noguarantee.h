@@ -44,6 +44,9 @@ struct ThresholdSelectResult {
   size_t labeler_invocations = 0;
   /// F1 achieved on the validation sample at the chosen threshold.
   double validation_f1 = 0.0;
+  /// Oracle calls that failed after retries (fallible path only); the
+  /// threshold is fit on the validation labels that succeeded.
+  size_t failed_oracle_calls = 0;
 };
 
 /// Fits a threshold on a uniform validation sample and returns every
@@ -52,6 +55,14 @@ ThresholdSelectResult ThresholdSelect(const std::vector<double>& proxy_scores,
                                       labeler::TargetLabeler* labeler,
                                       const core::Scorer& predicate,
                                       const ThresholdSelectOptions& options);
+
+/// Fallible-oracle variant. Validation records whose oracle call fails are
+/// dropped from the fit. Fails with Unavailable only if every validation
+/// call failed. With a fault-free oracle this is bit-identical to
+/// ThresholdSelect (which delegates here).
+Result<ThresholdSelectResult> TryThresholdSelect(
+    const std::vector<double>& proxy_scores, labeler::FallibleLabeler* oracle,
+    const core::Scorer& predicate, const ThresholdSelectOptions& options);
 
 /// Evaluation helper: F1 of a selected set against exact 0/1 scores.
 double F1Score(const std::vector<size_t>& selected,

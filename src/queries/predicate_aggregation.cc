@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <utility>
 
 #include "obs/trace.h"
 #include "util/random.h"
@@ -15,7 +17,22 @@ PredicateAggregationResult EstimateMeanWithPredicate(
     labeler::TargetLabeler* labeler, const core::Scorer& predicate,
     const core::Scorer& statistic, const PredicateAggregationOptions& options) {
   TASTI_CHECK(labeler != nullptr, "EstimateMeanWithPredicate requires a labeler");
-  TASTI_CHECK(predicate_proxy.size() == labeler->num_records(),
+  labeler::FallibleAdapter adapter(labeler);
+  Result<PredicateAggregationResult> r = TryEstimateMeanWithPredicate(
+      predicate_proxy, &adapter, predicate, statistic, options);
+  TASTI_CHECK(r.ok(),
+              "EstimateMeanWithPredicate failed with an infallible labeler: " +
+                  r.status().ToString());
+  return std::move(r).value();
+}
+
+Result<PredicateAggregationResult> TryEstimateMeanWithPredicate(
+    const std::vector<double>& predicate_proxy,
+    labeler::FallibleLabeler* oracle, const core::Scorer& predicate,
+    const core::Scorer& statistic, const PredicateAggregationOptions& options) {
+  TASTI_CHECK(oracle != nullptr,
+              "TryEstimateMeanWithPredicate requires an oracle");
+  TASTI_CHECK(predicate_proxy.size() == oracle->num_records(),
               "proxy scores must cover every record");
   TASTI_CHECK(options.error_target > 0.0, "error target must be positive");
 
@@ -53,6 +70,7 @@ PredicateAggregationResult EstimateMeanWithPredicate(
   size_t checks = 0;
 
   auto evaluate_stop = [&]() -> bool {
+    if (numer.empty()) return false;
     ++checks;
     const double mean_numer = Mean(numer);
     const double mean_denom = Mean(denom);
@@ -93,7 +111,15 @@ PredicateAggregationResult EstimateMeanWithPredicate(
                                              target) -
                             prefix.begin()),
         n - 1);
-    const data::LabelerOutput label = labeler->Label(record);
+    ++result.labeler_invocations;
+    Result<data::LabelerOutput> maybe_label = oracle->TryLabel(record);
+    if (!maybe_label.ok()) {
+      // Drop the draw: the statistic has no proxy substitute. The call
+      // still consumed budget.
+      ++result.failed_oracle_calls;
+      continue;
+    }
+    const data::LabelerOutput label = *std::move(maybe_label);
     const bool matches = predicate.Score(label) >= 0.5;
     const double importance =
         (1.0 / static_cast<double>(n)) / (weights[record] / total_weight);
@@ -114,8 +140,14 @@ PredicateAggregationResult EstimateMeanWithPredicate(
       }
     }
   }
+  if (result.labeler_invocations > 0 &&
+      result.failed_oracle_calls == result.labeler_invocations) {
+    return Status::Unavailable("predicate-aggregation: every oracle call "
+                               "failed (" +
+                               std::to_string(result.failed_oracle_calls) +
+                               " attempts)");
+  }
   if (!result.converged) evaluate_stop();
-  result.labeler_invocations = numer.size();
   return result;
 }
 

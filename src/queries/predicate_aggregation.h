@@ -55,6 +55,9 @@ struct PredicateAggregationResult {
   double half_width = 0.0;
   /// True if the error target was met within the budget.
   bool converged = false;
+  /// Oracle calls that failed after retries (fallible path only); those
+  /// draws are dropped from the estimator and the sample count shrinks.
+  size_t failed_oracle_calls = 0;
 };
 
 /// Estimates E[statistic | predicate]. `predicate_proxy` guides sampling
@@ -63,6 +66,16 @@ struct PredicateAggregationResult {
 PredicateAggregationResult EstimateMeanWithPredicate(
     const std::vector<double>& predicate_proxy,
     labeler::TargetLabeler* labeler, const core::Scorer& predicate,
+    const core::Scorer& statistic, const PredicateAggregationOptions& options);
+
+/// Fallible-oracle variant. A draw whose oracle call fails is dropped (no
+/// proxy substitute exists for the statistic) and the budget is still
+/// consumed. Fails with Unavailable only if every call failed. With a
+/// fault-free oracle this is bit-identical to EstimateMeanWithPredicate
+/// (which delegates here).
+Result<PredicateAggregationResult> TryEstimateMeanWithPredicate(
+    const std::vector<double>& predicate_proxy,
+    labeler::FallibleLabeler* oracle, const core::Scorer& predicate,
     const core::Scorer& statistic, const PredicateAggregationOptions& options);
 
 }  // namespace tasti::queries

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_set>
+#include <utility>
 
 #include "obs/trace.h"
 #include "util/random.h"
@@ -15,7 +17,20 @@ SupgResult SupgRecallSelect(const std::vector<double>& proxy_scores,
                             const core::Scorer& scorer,
                             const SupgOptions& options) {
   TASTI_CHECK(labeler != nullptr, "SupgRecallSelect requires a labeler");
-  TASTI_CHECK(proxy_scores.size() == labeler->num_records(),
+  labeler::FallibleAdapter adapter(labeler);
+  Result<SupgResult> r =
+      TrySupgRecallSelect(proxy_scores, &adapter, scorer, options);
+  TASTI_CHECK(r.ok(), "SupgRecallSelect failed with an infallible labeler: " +
+                          r.status().ToString());
+  return std::move(r).value();
+}
+
+Result<SupgResult> TrySupgRecallSelect(const std::vector<double>& proxy_scores,
+                                       labeler::FallibleLabeler* oracle,
+                                       const core::Scorer& scorer,
+                                       const SupgOptions& options) {
+  TASTI_CHECK(oracle != nullptr, "TrySupgRecallSelect requires an oracle");
+  TASTI_CHECK(proxy_scores.size() == oracle->num_records(),
               "proxy scores must cover every record");
   TASTI_CHECK(options.recall_target > 0.0 && options.recall_target <= 1.0,
               "recall target must be in (0, 1]");
@@ -52,6 +67,7 @@ SupgResult SupgRecallSelect(const std::vector<double>& proxy_scores,
   };
   std::vector<Sampled> samples;
   samples.reserve(budget);
+  size_t failed_calls = 0;
   {
     TASTI_SPAN("query.supg.sample");
     for (size_t s = 0; s < budget; ++s) {
@@ -60,15 +76,25 @@ SupgResult SupgRecallSelect(const std::vector<double>& proxy_scores,
           std::lower_bound(prefix.begin(), prefix.end(), target) -
           prefix.begin());
       const size_t clamped = std::min(record, n - 1);
-      const data::LabelerOutput label = labeler->Label(clamped);
+      Result<data::LabelerOutput> label = oracle->TryLabel(clamped);
+      if (!label.ok()) {
+        // Drop the sample: the estimate runs on a smaller effective
+        // sample, which the confidence inflation already covers.
+        ++failed_calls;
+        continue;
+      }
       Sampled sample;
       sample.record = clamped;
       sample.proxy = std::clamp(proxy_scores[clamped], 0.0, 1.0);
       sample.importance =
           (1.0 / static_cast<double>(n)) / (weights[clamped] / total_weight);
-      sample.positive = scorer.Score(label) >= 0.5;
+      sample.positive = scorer.Score(*label) >= 0.5;
       samples.push_back(sample);
     }
+  }
+  if (failed_calls == budget) {
+    return Status::Unavailable("supg: every oracle call failed (" +
+                               std::to_string(failed_calls) + " attempts)");
   }
 
   TASTI_SPAN("query.supg.threshold");
@@ -91,6 +117,9 @@ SupgResult SupgRecallSelect(const std::vector<double>& proxy_scores,
   SupgResult result;
   result.labeler_invocations = budget;
   result.sample_positives = positives;
+  result.failed_oracle_calls = failed_calls;
+  result.requested_samples = budget;
+  result.achieved_samples = samples.size();
 
   double threshold = 0.0;
   if (total_positive_mass > 0.0) {
@@ -143,7 +172,19 @@ SupgResult SupgPrecisionSelect(const std::vector<double>& proxy_scores,
                                const core::Scorer& scorer,
                                const SupgPrecisionOptions& options) {
   TASTI_CHECK(labeler != nullptr, "SupgPrecisionSelect requires a labeler");
-  TASTI_CHECK(proxy_scores.size() == labeler->num_records(),
+  labeler::FallibleAdapter adapter(labeler);
+  Result<SupgResult> r =
+      TrySupgPrecisionSelect(proxy_scores, &adapter, scorer, options);
+  TASTI_CHECK(r.ok(), "SupgPrecisionSelect failed with an infallible labeler: " +
+                          r.status().ToString());
+  return std::move(r).value();
+}
+
+Result<SupgResult> TrySupgPrecisionSelect(
+    const std::vector<double>& proxy_scores, labeler::FallibleLabeler* oracle,
+    const core::Scorer& scorer, const SupgPrecisionOptions& options) {
+  TASTI_CHECK(oracle != nullptr, "TrySupgPrecisionSelect requires an oracle");
+  TASTI_CHECK(proxy_scores.size() == oracle->num_records(),
               "proxy scores must cover every record");
   TASTI_CHECK(options.precision_target > 0.0 && options.precision_target <= 1.0,
               "precision target must be in (0, 1]");
@@ -177,6 +218,7 @@ SupgResult SupgPrecisionSelect(const std::vector<double>& proxy_scores,
   };
   std::vector<Sampled> samples;
   samples.reserve(budget);
+  size_t failed_calls = 0;
   {
     TASTI_SPAN("query.supg.sample");
     for (size_t s = 0; s < budget; ++s) {
@@ -186,12 +228,20 @@ SupgResult SupgPrecisionSelect(const std::vector<double>& proxy_scores,
                                                target) -
                               prefix.begin()),
           n - 1);
-      const data::LabelerOutput label = labeler->Label(record);
+      Result<data::LabelerOutput> label = oracle->TryLabel(record);
+      if (!label.ok()) {
+        ++failed_calls;
+        continue;
+      }
       samples.push_back({record, std::clamp(proxy_scores[record], 0.0, 1.0),
                          (1.0 / static_cast<double>(n)) /
                              (weights[record] / total_weight),
-                         scorer.Score(label) >= 0.5});
+                         scorer.Score(*label) >= 0.5});
     }
+  }
+  if (failed_calls == budget) {
+    return Status::Unavailable("supg: every oracle call failed (" +
+                               std::to_string(failed_calls) + " attempts)");
   }
 
   TASTI_SPAN("query.supg.threshold");
@@ -202,6 +252,9 @@ SupgResult SupgPrecisionSelect(const std::vector<double>& proxy_scores,
             [](const Sampled& a, const Sampled& b) { return a.proxy > b.proxy; });
   SupgResult result;
   result.labeler_invocations = budget;
+  result.failed_oracle_calls = failed_calls;
+  result.requested_samples = budget;
+  result.achieved_samples = samples.size();
   double threshold = 1.0 + 1e-9;  // empty set fallback
   double positive_mass = 0.0, total_mass = 0.0, total_mass2 = 0.0;
   size_t positives = 0;

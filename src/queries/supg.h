@@ -47,6 +47,12 @@ struct SupgResult {
   size_t labeler_invocations = 0;
   /// Positives found within the labeled sample.
   size_t sample_positives = 0;
+  /// Oracle calls that failed after retries (fallible path only); failed
+  /// samples are dropped from the estimate.
+  size_t failed_oracle_calls = 0;
+  /// Samples requested (the effective budget) vs actually labeled.
+  size_t requested_samples = 0;
+  size_t achieved_samples = 0;
 };
 
 /// Runs the recall-target selection. `scorer` must map labeler outputs to
@@ -55,6 +61,17 @@ SupgResult SupgRecallSelect(const std::vector<double>& proxy_scores,
                             labeler::TargetLabeler* labeler,
                             const core::Scorer& scorer,
                             const SupgOptions& options);
+
+/// Fallible-oracle variant. A sample whose oracle call fails is dropped —
+/// the recall bound then holds over a smaller effective sample, which the
+/// confidence inflation already accounts for — and
+/// achieved vs requested counts are reported. Fails with Unavailable only
+/// if every call failed. With a fault-free oracle this is bit-identical to
+/// SupgRecallSelect (which delegates here).
+Result<SupgResult> TrySupgRecallSelect(const std::vector<double>& proxy_scores,
+                                       labeler::FallibleLabeler* oracle,
+                                       const core::Scorer& scorer,
+                                       const SupgOptions& options);
 
 /// Parameters of the precision-target SUPG query (the SUPG paper's second
 /// setting; an extension beyond the figures reproduced here).
@@ -75,6 +92,13 @@ SupgResult SupgPrecisionSelect(const std::vector<double>& proxy_scores,
                                labeler::TargetLabeler* labeler,
                                const core::Scorer& scorer,
                                const SupgPrecisionOptions& options);
+
+/// Fallible-oracle variant of SupgPrecisionSelect; same degraded-mode
+/// semantics as TrySupgRecallSelect (failed samples dropped, Unavailable
+/// when every call failed).
+Result<SupgResult> TrySupgPrecisionSelect(
+    const std::vector<double>& proxy_scores, labeler::FallibleLabeler* oracle,
+    const core::Scorer& scorer, const SupgPrecisionOptions& options);
 
 /// Evaluation helper: false positive rate of a selected set, i.e. the
 /// fraction of returned records that do not match the ground-truth

@@ -1,0 +1,56 @@
+#include "util/checksum.h"
+
+#include <cstring>
+
+namespace tasti {
+
+namespace {
+constexpr uint32_t kFooterMagic = 0x5443484B;  // "TCHK"
+constexpr size_t kFooterSize =
+    sizeof(uint32_t) + sizeof(uint64_t) + sizeof(uint64_t);
+}  // namespace
+
+uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void AppendChecksumFooter(std::string* buffer) {
+  const uint64_t payload_size = buffer->size();
+  const uint64_t hash = Fnv1a64(buffer->data(), buffer->size());
+  buffer->append(reinterpret_cast<const char*>(&kFooterMagic),
+                 sizeof(kFooterMagic));
+  buffer->append(reinterpret_cast<const char*>(&payload_size),
+                 sizeof(payload_size));
+  buffer->append(reinterpret_cast<const char*>(&hash), sizeof(hash));
+}
+
+Result<size_t> VerifyChecksumFooter(const std::string& buffer) {
+  if (buffer.size() < kFooterSize) {
+    return Status::InvalidArgument("truncated file: no integrity footer");
+  }
+  const char* footer = buffer.data() + buffer.size() - kFooterSize;
+  uint32_t magic = 0;
+  uint64_t payload_size = 0, hash = 0;
+  std::memcpy(&magic, footer, sizeof(magic));
+  std::memcpy(&payload_size, footer + sizeof(magic), sizeof(payload_size));
+  std::memcpy(&hash, footer + sizeof(magic) + sizeof(payload_size),
+              sizeof(hash));
+  if (magic != kFooterMagic) {
+    return Status::InvalidArgument("missing or corrupt integrity footer");
+  }
+  if (payload_size != buffer.size() - kFooterSize) {
+    return Status::InvalidArgument(
+        "payload length mismatch (truncated file or trailing bytes)");
+  }
+  if (Fnv1a64(buffer.data(), payload_size) != hash) {
+    return Status::DataLoss("checksum mismatch: file is corrupt");
+  }
+  return static_cast<size_t>(payload_size);
+}
+
+}  // namespace tasti

@@ -1,0 +1,34 @@
+#ifndef TASTI_UTIL_CHECKSUM_H_
+#define TASTI_UTIL_CHECKSUM_H_
+
+/// \file checksum.h
+/// Integrity footer for serialized artifacts (indexes, MLPs).
+///
+/// A footer of {magic, payload length, FNV-1a hash} is appended to every
+/// serialized buffer. On load, the footer detects truncation (length
+/// mismatch), trailing garbage (ditto), and bit flips (hash mismatch)
+/// before any payload bytes are interpreted, so corrupt files fail with a
+/// Status instead of undefined behavior.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace tasti {
+
+/// 64-bit FNV-1a over a byte range.
+uint64_t Fnv1a64(const char* data, size_t size);
+
+/// Appends the 20-byte integrity footer to `buffer`.
+void AppendChecksumFooter(std::string* buffer);
+
+/// Verifies the footer of `buffer` and returns the payload size (the
+/// buffer without the footer). DataLoss on hash mismatch; InvalidArgument
+/// on a missing footer or a length mismatch (truncation / trailing bytes).
+Result<size_t> VerifyChecksumFooter(const std::string& buffer);
+
+}  // namespace tasti
+
+#endif  // TASTI_UTIL_CHECKSUM_H_

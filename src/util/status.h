@@ -25,6 +25,11 @@ enum class StatusCode {
   kNotFound,
   kInternal,
   kIOError,
+  // Oracle / RPC-style failure categories (labeler fault tolerance).
+  kUnavailable,        ///< transient outage; safe to retry
+  kDeadlineExceeded,   ///< the call ran past its deadline; safe to retry
+  kResourceExhausted,  ///< throttled / out of quota; retry after backoff
+  kDataLoss,           ///< payload corrupt or unrecoverable
 };
 
 /// Lightweight status object: a code plus a human-readable message.
@@ -57,6 +62,18 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

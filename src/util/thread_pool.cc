@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -55,6 +57,25 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+namespace {
+// An exception escaping a worker thread would std::terminate the process
+// and leave in_flight_ stuck. Tasks that need their exceptions (ParallelFor
+// batches) capture them inside the task; anything that still escapes is
+// swallowed here and counted.
+void RunGuarded(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const dropped =
+          obs::MetricsRegistry::Global().counter(
+              "threadpool.task_exceptions_dropped", "exceptions");
+      dropped->Increment();
+    }
+  }
+}
+}  // namespace
+
 void ThreadPool::WorkerLoop(size_t worker) {
   // Instrument pointers resolve lazily (metrics may be enabled after the
   // pool spins up) and are cached per worker thread; registry instruments
@@ -84,7 +105,7 @@ void ThreadPool::WorkerLoop(size_t worker) {
         completed = registry.counter("threadpool.tasks_completed", "tasks");
       }
       const auto start = std::chrono::steady_clock::now();
-      task();
+      RunGuarded(task);
       const auto micros = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - start)
@@ -93,7 +114,7 @@ void ThreadPool::WorkerLoop(size_t worker) {
       total_busy->Increment(micros);
       completed->Increment();
     } else {
-      task();
+      RunGuarded(task);
     }
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -111,18 +132,30 @@ ThreadPool& ThreadPool::Global() {
 namespace {
 // Per-call completion latch so that concurrent ParallelFor invocations (or
 // invocations from within pool tasks) never observe each other's work.
+// Also collects the first exception a shard throws: every shard still runs
+// to completion (counts down), and the caller rethrows after Wait() — the
+// batch fails without terminating the process or deadlocking the latch.
 struct Latch {
   std::mutex mu;
   std::condition_variable cv;
   size_t remaining;
+  std::exception_ptr error;
   explicit Latch(size_t n) : remaining(n) {}
   void CountDown() {
     std::unique_lock<std::mutex> lock(mu);
     if (--remaining == 0) cv.notify_all();
   }
+  void RecordError(std::exception_ptr e) {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!error) error = std::move(e);
+  }
   void Wait() {
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [this] { return remaining == 0; });
+  }
+  void RethrowIfError() {
+    // No lock: Wait() already synchronized with every CountDown().
+    if (error) std::rethrow_exception(error);
   }
 };
 
@@ -150,12 +183,17 @@ void ParallelFor(size_t begin, size_t end,
     const size_t hi = std::min(end, lo + chunk);
     pool.Submit([&fn, &latch, lo, hi] {
       t_inside_pool_task = true;
-      fn(lo, hi);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        latch.RecordError(std::current_exception());
+      }
       t_inside_pool_task = false;
       latch.CountDown();
     });
   }
   latch.Wait();
+  latch.RethrowIfError();
 }
 
 size_t ParallelForMaxWorkers() { return ThreadPool::Global().num_threads(); }
@@ -179,16 +217,22 @@ void ParallelForDynamic(size_t begin, size_t end,
   for (size_t w = 0; w < workers; ++w) {
     pool.Submit([&fn, &latch, &cursor, begin, end, chunk_size, w] {
       t_inside_pool_task = true;
-      for (;;) {
-        const size_t lo = cursor.fetch_add(chunk_size);
-        if (lo >= end) break;
-        fn(lo, std::min(end, lo + chunk_size), w);
+      try {
+        for (;;) {
+          const size_t lo = cursor.fetch_add(chunk_size);
+          if (lo >= end) break;
+          fn(lo, std::min(end, lo + chunk_size), w);
+        }
+      } catch (...) {
+        // Stop claiming chunks; other workers drain the range.
+        latch.RecordError(std::current_exception());
       }
       t_inside_pool_task = false;
       latch.CountDown();
     });
   }
   latch.Wait();
+  latch.RethrowIfError();
 }
 
 }  // namespace tasti

@@ -56,6 +56,10 @@ class ThreadPool {
 /// Runs fn(begin..end) partitioned into contiguous shards across the global
 /// pool and blocks until all shards complete. fn receives [shard_begin,
 /// shard_end). Falls back to inline execution for small ranges.
+/// If a shard throws, every shard still runs to completion and the first
+/// exception is rethrown on the calling thread after the batch drains —
+/// the pool itself never terminates or deadlocks. (ParallelForDynamic
+/// behaves the same, except the throwing worker stops claiming chunks.)
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t, size_t)>& fn,
                  size_t min_shard_size = 1024);

@@ -441,7 +441,7 @@ TEST(StreamingTest, LoadedIndexCanAppend) {
   opts.num_training_records = 80;
   TastiIndex index = BuildSmallIndex(ds, opts);
   Result<TastiIndex> loaded = IndexSerializer::DeserializeFromString(
-      IndexSerializer::SerializeToString(index));
+      IndexSerializer::SerializeToString(index).value());
   ASSERT_TRUE(loaded.ok());
   ASSERT_NE(loaded->embedder(), nullptr);
 
@@ -626,7 +626,7 @@ TEST(DriftTest, CrackingRestoresCoverage) {
 TEST(SerializeTest, RoundTripPreservesIndex) {
   data::Dataset ds = SmallDataset();
   TastiIndex index = BuildSmallIndex(ds);
-  const std::string buffer = IndexSerializer::SerializeToString(index);
+  const std::string buffer = IndexSerializer::SerializeToString(index).value();
   Result<TastiIndex> loaded = IndexSerializer::DeserializeFromString(buffer);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
 
@@ -651,7 +651,7 @@ TEST(SerializeTest, RoundTripProxiesMatch) {
   CountScorer scorer(data::ObjectClass::kCar);
   const std::vector<double> before = ComputeProxyScores(index, scorer);
   Result<TastiIndex> loaded = IndexSerializer::DeserializeFromString(
-      IndexSerializer::SerializeToString(index));
+      IndexSerializer::SerializeToString(index).value());
   ASSERT_TRUE(loaded.ok());
   const std::vector<double> after = ComputeProxyScores(*loaded, scorer);
   ASSERT_EQ(before.size(), after.size());
@@ -686,7 +686,7 @@ TEST(SerializeTest, RejectsTruncatedBuffer) {
   opts.num_representatives = 30;
   opts.num_training_records = 30;
   TastiIndex index = BuildSmallIndex(ds, opts);
-  std::string buffer = IndexSerializer::SerializeToString(index);
+  std::string buffer = IndexSerializer::SerializeToString(index).value();
   buffer.resize(buffer.size() / 2);
   Result<TastiIndex> r = IndexSerializer::DeserializeFromString(buffer);
   EXPECT_FALSE(r.ok());
@@ -705,7 +705,7 @@ TEST(SerializeTest, CrackingWorksAfterLoad) {
   opts.num_training_records = 50;
   TastiIndex index = BuildSmallIndex(ds, opts);
   Result<TastiIndex> loaded = IndexSerializer::DeserializeFromString(
-      IndexSerializer::SerializeToString(index));
+      IndexSerializer::SerializeToString(index).value());
   ASSERT_TRUE(loaded.ok());
   size_t new_record = 0;
   while (loaded->IsRepresentative(new_record)) ++new_record;

@@ -445,7 +445,7 @@ TEST(MlpSerializeTest, RoundTripPreservesOutputs) {
   Mlp net = Mlp::MakeEmbeddingNet(6, 12, 4, &rng);
   Matrix input = RandomMatrix(5, 6, &rng);
   const Matrix before = net.Infer(input);
-  Result<Mlp> loaded = DeserializeMlp(SerializeMlp(net));
+  Result<Mlp> loaded = DeserializeMlp(SerializeMlp(net).value());
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const Matrix after = loaded->Infer(input);
   ASSERT_EQ(before.rows(), after.rows());
@@ -458,7 +458,7 @@ TEST(MlpSerializeTest, RoundTripProxyNet) {
   Rng rng(51);
   Mlp net = Mlp::MakeProxyNet(8, 16, &rng);
   Matrix input = RandomMatrix(3, 8, &rng);
-  Result<Mlp> loaded = DeserializeMlp(SerializeMlp(net));
+  Result<Mlp> loaded = DeserializeMlp(SerializeMlp(net).value());
   ASSERT_TRUE(loaded.ok());
   const Matrix before = net.Infer(input);
   const Matrix after = loaded->Infer(input);
@@ -471,7 +471,7 @@ TEST(MlpSerializeTest, RejectsGarbageAndTruncation) {
   EXPECT_FALSE(DeserializeMlp("junk").ok());
   Rng rng(52);
   Mlp net = Mlp::MakeEmbeddingNet(4, 8, 2, &rng);
-  std::string blob = SerializeMlp(net);
+  std::string blob = SerializeMlp(net).value();
   blob.resize(blob.size() / 2);
   EXPECT_FALSE(DeserializeMlp(blob).ok());
 }

@@ -294,7 +294,7 @@ TEST_P(SerializePerDatasetTest, RoundTripPreservesProxies) {
 
   const auto before = core::ComputeProxyScores(index, *scorer);
   Result<core::TastiIndex> loaded = core::IndexSerializer::DeserializeFromString(
-      core::IndexSerializer::SerializeToString(index));
+      core::IndexSerializer::SerializeToString(index).value());
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const auto after = core::ComputeProxyScores(*loaded, *scorer);
   ASSERT_EQ(before.size(), after.size());

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 #include <thread>
 
 #include "util/random.h"
@@ -351,6 +352,56 @@ TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
     }
   }, 1);
   EXPECT_EQ(counter.load(), 64 * 16);
+}
+
+TEST(ParallelForTest, ShardExceptionFailsBatchWithoutDeadlock) {
+  std::atomic<int> completed{0};
+  bool threw = false;
+  try {
+    ParallelFor(0, 4096, [&](size_t lo, size_t hi) {
+      if (lo == 0) throw std::runtime_error("shard 0 failed");
+      completed.fetch_add(static_cast<int>(hi - lo));
+    }, 16);
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_STREQ(e.what(), "shard 0 failed");
+  }
+  EXPECT_TRUE(threw);
+  // Every other shard still ran; the pool is drained and reusable.
+  EXPECT_GT(completed.load(), 0);
+  std::atomic<int> after{0};
+  ParallelFor(0, 1000, [&](size_t lo, size_t hi) {
+    after.fetch_add(static_cast<int>(hi - lo));
+  }, 8);
+  EXPECT_EQ(after.load(), 1000);
+}
+
+TEST(ParallelForTest, DynamicExceptionFailsBatchWithoutDeadlock) {
+  std::atomic<int> chunks{0};
+  bool threw = false;
+  try {
+    ParallelForDynamic(0, 4096, [&](size_t lo, size_t, size_t) {
+      if (lo == 0) throw std::runtime_error("chunk 0 failed");
+      chunks.fetch_add(1);
+    }, 16);
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  EXPECT_TRUE(threw);
+  // The pool survives and later batches behave normally.
+  std::atomic<int> after{0};
+  ParallelForDynamic(0, 1000, [&](size_t lo, size_t hi, size_t) {
+    after.fetch_add(static_cast<int>(hi - lo));
+  }, 8);
+  EXPECT_EQ(after.load(), 1000);
+}
+
+TEST(ParallelForTest, InlinePathPropagatesException) {
+  // Small ranges run inline; the exception reaches the caller directly.
+  EXPECT_THROW(
+      ParallelFor(0, 4, [](size_t, size_t) { throw std::runtime_error("x"); },
+                  1024),
+      std::runtime_error);
 }
 
 TEST(ParallelForTest, ConcurrentIndependentCalls) {

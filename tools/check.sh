@@ -15,8 +15,13 @@
 # nn_test, util_test, obs_test.
 #
 # The tsan stage builds with ThreadSanitizer and runs the tests whose
-# value is concurrent correctness: the obs counters/spans and the thread
-# pool they instrument.
+# value is concurrent correctness: the obs counters/spans, the thread
+# pool they instrument, and the retry/breaker state machine.
+#
+# The chaos stage builds the `chaos` preset (ASan + UBSan) and runs the
+# ctest label `chaos` — the fault-injection suite: degraded builds,
+# bit-identity under transient faults, breaker/retry behavior, and
+# integrity-footer corruption checks, all with memory checking on.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,11 +45,19 @@ for t in kernels_test cluster_test nn_test util_test obs_test; do
   "build-sanitize/tests/$t"
 done
 
+echo "== chaos: ASan/UBSan build + fault-injection suite (ctest -L chaos) =="
+cmake --preset chaos >/dev/null
+cmake --build build-chaos -j "$(nproc)" --target faults_test
+(cd build-chaos && ctest -L chaos --output-on-failure -j "$(nproc)")
+
 echo "== tsan: ThreadSanitizer build of concurrency tests =="
 cmake --preset tsan >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target obs_test util_test
+cmake --build build-tsan -j "$(nproc)" --target obs_test util_test faults_test
 for t in obs_test util_test; do
   echo "-- build-tsan/tests/$t"
   "build-tsan/tests/$t"
 done
+echo "-- build-tsan/tests/faults_test (retry/breaker state machine)"
+"build-tsan/tests/faults_test" \
+  --gtest_filter='ResilientLabelerTest.*:FaultInjectorTest.*'
 echo "== all checks passed =="

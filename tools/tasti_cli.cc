@@ -39,7 +39,9 @@
 #include "core/serialize.h"
 #include "data/dataset.h"
 #include "eval/reporting.h"
+#include "labeler/faults.h"
 #include "labeler/labeler.h"
+#include "labeler/resilient.h"
 #include "obs/config.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
@@ -83,8 +85,83 @@ int Usage() {
       "  aggregate: --error E   select: --recall R --budget B   "
       "limit: --want W\n"
       "  workload: --train N1 --reps N2 --error E --budget B --want W\n"
+      "  chaos:  --faults SPEC (build/workload; e.g. "
+      "transient=0.1,timeout=0.05,throttle=100:8,perm-rate=0.002,seed=9)\n"
+      "          --retry-attempts N --breaker-threshold N\n"
       "  datasets: night-street taipei amsterdam wikisql common-voice\n");
   return 2;
+}
+
+/// The oracle stack behind a chaos run: simulated ground truth, optionally
+/// wrapped in scheduled fault injection, then retry/breaker resilience.
+/// Without --faults the stack is a plain adapter and behaves bit-identically
+/// to the infallible path.
+struct OracleStack {
+  std::unique_ptr<labeler::SimulatedLabeler> sim;
+  std::unique_ptr<labeler::FaultInjectingLabeler> injector;
+  std::unique_ptr<labeler::FallibleAdapter> adapter;
+  std::unique_ptr<labeler::ResilientLabeler> resilient;
+  labeler::FallibleLabeler* oracle = nullptr;  // top of the stack
+};
+
+bool MakeOracleStack(const Args& args, const data::Dataset* dataset,
+                     OracleStack* stack) {
+  stack->sim = std::make_unique<labeler::SimulatedLabeler>(dataset);
+  const std::string spec = args.Get("faults", "");
+  if (spec.empty()) {
+    stack->adapter =
+        std::make_unique<labeler::FallibleAdapter>(stack->sim.get());
+    stack->oracle = stack->adapter.get();
+    return true;
+  }
+  Result<labeler::FaultSchedule> schedule = labeler::ParseFaultSchedule(spec);
+  if (!schedule.ok()) {
+    std::fprintf(stderr, "bad --faults spec: %s\n",
+                 schedule.status().ToString().c_str());
+    return false;
+  }
+  stack->injector = std::make_unique<labeler::FaultInjectingLabeler>(
+      stack->sim.get(), *schedule);
+  labeler::ResilientLabeler::Options ropts;
+  ropts.retry.max_attempts =
+      static_cast<size_t>(args.GetInt("retry-attempts", 6));
+  ropts.breaker.failure_threshold =
+      static_cast<size_t>(args.GetInt("breaker-threshold", 8));
+  stack->resilient = std::make_unique<labeler::ResilientLabeler>(
+      stack->injector.get(), ropts);
+  stack->oracle = stack->resilient.get();
+  return true;
+}
+
+/// Prints the chaos report: injected fault tallies, retry/breaker
+/// behavior, and (when an index is available) degraded coverage.
+void PrintChaosReport(const OracleStack& stack, const core::TastiIndex* index) {
+  if (stack.injector != nullptr) {
+    const labeler::FaultCounts& f = stack.injector->fault_counts();
+    std::printf("faults injected: %zu (transient %zu, timeout %zu, throttle "
+                "%zu, corrupt %zu, crash %zu, permanent %zu) over %zu "
+                "attempts\n",
+                f.total(), f.transient, f.timeout, f.throttle, f.corrupt,
+                f.crash, f.permanent, stack.injector->invocations());
+  }
+  if (stack.resilient != nullptr) {
+    const labeler::ResilienceStats& s = stack.resilient->stats();
+    std::printf("oracle resilience: %zu calls, %zu attempts, %zu retries, "
+                "%zu failures, %zu breaker rejections, breaker opened %zu "
+                "time(s)\n",
+                s.calls, s.attempts, s.retries, s.failures,
+                s.rejected_by_breaker, s.breaker_opens);
+  }
+  if (index != nullptr && index->num_failed_representatives() > 0) {
+    const double coverage =
+        100.0 * static_cast<double>(index->num_representatives() -
+                                    index->num_failed_representatives()) /
+        static_cast<double>(index->num_representatives());
+    std::printf("degraded index: %zu of %zu representatives unannotated "
+                "(coverage %.1f%%)\n",
+                index->num_failed_representatives(),
+                index->num_representatives(), coverage);
+  }
 }
 
 /// Enables tracing/metrics when the matching output flag is present.
@@ -185,14 +262,16 @@ int RunBuild(const Args& args) {
   opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   opts.use_triplet_training = args.flags.count("pretrained") == 0;
 
-  labeler::SimulatedLabeler oracle(&dataset);
-  labeler::CachingLabeler cache(&oracle);
+  OracleStack stack;
+  if (!MakeOracleStack(args, &dataset, &stack)) return 2;
+  labeler::CachingFallibleLabeler cache(stack.oracle);
   const core::TastiIndex index = core::TastiIndex::Build(dataset, &cache, opts);
   std::printf("built index over %s: %zu records, %zu reps, %zu labeler calls, "
               "%.1fs compute\n",
               dataset.name.c_str(), index.num_records(),
-              index.num_representatives(), oracle.invocations(),
+              index.num_representatives(), stack.oracle->invocations(),
               index.build_stats().TotalSeconds());
+  PrintChaosReport(stack, &index);
 
   const std::string out = args.Get("out", "tasti_index.bin");
   const Status save = core::IndexSerializer::Save(index, out);
@@ -314,7 +393,8 @@ int RunWorkload(const Args& args) {
   dataset_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   const data::Dataset dataset = data::MakeDataset(*id, dataset_opts);
 
-  labeler::SimulatedLabeler oracle(&dataset);
+  OracleStack stack;
+  if (!MakeOracleStack(args, &dataset, &stack)) return 2;
   api::SessionOptions session_opts;
   session_opts.index.num_training_records =
       static_cast<size_t>(args.GetInt("train", 400));
@@ -323,7 +403,18 @@ int RunWorkload(const Args& args) {
   session_opts.index.k = static_cast<size_t>(args.GetInt("k", 5));
   session_opts.index.seed = dataset_opts.seed;
   session_opts.seed = static_cast<uint64_t>(args.GetInt("query-seed", 7));
-  api::TastiSession session(&dataset, &oracle, session_opts);
+  api::TastiSession session(&dataset, stack.oracle, session_opts);
+  // Flags when the previous query's oracle calls failed, so degraded
+  // results in the transcript are visibly marked.
+  auto warn_if_degraded = [&session, &stack]() {
+    if (!session.last_query_status().ok()) {
+      std::printf("  (oracle failure: %s)\n",
+                  session.last_query_status().ToString().c_str());
+    }
+    // Idle time between queries lets an open breaker cool down, like the
+    // think time between real interactive queries.
+    if (stack.resilient != nullptr) stack.resilient->AdvanceVirtualTime(1000.0);
+  };
 
   const auto aggregation = MakeScorer(args, dataset);
   // Selection/limit predicates: reuse the dataset-appropriate scorer for
@@ -348,31 +439,41 @@ int RunWorkload(const Args& args) {
   const auto agg = session.Aggregate(*aggregation, error);
   std::printf("aggregate: %.4f +- %.4f (%zu labeler calls)\n", agg.estimate,
               agg.half_width, agg.labeler_invocations);
+  warn_if_degraded();
   const auto recall_sel = session.SelectWithRecall(*selection, 0.9, budget);
   std::printf("recall-select: %zu records (threshold %.3f)\n",
               recall_sel.selected.size(), recall_sel.threshold);
+  warn_if_degraded();
   const auto precision_sel =
       session.SelectWithPrecision(*selection, 0.9, budget);
   std::printf("precision-select: %zu records (threshold %.3f)\n",
               precision_sel.selected.size(), precision_sel.threshold);
+  warn_if_degraded();
   const auto threshold_sel = session.Select(*selection, budget);
   std::printf("threshold-select: %zu records (F1 %.3f on validation)\n",
               threshold_sel.selected.size(), threshold_sel.validation_f1);
+  warn_if_degraded();
   const auto limit = session.Limit(*limit_predicate, want);
   std::printf("limit: found %zu/%zu after %zu labeler calls\n",
               limit.found.size(), want, limit.labeler_invocations);
+  warn_if_degraded();
+  if (session.representatives_repaired() > 0) {
+    std::printf("repaired %zu failed representative(s) across queries\n",
+                session.representatives_repaired());
+  }
 
   std::printf("\n");
+  PrintChaosReport(stack, &session.index());
   eval::PrintQueryLog(session.query_log());
-  if (session.query_log().total_invocations() != oracle.invocations()) {
+  if (session.query_log().total_invocations() != stack.oracle->invocations()) {
     std::fprintf(stderr,
                  "attribution mismatch: ledger %zu vs oracle %zu calls\n",
                  session.query_log().total_invocations(),
-                 oracle.invocations());
+                 stack.oracle->invocations());
     return 1;
   }
   return WriteObservability(args, &session.query_log(),
-                            static_cast<long long>(oracle.invocations()));
+                            static_cast<long long>(stack.oracle->invocations()));
 }
 
 }  // namespace
