@@ -56,8 +56,8 @@ void TastiSession::EnsureIndex() {
 }
 
 uint64_t TastiSession::NextSeed() {
-  return options_.seed * 2654435761ULL +
-         static_cast<uint64_t>(++queries_executed_) * 97;
+  return DeriveQuerySeed(options_.seed,
+                         static_cast<uint64_t>(++queries_executed_));
 }
 
 const std::vector<double>& TastiSession::ProxyScores(

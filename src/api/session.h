@@ -41,6 +41,14 @@
 
 namespace tasti::api {
 
+/// Deterministic per-query seed: the stream a session (or the serving
+/// layer) hands query number `n` (1-based) under base seed `base`. Shared
+/// by TastiSession and serve::TastiServer so a served query with a known
+/// id draws the same randomness regardless of scheduling interleaving.
+inline uint64_t DeriveQuerySeed(uint64_t base, uint64_t n) {
+  return base * 2654435761ULL + n * 97;
+}
+
 /// Session-wide configuration.
 struct SessionOptions {
   /// Index construction parameters (N1/N2/k/...).

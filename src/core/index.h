@@ -29,6 +29,24 @@
 
 namespace tasti::core {
 
+/// Read-only view of the propagation-relevant state of an index: what a
+/// query needs to turn representative annotations into proxy scores, and
+/// nothing else. Both the mutable TastiIndex and the immutable serving
+/// snapshots (serve::IndexSnapshot) produce this view, so propagation and
+/// proxy generation are decoupled from where the state lives. The pointed-to
+/// storage must outlive the view.
+struct IndexView {
+  size_t num_records = 0;
+  size_t num_representatives = 0;
+  size_t k = 0;  ///< stored neighbors per record
+  const cluster::TopKDistances* topk = nullptr;
+  const std::vector<data::LabelerOutput>* rep_labels = nullptr;
+  /// Aligned with rep_labels; entry 0 marks a representative whose oracle
+  /// annotation failed (excluded from propagation).
+  const std::vector<uint8_t>* rep_label_valid = nullptr;
+  size_t num_failed_representatives = 0;
+};
+
 /// Wall-clock and budget breakdown of one Build call (Figure 2's bars).
 struct BuildStats {
   double mine_seconds = 0.0;      ///< pretrained embedding + FPF mining
@@ -115,6 +133,20 @@ class TastiIndex {
   size_t num_records() const { return embeddings_.rows(); }
   size_t num_representatives() const { return rep_record_ids_.size(); }
   size_t k() const { return topk_.k; }
+
+  /// Propagation-relevant view of this index. Valid only until the next
+  /// mutation (cracking, append, repair).
+  IndexView View() const {
+    IndexView view;
+    view.num_records = num_records();
+    view.num_representatives = num_representatives();
+    view.k = topk_.k;
+    view.topk = &topk_;
+    view.rep_labels = &rep_labels_;
+    view.rep_label_valid = &rep_label_valid_;
+    view.num_failed_representatives = num_failed_reps_;
+    return view;
+  }
 
   const BuildStats& build_stats() const { return build_stats_; }
   const IndexOptions& options() const { return options_; }

@@ -9,14 +9,14 @@
 
 namespace tasti::core {
 
-std::vector<double> RepresentativeScores(const TastiIndex& index,
+std::vector<double> RepresentativeScores(const IndexView& view,
                                          const Scorer& scorer) {
   std::vector<double> scores;
-  scores.reserve(index.num_representatives());
-  const auto& labels = index.rep_labels();
-  const bool degraded = index.num_failed_representatives() > 0;
+  scores.reserve(view.num_representatives);
+  const auto& labels = *view.rep_labels;
+  const bool degraded = view.num_failed_representatives > 0;
   for (size_t i = 0; i < labels.size(); ++i) {
-    if (degraded && index.rep_label_valid()[i] == 0) {
+    if (degraded && (*view.rep_label_valid)[i] == 0) {
       // Placeholder score for a failed representative; propagation skips
       // it, so the value never reaches a proxy.
       scores.push_back(0.0);
@@ -30,15 +30,13 @@ std::vector<double> RepresentativeScores(const TastiIndex& index,
 namespace {
 // Validity mask for propagation, or nullptr when every representative is
 // annotated (the common case keeps its branch-free inner loop).
-const uint8_t* ValidityMask(const TastiIndex& index) {
-  return index.num_failed_representatives() > 0 ? index.rep_label_valid().data()
-                                                : nullptr;
+const uint8_t* ValidityMask(const IndexView& view) {
+  return view.num_failed_representatives > 0 ? view.rep_label_valid->data()
+                                             : nullptr;
 }
-}  // namespace
 
-namespace {
-size_t EffectiveK(const TastiIndex& index, const PropagationOptions& options) {
-  const size_t stored = index.k();
+size_t EffectiveK(const IndexView& view, const PropagationOptions& options) {
+  const size_t stored = view.k;
   if (options.k == 0) return stored;
   return std::min(options.k, stored);
 }
@@ -54,17 +52,17 @@ inline double InverseDistanceWeight(double base, double power) {
 }
 }  // namespace
 
-std::vector<double> PropagateNumeric(const TastiIndex& index,
+std::vector<double> PropagateNumeric(const IndexView& view,
                                      const std::vector<double>& rep_scores,
                                      const PropagationOptions& options) {
-  TASTI_CHECK(rep_scores.size() == index.num_representatives(),
+  TASTI_CHECK(rep_scores.size() == view.num_representatives,
               "rep_scores must align with representatives");
-  const size_t n = index.num_records();
-  const size_t k = EffectiveK(index, options);
-  const auto& topk = index.topk();
+  const size_t n = view.num_records;
+  const size_t k = EffectiveK(view, options);
+  const auto& topk = *view.topk;
   std::vector<double> out(n, 0.0);
-  const size_t stored_k = index.k();
-  const uint8_t* valid = ValidityMask(index);
+  const size_t stored_k = view.k;
+  const uint8_t* valid = ValidityMask(view);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       // One pointer pair per record instead of a multiply per element read.
@@ -85,21 +83,21 @@ std::vector<double> PropagateNumeric(const TastiIndex& index,
   return out;
 }
 
-std::vector<double> PropagateCategorical(const TastiIndex& index,
+std::vector<double> PropagateCategorical(const IndexView& view,
                                          const std::vector<double>& rep_scores,
                                          const PropagationOptions& options) {
-  TASTI_CHECK(rep_scores.size() == index.num_representatives(),
+  TASTI_CHECK(rep_scores.size() == view.num_representatives,
               "rep_scores must align with representatives");
-  const size_t n = index.num_records();
-  const size_t k = EffectiveK(index, options);
-  const auto& topk = index.topk();
+  const size_t n = view.num_records;
+  const size_t k = EffectiveK(view, options);
+  const auto& topk = *view.topk;
   std::vector<double> out(n, 0.0);
-  const uint8_t* valid = ValidityMask(index);
+  const uint8_t* valid = ValidityMask(view);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     // Votes keyed by exact score value; categorical scorers emit a small
     // discrete set, so a flat map is cheap.
     std::unordered_map<double, double> votes;
-    const size_t stored_k = index.k();
+    const size_t stored_k = view.k;
     for (size_t i = lo; i < hi; ++i) {
       const float* dist = topk.distances.data() + i * stored_k;
       const uint32_t* ids = topk.rep_ids.data() + i * stored_k;
@@ -124,15 +122,15 @@ std::vector<double> PropagateCategorical(const TastiIndex& index,
   return out;
 }
 
-std::vector<double> PropagateLimit(const TastiIndex& index,
+std::vector<double> PropagateLimit(const IndexView& view,
                                    const std::vector<double>& rep_scores,
                                    bool use_best_of_k) {
-  TASTI_CHECK(rep_scores.size() == index.num_representatives(),
+  TASTI_CHECK(rep_scores.size() == view.num_representatives,
               "rep_scores must align with representatives");
-  const size_t n = index.num_records();
-  const auto& topk = index.topk();
+  const size_t n = view.num_records;
+  const auto& topk = *view.topk;
   std::vector<double> out(n, 0.0);
-  const uint8_t* valid = ValidityMask(index);
+  const uint8_t* valid = ValidityMask(view);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
       // Rank by the best-scoring representative within the stored min-k

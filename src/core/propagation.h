@@ -8,6 +8,10 @@
 /// distance-weighted majority vote for categorical scores, and the
 /// k=1-with-distance-tie-breaking variant used for limit queries
 /// (Section 6.3).
+///
+/// Every function takes a core::IndexView, so propagation runs identically
+/// against the mutable TastiIndex and against immutable serving snapshots
+/// (serve::IndexSnapshot); the TastiIndex overloads are thin delegators.
 
 #include <cstddef>
 #include <vector>
@@ -33,21 +37,35 @@ struct PropagationOptions {
 };
 
 /// Evaluates the scorer on every representative (exact scores).
-std::vector<double> RepresentativeScores(const TastiIndex& index,
+std::vector<double> RepresentativeScores(const IndexView& view,
                                          const Scorer& scorer);
+inline std::vector<double> RepresentativeScores(const TastiIndex& index,
+                                                const Scorer& scorer) {
+  return RepresentativeScores(index.View(), scorer);
+}
 
 /// Inverse-distance-weighted mean propagation for numeric scores.
-/// `rep_scores` must align with index.rep_labels().
-std::vector<double> PropagateNumeric(const TastiIndex& index,
+/// `rep_scores` must align with view.rep_labels.
+std::vector<double> PropagateNumeric(const IndexView& view,
                                      const std::vector<double>& rep_scores,
                                      const PropagationOptions& options = {});
+inline std::vector<double> PropagateNumeric(
+    const TastiIndex& index, const std::vector<double>& rep_scores,
+    const PropagationOptions& options = {}) {
+  return PropagateNumeric(index.View(), rep_scores, options);
+}
 
 /// Distance-weighted majority vote for categorical scores: each record
 /// gets the score value with the largest total weight among its k nearest
 /// representatives.
-std::vector<double> PropagateCategorical(const TastiIndex& index,
+std::vector<double> PropagateCategorical(const IndexView& view,
                                          const std::vector<double>& rep_scores,
                                          const PropagationOptions& options = {});
+inline std::vector<double> PropagateCategorical(
+    const TastiIndex& index, const std::vector<double>& rep_scores,
+    const PropagationOptions& options = {}) {
+  return PropagateCategorical(index.View(), rep_scores, options);
+}
 
 /// Limit-query propagation: records inherit the best score among their
 /// stored min-k representatives (rare events often sit at cluster
@@ -57,9 +75,14 @@ std::vector<double> PropagateCategorical(const TastiIndex& index,
 /// must be integer-spaced for the tie-break to be order-preserving.
 /// `use_best_of_k = false` restricts to the single nearest representative
 /// (the paper's literal "k = 1 with ties broken by distance").
-std::vector<double> PropagateLimit(const TastiIndex& index,
+std::vector<double> PropagateLimit(const IndexView& view,
                                    const std::vector<double>& rep_scores,
                                    bool use_best_of_k = true);
+inline std::vector<double> PropagateLimit(const TastiIndex& index,
+                                          const std::vector<double>& rep_scores,
+                                          bool use_best_of_k = true) {
+  return PropagateLimit(index.View(), rep_scores, use_best_of_k);
+}
 
 }  // namespace tasti::core
 

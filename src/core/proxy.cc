@@ -6,7 +6,7 @@
 
 namespace tasti::core {
 
-std::vector<double> ComputeProxyScores(const TastiIndex& index,
+std::vector<double> ComputeProxyScores(const IndexView& view,
                                        const Scorer& scorer,
                                        PropagationMode mode,
                                        const PropagationOptions& options,
@@ -15,7 +15,7 @@ std::vector<double> ComputeProxyScores(const TastiIndex& index,
   std::vector<double> rep_scores;
   {
     TASTI_SPAN("query.proxy.rep_scores");
-    rep_scores = RepresentativeScores(index, scorer);
+    rep_scores = RepresentativeScores(view, scorer);
   }
   if (timings != nullptr) {
     timings->rep_score_seconds = timer.Seconds();
@@ -26,19 +26,27 @@ std::vector<double> ComputeProxyScores(const TastiIndex& index,
   std::vector<double> propagated;
   switch (mode) {
     case PropagationMode::kNumeric:
-      propagated = PropagateNumeric(index, rep_scores, options);
+      propagated = PropagateNumeric(view, rep_scores, options);
       break;
     case PropagationMode::kCategorical:
-      propagated = PropagateCategorical(index, rep_scores, options);
+      propagated = PropagateCategorical(view, rep_scores, options);
       break;
     case PropagationMode::kLimit:
-      propagated = PropagateLimit(index, rep_scores);
+      propagated = PropagateLimit(view, rep_scores);
       break;
     default:
       TASTI_CHECK(false, "unknown propagation mode");
   }
   if (timings != nullptr) timings->propagation_seconds = timer.Seconds();
   return propagated;
+}
+
+std::vector<double> ComputeProxyScores(const TastiIndex& index,
+                                       const Scorer& scorer,
+                                       PropagationMode mode,
+                                       const PropagationOptions& options,
+                                       ProxyTimings* timings) {
+  return ComputeProxyScores(index.View(), scorer, mode, options, timings);
 }
 
 std::vector<double> ExactScores(const data::Dataset& dataset,

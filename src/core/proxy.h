@@ -34,7 +34,14 @@ struct ProxyTimings {
 };
 
 /// Generates proxy scores for every record. When `timings` is non-null it
-/// receives the wall time of the two phases.
+/// receives the wall time of the two phases. The IndexView overload is the
+/// implementation; it lets query serving compute proxies from immutable
+/// snapshots without touching the live index.
+std::vector<double> ComputeProxyScores(const IndexView& view,
+                                       const Scorer& scorer,
+                                       PropagationMode mode = PropagationMode::kNumeric,
+                                       const PropagationOptions& options = {},
+                                       ProxyTimings* timings = nullptr);
 std::vector<double> ComputeProxyScores(const TastiIndex& index,
                                        const Scorer& scorer,
                                        PropagationMode mode = PropagationMode::kNumeric,

@@ -49,7 +49,7 @@ SimulatedLabeler::SimulatedLabeler(const data::Dataset* dataset)
 
 data::LabelerOutput SimulatedLabeler::Label(size_t index) {
   TASTI_CHECK(index < dataset_->size(), "label index out of range");
-  ++invocations_;
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   return dataset_->ground_truth[index];
 }
 
@@ -63,7 +63,7 @@ DegradedLabeler::DegradedLabeler(const data::Dataset* dataset,
 
 data::LabelerOutput DegradedLabeler::Label(size_t index) {
   TASTI_CHECK(index < dataset_->size(), "label index out of range");
-  ++invocations_;
+  invocations_.fetch_add(1, std::memory_order_relaxed);
   const data::LabelerOutput& truth = dataset_->ground_truth[index];
   const auto* video = std::get_if<data::VideoLabel>(&truth);
   if (video == nullptr) return truth;  // degradation modeled for video only

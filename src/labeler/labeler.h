@@ -9,6 +9,7 @@
 /// invocations, so every labeler counts calls. Query processing code must
 /// obtain ground truth only through this interface.
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -114,7 +115,10 @@ class BestEffortLabeler : public TargetLabeler {
 data::LabelerOutput DefaultLabelFor(data::Modality modality);
 
 /// Exact simulated labeler: returns the dataset's ground truth. Stands in
-/// for Mask R-CNN / human annotation at full accuracy.
+/// for Mask R-CNN / human annotation at full accuracy. Thread-safe: the
+/// dataset is read-only and the invocation counter is atomic, so the
+/// serving layer's oracle scheduler may invoke it from concurrent
+/// dispatch threads.
 class SimulatedLabeler : public TargetLabeler {
  public:
   /// The dataset must outlive the labeler.
@@ -122,12 +126,16 @@ class SimulatedLabeler : public TargetLabeler {
 
   data::LabelerOutput Label(size_t index) override;
   size_t num_records() const override;
-  size_t invocations() const override { return invocations_; }
-  void ResetInvocations() override { invocations_ = 0; }
+  size_t invocations() const override {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  void ResetInvocations() override {
+    invocations_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   const data::Dataset* dataset_;
-  size_t invocations_ = 0;
+  std::atomic<size_t> invocations_{0};
 };
 
 /// Error model for a degraded detector (the paper's SSD comparison: ~2x
@@ -146,20 +154,26 @@ struct DegradationOptions {
 };
 
 /// Degraded simulated labeler (video datasets only): applies the error
-/// model on top of ground truth. Deterministic per record.
+/// model on top of ground truth. Deterministic per record and thread-safe
+/// (the error model re-seeds per record, so calls share no mutable state
+/// beyond the atomic counter).
 class DegradedLabeler : public TargetLabeler {
  public:
   DegradedLabeler(const data::Dataset* dataset, DegradationOptions options);
 
   data::LabelerOutput Label(size_t index) override;
   size_t num_records() const override;
-  size_t invocations() const override { return invocations_; }
-  void ResetInvocations() override { invocations_ = 0; }
+  size_t invocations() const override {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  void ResetInvocations() override {
+    invocations_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   const data::Dataset* dataset_;
   DegradationOptions options_;
-  size_t invocations_ = 0;
+  std::atomic<size_t> invocations_{0};
 };
 
 /// Caching wrapper: repeated labels of one record cost one invocation.

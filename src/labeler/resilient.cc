@@ -86,6 +86,11 @@ void ResilientLabeler::RecordAttemptOutcome(bool success) {
 }
 
 Result<data::LabelerOutput> ResilientLabeler::TryLabel(size_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TryLabelLocked(index);
+}
+
+Result<data::LabelerOutput> ResilientLabeler::TryLabelLocked(size_t index) {
   TASTI_SPAN("oracle.try_label");
   ++stats_.calls;
   CountMetric("oracle.calls");
@@ -151,11 +156,12 @@ Result<data::LabelerOutput> ResilientLabeler::TryLabel(size_t index) {
 
 BatchResult ResilientLabeler::TryLabelBatch(const std::vector<size_t>& indices) {
   TASTI_SPAN("oracle.try_label_batch");
+  std::lock_guard<std::mutex> lock(mu_);
   BatchResult result;
   result.labels.reserve(indices.size());
   const size_t attempts_before = stats_.attempts;
   for (size_t pos = 0; pos < indices.size(); ++pos) {
-    Result<data::LabelerOutput> r = TryLabel(indices[pos]);
+    Result<data::LabelerOutput> r = TryLabelLocked(indices[pos]);
     if (r.ok()) {
       result.labels.push_back(std::move(r).value());
     } else {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -83,6 +84,13 @@ struct BatchResult {
 /// permanently-dead record) fails the call immediately. invocations()
 /// passes through to the inner labeler so failed attempts keep counting
 /// toward the paper's cost metric.
+///
+/// Thread-safety: TryLabel / TryLabelBatch / AdvanceVirtualTime serialize
+/// through an internal mutex, so the serving layer's oracle scheduler may
+/// share one wrapper across queries (calls are serialized — the breaker
+/// and virtual clock are a single shared state machine by design). The
+/// stats()/breaker_state() accessors return unsynchronized reads; read
+/// them quiescent (no concurrent calls in flight).
 class ResilientLabeler : public FallibleLabeler {
  public:
   struct Options {
@@ -112,15 +120,20 @@ class ResilientLabeler : public FallibleLabeler {
   /// Advances the virtual clock without touching the oracle — simulates
   /// idle wall time so an open breaker's cooldown can elapse (tests and
   /// the chaos CLI; production wrappers would use real time here).
-  void AdvanceVirtualTime(double ms) { now_ms_ += ms; }
+  void AdvanceVirtualTime(double ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ms_ += ms;
+  }
 
   /// True for codes worth retrying.
   static bool IsRetryable(StatusCode code);
 
  private:
+  Result<data::LabelerOutput> TryLabelLocked(size_t index);
   void RecordAttemptOutcome(bool success);
   void TransitionBreaker(BreakerState next);
 
+  std::mutex mu_;
   FallibleLabeler* inner_;
   Options options_;
   Rng jitter_rng_;

@@ -89,6 +89,11 @@ class Histogram {
 std::vector<double> ExponentialBuckets(double start, double factor,
                                        size_t count);
 
+/// Linear bucket bounds: {start, start+width, ...} (`count` bounds). Used
+/// where the observed range is small and uniform — e.g. oracle-scheduler
+/// batch sizes, admission queue depths.
+std::vector<double> LinearBuckets(double start, double width, size_t count);
+
 /// Name-keyed instrument registry with a JSON snapshot exporter.
 /// Instrument pointers are stable for the registry's lifetime.
 class MetricsRegistry {

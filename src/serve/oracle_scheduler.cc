@@ -1,0 +1,218 @@
+#include "serve/oracle_scheduler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tasti::serve {
+
+namespace {
+
+struct SchedulerMetrics {
+  obs::Histogram* batch_size = nullptr;
+  obs::Counter* physical = nullptr;
+  obs::Counter* cache_hits = nullptr;
+  obs::Counter* dedup_hits = nullptr;
+
+  static SchedulerMetrics* Get() {
+    if (!obs::MetricsEnabled()) return nullptr;
+    static SchedulerMetrics* const metrics = [] {
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      auto* m = new SchedulerMetrics;
+      m->batch_size = registry.histogram(
+          "serve.batch_size", obs::LinearBuckets(1.0, 4.0, 16), "records");
+      m->physical = registry.counter("serve.oracle_calls", "calls");
+      m->cache_hits = registry.counter("serve.cache_hits", "calls");
+      m->dedup_hits = registry.counter("serve.dedup_hits", "calls");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+OracleScheduler::OracleScheduler(labeler::FallibleLabeler* inner,
+                                 SchedulerOptions options)
+    : inner_(inner), options_(options) {
+  TASTI_CHECK(options_.max_batch >= 1, "max_batch must be >= 1");
+  if (options_.parallel_dispatch) {
+    dispatch_pool_ = std::make_unique<ThreadPool>(
+        options_.dispatch_threads == 0 ? 1 : options_.dispatch_threads);
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+OracleScheduler::~OracleScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+Result<data::LabelerOutput> OracleScheduler::Label(size_t record,
+                                                   QueryOracleContext* ctx) {
+  ctx->logical_calls.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<Pending> pending;
+  bool joined = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++logical_requests_;
+    auto cached = cache_.find(record);
+    if (cached != cache_.end()) {
+      ++cache_hits_;
+      ctx->cache_hits.fetch_add(1, std::memory_order_relaxed);
+      if (auto* m = SchedulerMetrics::Get()) m->cache_hits->Increment();
+      return cached->second;
+    }
+    auto inflight = inflight_.find(record);
+    if (inflight != inflight_.end()) {
+      // Another query already requested this record; ride along.
+      pending = inflight->second;
+      joined = true;
+      ++dedup_hits_;
+      ctx->dedup_hits.fetch_add(1, std::memory_order_relaxed);
+      if (auto* m = SchedulerMetrics::Get()) m->dedup_hits->Increment();
+    } else {
+      pending = std::make_shared<Pending>();
+      pending->owner = ctx;
+      inflight_.emplace(record, pending);
+      queue_.push_back(record);
+    }
+    if (!joined) work_cv_.notify_one();
+    pending->cv.wait(lock, [&pending] { return pending->done; });
+  }
+  if (!pending->result.ok()) {
+    ctx->failed_calls.fetch_add(1, std::memory_order_relaxed);
+  }
+  return pending->result;
+}
+
+std::optional<data::LabelerOutput> OracleScheduler::CachedLabel(
+    size_t record) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(record);
+  if (it == cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+SchedulerStats OracleScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats stats;
+  stats.logical_requests = logical_requests_;
+  stats.physical_calls = physical_calls_;
+  stats.cache_hits = cache_hits_;
+  stats.dedup_hits = dedup_hits_;
+  stats.failed_calls = failed_calls_;
+  stats.batches = batches_;
+  stats.max_batch_size = max_batch_size_;
+  stats.cached_labels = cache_.size();
+  return stats;
+}
+
+void OracleScheduler::DispatcherLoop() {
+  for (;;) {
+    std::vector<size_t> records;
+    std::vector<std::shared_ptr<Pending>> pendings;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      if (options_.batch_window_ms > 0.0 && !stopping_ &&
+          queue_.size() < options_.max_batch) {
+        // Hold a partial batch open briefly to admit stragglers; a full
+        // batch or shutdown releases it early.
+        work_cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(options_.batch_window_ms),
+            [this] { return stopping_ || queue_.size() >= options_.max_batch; });
+      }
+      while (!queue_.empty() && records.size() < options_.max_batch) {
+        size_t record = queue_.front();
+        queue_.pop_front();
+        records.push_back(record);
+        pendings.push_back(inflight_.at(record));
+      }
+      ++batches_;
+      if (records.size() > max_batch_size_) max_batch_size_ = records.size();
+    }
+    if (auto* m = SchedulerMetrics::Get()) {
+      m->batch_size->Observe(static_cast<double>(records.size()));
+      m->physical->Increment(records.size());
+    }
+
+    DispatchBatch(records, pendings);
+
+    // Publish results: cache successes, retire in-flight entries, wake
+    // waiters. Failures are NOT cached so a later request may retry.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < records.size(); ++i) {
+        if (pendings[i]->result.ok()) {
+          cache_.emplace(records[i], pendings[i]->result.value());
+        } else {
+          ++failed_calls_;
+        }
+        inflight_.erase(records[i]);
+        pendings[i]->done = true;
+      }
+    }
+    for (auto& pending : pendings) pending->cv.notify_all();
+  }
+}
+
+void OracleScheduler::DispatchBatch(
+    const std::vector<size_t>& records,
+    const std::vector<std::shared_ptr<Pending>>& pendings) {
+  if (options_.parallel_dispatch) {
+    // The inner oracle counts exactly one invocation per TryLabel (a
+    // documented requirement of this mode), so each call is attributed as
+    // one attempt to its owner — exact, and safe to run concurrently.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(records.size());
+    for (size_t i = 0; i < records.size(); ++i) {
+      size_t record = records[i];
+      Pending* pending = pendings[i].get();
+      tasks.push_back([this, record, pending] {
+        pending->result = inner_->TryLabel(record);
+        pending->owner->attributed_invocations.fetch_add(
+            1, std::memory_order_relaxed);
+      });
+    }
+    dispatch_pool_->RunBatch(std::move(tasks));
+    std::lock_guard<std::mutex> lock(mu_);
+    physical_calls_ += records.size();
+    return;
+  }
+
+  // Serial dispatch: measure the inner invocation counter around each call
+  // so retry wrappers (one logical call = several attempts) attribute their
+  // full attempt count to the owning query.
+  for (size_t i = 0; i < records.size(); ++i) {
+    size_t before = inner_->invocations();
+    pendings[i]->result = inner_->TryLabel(records[i]);
+    size_t attempts = inner_->invocations() - before;
+    pendings[i]->owner->attributed_invocations.fetch_add(
+        attempts, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    physical_calls_ += attempts;
+  }
+}
+
+LatencyInjectingOracle::LatencyInjectingOracle(labeler::FallibleLabeler* inner,
+                                               double latency_ms)
+    : inner_(inner), latency_ms_(latency_ms) {}
+
+Result<data::LabelerOutput> LatencyInjectingOracle::TryLabel(size_t index) {
+  if (latency_ms_ > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(latency_ms_));
+  }
+  return inner_->TryLabel(index);
+}
+
+}  // namespace tasti::serve

@@ -1,0 +1,198 @@
+#ifndef TASTI_SERVE_ORACLE_SCHEDULER_H_
+#define TASTI_SERVE_ORACLE_SCHEDULER_H_
+
+/// \file oracle_scheduler.h
+/// Cross-query oracle scheduling: one shared gateway between every
+/// concurrently executing query and the target labeler.
+///
+/// Three mechanisms cut the paper's cost metric (oracle invocations) and
+/// its wall time under concurrent load:
+///  - a server-wide label cache: a record annotated for one query is free
+///    for every later query (the cross-query generalization of cracking);
+///  - in-flight dedup: concurrent requests for one record collapse into a
+///    single physical call, with every waiter handed the same result;
+///  - batch dispatch: requests queued while a dispatch is in progress
+///    coalesce into one batch (group-commit style), optionally widened by
+///    a small time window, and can be dispatched in parallel on a
+///    ThreadPool when the inner oracle is thread-safe.
+///
+/// Cost attribution: every physical oracle attempt is charged to exactly
+/// one query — the one whose request triggered the call (first requester).
+/// Cache and dedup hits cost their query nothing. Summing the per-query
+/// charges plus the index-construction charge therefore reproduces the
+/// inner labeler's invocations() counter exactly (the serving-layer form
+/// of the QueryLog attribution invariant).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "data/schema.h"
+#include "labeler/labeler.h"
+#include "util/thread_pool.h"
+
+namespace tasti::serve {
+
+/// Batching and dispatch policy.
+struct SchedulerOptions {
+  /// Most records dispatched in one batch.
+  size_t max_batch = 32;
+  /// Extra real time the dispatcher waits for a partial batch to fill
+  /// before dispatching. 0 dispatches as soon as the dispatcher is free —
+  /// coalescing then comes only from requests arriving during a previous
+  /// dispatch, which keeps single-query latency at one oracle call and is
+  /// the deterministic-mode default.
+  double batch_window_ms = 0.0;
+  /// Dispatch the records of a batch concurrently on an internal
+  /// ThreadPool. Requires an inner labeler that is thread-safe AND counts
+  /// exactly one invocation per TryLabel (e.g. FallibleAdapter over
+  /// SimulatedLabeler, or LatencyInjectingOracle); retry wrappers like
+  /// ResilientLabeler must use serial dispatch so per-call attempt counts
+  /// attribute exactly.
+  bool parallel_dispatch = false;
+  /// Worker threads for parallel dispatch.
+  size_t dispatch_threads = 8;
+};
+
+/// Per-query accounting handle. One per executing query; the scheduler's
+/// dispatcher thread charges it, the query thread reads it after its last
+/// call returns, hence the atomics.
+struct QueryOracleContext {
+  uint64_t query_id = 0;
+  /// Physical oracle attempts charged to this query (the attribution
+  /// invariant's per-query term).
+  std::atomic<size_t> attributed_invocations{0};
+  /// TryLabel calls the query made, successful or not, free or paid.
+  std::atomic<size_t> logical_calls{0};
+  /// Calls answered from the server-wide label cache.
+  std::atomic<size_t> cache_hits{0};
+  /// Calls that piggybacked on another query's in-flight request.
+  std::atomic<size_t> dedup_hits{0};
+  /// Calls that failed (after the inner stack's own retries).
+  std::atomic<size_t> failed_calls{0};
+};
+
+/// Point-in-time scheduler tallies.
+struct SchedulerStats {
+  size_t logical_requests = 0;  ///< Label() calls across all queries
+  size_t physical_calls = 0;    ///< TryLabel calls made on the inner oracle
+  size_t cache_hits = 0;        ///< answered from the label cache
+  size_t dedup_hits = 0;        ///< joined an in-flight request
+  size_t failed_calls = 0;      ///< physical calls that returned an error
+  size_t batches = 0;           ///< dispatches
+  size_t max_batch_size = 0;    ///< largest single dispatch
+  size_t cached_labels = 0;     ///< current label-cache size
+
+  /// Oracle invocations the cache + dedup saved, relative to every logical
+  /// request paying its own call.
+  size_t saved_calls() const { return cache_hits + dedup_hits; }
+};
+
+/// The shared scheduler. Thread-safe; one instance per TastiServer.
+class OracleScheduler {
+ public:
+  /// The inner labeler must outlive the scheduler.
+  OracleScheduler(labeler::FallibleLabeler* inner, SchedulerOptions options);
+  ~OracleScheduler();
+
+  OracleScheduler(const OracleScheduler&) = delete;
+  OracleScheduler& operator=(const OracleScheduler&) = delete;
+
+  /// Labels `record` on behalf of `ctx`'s query: cache lookup, in-flight
+  /// join, or batched physical call. Blocks until the result is known.
+  Result<data::LabelerOutput> Label(size_t record, QueryOracleContext* ctx);
+
+  /// The cached label for `record`, if any query has paid for it.
+  std::optional<data::LabelerOutput> CachedLabel(size_t record) const;
+
+  SchedulerStats stats() const;
+
+ private:
+  struct Pending {
+    bool done = false;
+    Result<data::LabelerOutput> result = Status::Internal("pending");
+    QueryOracleContext* owner = nullptr;  ///< first requester; pays the call
+    std::condition_variable cv;
+  };
+
+  void DispatcherLoop();
+  void DispatchBatch(const std::vector<size_t>& records,
+                     const std::vector<std::shared_ptr<Pending>>& pendings);
+
+  labeler::FallibleLabeler* inner_;
+  const SchedulerOptions options_;
+  std::unique_ptr<ThreadPool> dispatch_pool_;  // parallel dispatch only
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  bool stopping_ = false;
+  std::unordered_map<size_t, data::LabelerOutput> cache_;
+  std::unordered_map<size_t, std::shared_ptr<Pending>> inflight_;
+  std::deque<size_t> queue_;
+
+  // Tallies (guarded by mu_).
+  size_t logical_requests_ = 0;
+  size_t physical_calls_ = 0;
+  size_t cache_hits_ = 0;
+  size_t dedup_hits_ = 0;
+  size_t failed_calls_ = 0;
+  size_t batches_ = 0;
+  size_t max_batch_size_ = 0;
+
+  std::thread dispatcher_;
+};
+
+/// Wraps the scheduler as a per-query FallibleLabeler, so the existing
+/// Try* query algorithms run unchanged inside the server. invocations()
+/// reports the physical attempts attributed to this query.
+class ScheduledOracle : public labeler::FallibleLabeler {
+ public:
+  ScheduledOracle(OracleScheduler* scheduler, QueryOracleContext* ctx,
+                  size_t num_records)
+      : scheduler_(scheduler), ctx_(ctx), num_records_(num_records) {}
+
+  Result<data::LabelerOutput> TryLabel(size_t index) override {
+    return scheduler_->Label(index, ctx_);
+  }
+  size_t num_records() const override { return num_records_; }
+  size_t invocations() const override {
+    return ctx_->attributed_invocations.load(std::memory_order_relaxed);
+  }
+  void ResetInvocations() override {}
+
+ private:
+  OracleScheduler* scheduler_;
+  QueryOracleContext* ctx_;
+  size_t num_records_;
+};
+
+/// Adds a fixed real-time latency to every call of a wrapped oracle,
+/// modeling a remote model server (Mask R-CNN behind an RPC). Thread-safe
+/// when the inner labeler is; counts no invocations of its own, so the
+/// inner counter stays the single source of truth.
+class LatencyInjectingOracle : public labeler::FallibleLabeler {
+ public:
+  /// The inner labeler must outlive the wrapper.
+  LatencyInjectingOracle(labeler::FallibleLabeler* inner, double latency_ms);
+
+  Result<data::LabelerOutput> TryLabel(size_t index) override;
+  size_t num_records() const override { return inner_->num_records(); }
+  size_t invocations() const override { return inner_->invocations(); }
+  void ResetInvocations() override { inner_->ResetInvocations(); }
+  double last_call_latency_ms() const override { return latency_ms_; }
+
+ private:
+  labeler::FallibleLabeler* inner_;
+  double latency_ms_;
+};
+
+}  // namespace tasti::serve
+
+#endif  // TASTI_SERVE_ORACLE_SCHEDULER_H_

@@ -1,0 +1,492 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/session.h"
+#include "labeler/resilient.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tasti::serve {
+
+namespace {
+
+void ObserveQueueWait(double ms) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Histogram* const wait =
+      obs::MetricsRegistry::Global().histogram(
+          "serve.queue_wait_ms", obs::ExponentialBuckets(0.05, 2.0, 16), "ms");
+  static obs::Counter* const queries =
+      obs::MetricsRegistry::Global().counter("serve.queries", "queries");
+  wait->Observe(ms);
+  queries->Increment();
+}
+
+}  // namespace
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kAggregate: return "aggregate";
+    case QueryKind::kAggregateWhere: return "aggregate_where";
+    case QueryKind::kSupgRecall: return "supg_recall";
+    case QueryKind::kSupgPrecision: return "supg_precision";
+    case QueryKind::kThresholdSelect: return "threshold_select";
+    case QueryKind::kLimit: return "limit";
+  }
+  return "unknown";
+}
+
+TastiServer::TastiServer(const data::Dataset* dataset,
+                         labeler::FallibleLabeler* oracle,
+                         ServerOptions options)
+    : dataset_(dataset), oracle_(oracle), options_(std::move(options)) {
+  TASTI_CHECK(dataset_ != nullptr, "TastiServer requires a dataset");
+  TASTI_CHECK(oracle_ != nullptr, "TastiServer requires an oracle");
+  TASTI_CHECK(oracle_->num_records() == dataset_->size(),
+              "oracle/dataset record count mismatch");
+  TASTI_CHECK(options_.max_pending >= 1, "max_pending must be >= 1");
+}
+
+TastiServer::~TastiServer() { Shutdown(); }
+
+Status TastiServer::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::FailedPrecondition("server already started");
+  }
+  TASTI_SPAN("serve.start");
+  baseline_invocations_ = oracle_->invocations();
+  WallTimer build_timer;
+  labeler::CachingFallibleLabeler build_cache(oracle_);
+  core::TastiIndex index =
+      core::TastiIndex::Build(*dataset_, &build_cache, options_.index);
+  index_invocations_ = oracle_->invocations() - baseline_invocations_;
+  {
+    std::lock_guard<std::mutex> lock(crack_mu_);
+    index_ = std::move(index);
+    epochs_.Publish(IndexSnapshot::FromIndex(*index_, next_epoch_++));
+  }
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    query_log_.RecordIndexBuild(index_invocations_, build_timer.Seconds());
+  }
+  scheduler_ = std::make_unique<OracleScheduler>(oracle_, options_.scheduler);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  const size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> TastiServer::Submit(const QuerySpec& spec) {
+  if (spec.scorer == nullptr) {
+    return Status::InvalidArgument("QuerySpec requires a scorer");
+  }
+  if (spec.kind == QueryKind::kAggregateWhere && spec.statistic == nullptr) {
+    return Status::InvalidArgument("aggregate_where requires a statistic");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!started_) {
+    return Status::FailedPrecondition("Start() the server before submitting");
+  }
+  auto full = [this] {
+    return queue_.size() + executing_ >= options_.max_pending;
+  };
+  if (stopping_) return Status::Unavailable("server shutting down");
+  if (full()) {
+    if (!options_.block_on_admission) {
+      return Status::ResourceExhausted("admission queue full");
+    }
+    admit_cv_.wait(lock, [&] { return stopping_ || !full(); });
+    if (stopping_) return Status::Unavailable("server shutting down");
+  }
+  PendingQuery pending;
+  pending.query_id = ++next_query_id_;
+  pending.spec = spec;
+  const uint64_t query_id = pending.query_id;
+  queue_.push_back(std::move(pending));
+  work_cv_.notify_one();
+  return query_id;
+}
+
+QueryResponse TastiServer::Wait(uint64_t query_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return completed_.count(query_id) != 0; });
+  QueryResponse response = std::move(completed_.at(query_id));
+  completed_.erase(query_id);
+  return response;
+}
+
+QueryResponse TastiServer::Execute(const QuerySpec& spec) {
+  Result<uint64_t> id = Submit(spec);
+  if (!id.ok()) {
+    QueryResponse response;
+    response.kind = spec.kind;
+    response.status = id.status();
+    return response;
+  }
+  return Wait(*id);
+}
+
+void TastiServer::Drain() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return queue_.empty() && executing_ == 0; });
+  }
+  if (!options_.deterministic || !options_.auto_crack) return;
+  // Apply the wave's deferred cracks in query-id order: the resulting
+  // representative sequence — hence the next epoch's proxies — is
+  // independent of which worker finished which query first.
+  TASTI_SPAN("serve.deferred_crack");
+  std::lock_guard<std::mutex> lock(crack_mu_);
+  if (deferred_cracks_.empty()) return;
+  std::sort(deferred_cracks_.begin(), deferred_cracks_.end(),
+            [](const DeferredCrack& a, const DeferredCrack& b) {
+              return a.query_id < b.query_id;
+            });
+  size_t cracked = 0;
+  for (const DeferredCrack& crack : deferred_cracks_) {
+    cracked += index_->CrackFromLabels(crack.records, crack.labels);
+  }
+  deferred_cracks_.clear();
+  if (cracked > 0) {
+    const uint64_t epoch = next_epoch_++;
+    epochs_.Publish(IndexSnapshot::FromIndex(*index_, epoch));
+    PruneProxyCache(epoch);
+  }
+}
+
+void TastiServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  admit_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServerStats TastiServer::stats() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.queries_completed = queries_completed_;
+    stats.query_invocations = query_invocations_;
+  }
+  stats.index_invocations = index_invocations_;
+  stats.epochs_published = epochs_.published();
+  stats.live_snapshots = epochs_.live_snapshots();
+  return stats;
+}
+
+Status TastiServer::CheckAttributionInvariant() const {
+  const size_t actual = oracle_->invocations() - baseline_invocations_;
+  size_t attributed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    attributed = index_invocations_ + query_invocations_;
+  }
+  if (actual != attributed) {
+    return Status::Internal(
+        "attribution invariant violated: oracle counted " +
+        std::to_string(actual) + " invocations, attributed " +
+        std::to_string(attributed));
+  }
+  return Status::OK();
+}
+
+void TastiServer::WorkerLoop() {
+  for (;;) {
+    PendingQuery pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      for (;;) {
+        work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stopping_) return;
+          continue;
+        }
+        auto it = queue_.begin();
+        if (options_.max_client_concurrency > 0) {
+          // FIFO among eligible clients: skip queries whose client has
+          // exhausted its concurrency slots.
+          while (it != queue_.end() &&
+                 client_running_[it->spec.client_id] >=
+                     options_.max_client_concurrency) {
+            ++it;
+          }
+          if (it == queue_.end()) {
+            // Every queued client is saturated; a completion frees a slot
+            // and re-notifies work_cv_.
+            work_cv_.wait(lock);
+            continue;
+          }
+        }
+        pending = std::move(*it);
+        queue_.erase(it);
+        ++executing_;
+        ++client_running_[pending.spec.client_id];
+        break;
+      }
+      admit_cv_.notify_all();
+    }
+    pending.queued.Pause();
+    ObserveQueueWait(pending.queued.Seconds() * 1000.0);
+    const uint64_t client_id = pending.spec.client_id;
+
+    QueryResponse response = RunQuery(std::move(pending));
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --executing_;
+      --client_running_[client_id];
+      ++queries_completed_;
+      query_invocations_ += response.attributed_invocations;
+      completed_.emplace(response.query_id, std::move(response));
+    }
+    done_cv_.notify_all();
+    admit_cv_.notify_all();
+    work_cv_.notify_all();  // a freed client slot may unblock a peer worker
+  }
+}
+
+QueryResponse TastiServer::RunQuery(PendingQuery pending) {
+  TASTI_SPAN("serve.query");
+  const QuerySpec& spec = pending.spec;
+  QueryResponse response;
+  response.query_id = pending.query_id;
+  response.kind = spec.kind;
+  response.queue_wait_ms = pending.queued.Seconds() * 1000.0;
+  WallTimer exec_timer;
+
+  std::shared_ptr<const IndexSnapshot> snapshot = epochs_.Acquire();
+  response.epoch = snapshot->epoch;
+
+  const core::PropagationMode mode = spec.kind == QueryKind::kLimit
+                                         ? core::PropagationMode::kLimit
+                                         : core::PropagationMode::kNumeric;
+  ProxyEntry proxy = ProxyFor(*snapshot, *spec.scorer, mode);
+
+  QueryOracleContext ctx;
+  ctx.query_id = pending.query_id;
+  ScheduledOracle scheduled(scheduler_.get(), &ctx, dataset_->size());
+  labeler::CachingFallibleLabeler cache(&scheduled);
+  WallTimer algo_timer;
+  obs::TimedOracle timed(&cache, &algo_timer);
+  const uint64_t seed = api::DeriveQuerySeed(options_.seed, pending.query_id);
+
+  switch (spec.kind) {
+    case QueryKind::kAggregate: {
+      queries::AggregationOptions opts;
+      opts.error_target = spec.error_target;
+      opts.confidence = options_.confidence;
+      opts.seed = seed;
+      Result<queries::AggregationResult> r =
+          queries::TryEstimateMean(*proxy.scores, &timed, *spec.scorer, opts);
+      response.status = r.status();
+      if (r.ok()) response.aggregate = std::move(r).value();
+      break;
+    }
+    case QueryKind::kAggregateWhere: {
+      queries::PredicateAggregationOptions opts;
+      opts.error_target = spec.error_target;
+      opts.confidence = options_.confidence;
+      opts.seed = seed;
+      Result<queries::PredicateAggregationResult> r =
+          queries::TryEstimateMeanWithPredicate(*proxy.scores, &timed,
+                                                *spec.scorer, *spec.statistic,
+                                                opts);
+      response.status = r.status();
+      if (r.ok()) response.aggregate_where = std::move(r).value();
+      break;
+    }
+    case QueryKind::kSupgRecall: {
+      queries::SupgOptions opts;
+      opts.recall_target = spec.target;
+      opts.confidence = options_.confidence;
+      opts.budget = spec.budget;
+      opts.seed = seed;
+      Result<queries::SupgResult> r =
+          queries::TrySupgRecallSelect(*proxy.scores, &timed, *spec.scorer,
+                                       opts);
+      response.status = r.status();
+      if (r.ok()) response.supg = std::move(r).value();
+      break;
+    }
+    case QueryKind::kSupgPrecision: {
+      queries::SupgPrecisionOptions opts;
+      opts.precision_target = spec.target;
+      opts.confidence = options_.confidence;
+      opts.budget = spec.budget;
+      opts.seed = seed;
+      Result<queries::SupgResult> r =
+          queries::TrySupgPrecisionSelect(*proxy.scores, &timed, *spec.scorer,
+                                          opts);
+      response.status = r.status();
+      if (r.ok()) response.supg = std::move(r).value();
+      break;
+    }
+    case QueryKind::kThresholdSelect: {
+      queries::ThresholdSelectOptions opts;
+      opts.validation_budget = spec.validation_budget;
+      opts.seed = seed;
+      Result<queries::ThresholdSelectResult> r =
+          queries::TryThresholdSelect(*proxy.scores, &timed, *spec.scorer,
+                                      opts);
+      response.status = r.status();
+      if (r.ok()) response.select = std::move(r).value();
+      break;
+    }
+    case QueryKind::kLimit: {
+      queries::LimitOptions opts;
+      opts.want = spec.want;
+      Result<queries::LimitResult> r =
+          queries::TryLimitQuery(*proxy.scores, &timed, *spec.scorer, opts);
+      response.status = r.status();
+      if (r.ok()) response.limit = std::move(r).value();
+      break;
+    }
+  }
+  algo_timer.Pause();
+
+  double crack_seconds = 0.0;
+  if (options_.auto_crack) {
+    const std::vector<size_t>& labeled = cache.labeled_indices();
+    if (!labeled.empty()) {
+      std::vector<data::LabelerOutput> labels;
+      labels.reserve(labeled.size());
+      for (size_t record : labeled) {
+        std::optional<data::LabelerOutput> label = cache.CachedLabel(record);
+        TASTI_CHECK(label.has_value(), "labeled index without a cached label");
+        labels.push_back(*std::move(label));
+      }
+      if (options_.deterministic) {
+        // Deferred: applied sorted by query id at Drain(), so this wave's
+        // readers all stay on the submit-time epoch.
+        std::lock_guard<std::mutex> lock(crack_mu_);
+        deferred_cracks_.push_back(
+            {pending.query_id, labeled, std::move(labels)});
+      } else {
+        WallTimer crack_timer;
+        response.cracked_representatives = ApplyCrackNow(labeled, labels);
+        crack_seconds = crack_timer.Seconds();
+      }
+    }
+  }
+
+  response.attributed_invocations =
+      ctx.attributed_invocations.load(std::memory_order_relaxed);
+  response.logical_oracle_calls =
+      ctx.logical_calls.load(std::memory_order_relaxed);
+  response.scheduler_cache_hits = ctx.cache_hits.load(std::memory_order_relaxed);
+  response.scheduler_dedup_hits = ctx.dedup_hits.load(std::memory_order_relaxed);
+  response.execute_seconds = exec_timer.Seconds();
+
+  AppendQueryRecord(response, spec, algo_timer.Seconds(), timed.seconds(),
+                    crack_seconds, proxy.timings,
+                    ctx.failed_calls.load(std::memory_order_relaxed));
+  return response;
+}
+
+TastiServer::ProxyEntry TastiServer::ProxyFor(const IndexSnapshot& snapshot,
+                                              const core::Scorer& scorer,
+                                              core::PropagationMode mode) {
+  const std::string key = std::to_string(snapshot.epoch) + "#" + scorer.Name() +
+                          "#" + std::to_string(static_cast<int>(mode));
+  std::promise<std::shared_ptr<const std::vector<double>>> promise;
+  std::shared_future<std::shared_ptr<const std::vector<double>>> future;
+  bool compute = false;
+  {
+    std::lock_guard<std::mutex> lock(proxy_mu_);
+    auto it = proxy_futures_.find(key);
+    if (it != proxy_futures_.end()) {
+      future = it->second;
+    } else {
+      future = promise.get_future().share();
+      proxy_futures_.emplace(key, future);
+      compute = true;
+    }
+  }
+  ProxyEntry entry;
+  if (compute) {
+    TASTI_SPAN("serve.compute_proxy");
+    try {
+      core::ProxyTimings timings;
+      auto scores = std::make_shared<const std::vector<double>>(
+          core::ComputeProxyScores(snapshot.View(), scorer, mode, {},
+                                   &timings));
+      entry.scores = scores;
+      entry.timings = timings;
+      promise.set_value(std::move(scores));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+  } else {
+    // Another query computed (or is computing) these scores; its timings
+    // are charged to that query, so this one reports zero proxy time.
+    entry.scores = future.get();
+  }
+  return entry;
+}
+
+size_t TastiServer::ApplyCrackNow(
+    const std::vector<size_t>& records,
+    const std::vector<data::LabelerOutput>& labels) {
+  TASTI_SPAN("serve.crack");
+  std::lock_guard<std::mutex> lock(crack_mu_);
+  const size_t cracked = index_->CrackFromLabels(records, labels);
+  if (cracked > 0) {
+    const uint64_t epoch = next_epoch_++;
+    epochs_.Publish(IndexSnapshot::FromIndex(*index_, epoch));
+    PruneProxyCache(epoch);
+  }
+  return cracked;
+}
+
+void TastiServer::PruneProxyCache(uint64_t epoch) {
+  const std::string prefix = std::to_string(epoch) + "#";
+  std::lock_guard<std::mutex> lock(proxy_mu_);
+  for (auto it = proxy_futures_.begin(); it != proxy_futures_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) {
+      it = proxy_futures_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TastiServer::AppendQueryRecord(const QueryResponse& response,
+                                    const QuerySpec& spec,
+                                    double algorithm_seconds,
+                                    double oracle_seconds,
+                                    double crack_seconds,
+                                    const core::ProxyTimings& proxy_timings,
+                                    size_t failed_oracle_calls) {
+  obs::QueryRecord record;
+  record.query_type = QueryKindName(response.kind);
+  record.params = "scorer=" + spec.scorer->Name() +
+                  " client=" + std::to_string(spec.client_id) +
+                  " epoch=" + std::to_string(response.epoch);
+  record.phases.rep_score_seconds = proxy_timings.rep_score_seconds;
+  record.phases.propagation_seconds = proxy_timings.propagation_seconds;
+  record.phases.algorithm_seconds = algorithm_seconds;
+  record.phases.oracle_seconds = oracle_seconds;
+  record.phases.crack_seconds = crack_seconds;
+  record.labeler_invocations = response.attributed_invocations;
+  record.cracked_representatives = response.cracked_representatives;
+  record.failed_oracle_calls = failed_oracle_calls;
+  std::lock_guard<std::mutex> lock(log_mu_);
+  query_log_.AddQuery(std::move(record));
+}
+
+}  // namespace tasti::serve

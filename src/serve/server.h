@@ -1,0 +1,285 @@
+#ifndef TASTI_SERVE_SERVER_H_
+#define TASTI_SERVE_SERVER_H_
+
+/// \file server.h
+/// TastiServer: many concurrent queries against one shared TASTI index.
+///
+/// A TastiSession serializes queries; under a remote oracle most of a
+/// query's wall time is oracle latency, so serialization wastes it. The
+/// server runs queries on a worker pool where they
+///  - read immutable epoch snapshots (snapshot.h) — cracking publishes new
+///    epochs copy-on-write, readers never block or see torn state;
+///  - share one OracleScheduler (oracle_scheduler.h) — concurrent label
+///    requests dedup, batch, and hit a server-wide cache, so a record
+///    annotated for one query is free for every later one;
+///  - share per-epoch proxy scores — the first query needing a (scorer,
+///    mode) pair computes it, concurrent queries for the same pair wait on
+///    the same future instead of recomputing.
+///
+/// Admission control bounds the work in flight: a FIFO queue capped at
+/// max_pending, plus optional per-client concurrency slots so one chatty
+/// client cannot starve the rest.
+///
+/// Deterministic mode makes a served workload reproducible: cracking is
+/// deferred to Drain() (every query in a wave reads the same epoch) and
+/// applied sorted by query id, and per-query seeds derive from the query
+/// id alone — so result payloads are bit-identical whether the wave ran on
+/// one worker or K.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index.h"
+#include "core/proxy.h"
+#include "core/scorer.h"
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "obs/query_log.h"
+#include "queries/aggregation.h"
+#include "queries/limit.h"
+#include "queries/noguarantee.h"
+#include "queries/predicate_aggregation.h"
+#include "queries/supg.h"
+#include "serve/oracle_scheduler.h"
+#include "serve/snapshot.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace tasti::serve {
+
+enum class QueryKind {
+  kAggregate,
+  kAggregateWhere,
+  kSupgRecall,
+  kSupgPrecision,
+  kThresholdSelect,
+  kLimit,
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// One query request. Scorer pointers must outlive the query's execution.
+struct QuerySpec {
+  QueryKind kind = QueryKind::kAggregate;
+  /// The statistic (aggregate) or predicate (everything else).
+  const core::Scorer* scorer = nullptr;
+  /// The statistic for kAggregateWhere (scorer is then the predicate).
+  const core::Scorer* statistic = nullptr;
+  double error_target = 0.05;   ///< aggregate / aggregate_where
+  double target = 0.9;          ///< recall or precision target (SUPG)
+  size_t budget = 500;          ///< SUPG oracle budget
+  size_t validation_budget = 100;  ///< threshold select
+  size_t want = 10;             ///< limit
+  /// Client issuing the query (per-client concurrency slots).
+  uint64_t client_id = 0;
+};
+
+/// One completed query. The member matching `kind` carries the payload;
+/// the rest are default-constructed.
+struct QueryResponse {
+  uint64_t query_id = 0;
+  QueryKind kind = QueryKind::kAggregate;
+  /// Snapshot epoch the query executed against.
+  uint64_t epoch = 0;
+  /// OK when the query produced a usable result (session semantics).
+  Status status = Status::OK();
+
+  queries::AggregationResult aggregate;
+  queries::PredicateAggregationResult aggregate_where;
+  queries::SupgResult supg;
+  queries::ThresholdSelectResult select;
+  queries::LimitResult limit;
+
+  // Serving-layer accounting.
+  size_t attributed_invocations = 0;  ///< physical oracle attempts charged here
+  size_t logical_oracle_calls = 0;    ///< label requests the algorithm made
+  size_t scheduler_cache_hits = 0;    ///< answered by the server-wide cache
+  size_t scheduler_dedup_hits = 0;    ///< piggybacked on another query's call
+  size_t cracked_representatives = 0;
+  double queue_wait_ms = 0.0;  ///< admission-queue time before a worker ran it
+  double execute_seconds = 0.0;  ///< wall time from dequeue to completion
+};
+
+struct ServerOptions {
+  /// Query worker threads.
+  size_t num_workers = 4;
+  /// Admission bound: queries queued or executing. Submit blocks (or
+  /// rejects) beyond it.
+  size_t max_pending = 64;
+  /// Full queue: block Submit until space (true) or reject with
+  /// ResourceExhausted (false).
+  bool block_on_admission = true;
+  /// Queries one client may have executing at once; 0 = unlimited. Queued
+  /// queries of a saturated client are passed over (FIFO among eligible).
+  size_t max_client_concurrency = 0;
+  /// Crack the index with each query's annotations.
+  bool auto_crack = true;
+  /// Reproducible serving: defer cracks to Drain() (applied sorted by
+  /// query id) so a wave's result payloads are independent of worker count
+  /// and scheduling order.
+  bool deterministic = false;
+  SchedulerOptions scheduler;
+  /// Index construction parameters (Start() builds the index).
+  core::IndexOptions index;
+  /// Success probability shared by guarantee-carrying queries.
+  double confidence = 0.95;
+  /// Base seed; query n draws api::DeriveQuerySeed(seed, n).
+  uint64_t seed = 1234;
+};
+
+/// Aggregate server tallies (safe to read while serving).
+struct ServerStats {
+  uint64_t queries_completed = 0;
+  size_t index_invocations = 0;
+  /// Sum of attributed_invocations over completed queries.
+  size_t query_invocations = 0;
+  uint64_t epochs_published = 0;
+  size_t live_snapshots = 0;
+};
+
+/// The serving engine. All public methods are thread-safe; Start() must
+/// complete before the first Submit().
+class TastiServer {
+ public:
+  /// The dataset and oracle must outlive the server. The oracle is shared
+  /// by index construction and every query; with parallel batch dispatch
+  /// it must be thread-safe (see SchedulerOptions::parallel_dispatch).
+  TastiServer(const data::Dataset* dataset, labeler::FallibleLabeler* oracle,
+              ServerOptions options);
+  ~TastiServer();
+
+  TastiServer(const TastiServer&) = delete;
+  TastiServer& operator=(const TastiServer&) = delete;
+
+  /// Builds the index (charging the oracle), publishes epoch 1, and starts
+  /// the scheduler and workers. Call once.
+  Status Start();
+
+  /// Enqueues a query; returns its id immediately. Fails with
+  /// ResourceExhausted when the queue is full and block_on_admission is
+  /// off, Unavailable after Shutdown, FailedPrecondition before Start.
+  Result<uint64_t> Submit(const QuerySpec& spec);
+
+  /// Blocks until query `query_id` completes and returns its response
+  /// (each id may be waited on once).
+  QueryResponse Wait(uint64_t query_id);
+
+  /// Submit + Wait.
+  QueryResponse Execute(const QuerySpec& spec);
+
+  /// Blocks until every submitted query has completed. In deterministic
+  /// mode, then applies the wave's deferred cracks (sorted by query id)
+  /// and publishes the resulting epoch.
+  void Drain();
+
+  /// Drains and stops the workers. Subsequent Submits fail; idempotent.
+  void Shutdown();
+
+  // --- Introspection ---
+
+  ServerStats stats() const;
+  SchedulerStats scheduler_stats() const { return scheduler_->stats(); }
+  uint64_t current_epoch() const { return epochs_.current_epoch(); }
+  /// Snapshots alive right now (current + retired-but-pinned).
+  size_t live_snapshots() const { return epochs_.live_snapshots(); }
+  const EpochManager& epochs() const { return epochs_; }
+  size_t index_invocations() const { return index_invocations_; }
+
+  /// Verifies the server-wide attribution invariant: every oracle
+  /// invocation made since construction is accounted to the index build or
+  /// to exactly one completed query. Call quiescent (after Drain).
+  Status CheckAttributionInvariant() const;
+
+  /// Per-query cost ledger (one record per completed query, plus the index
+  /// build). Read quiescent (after Drain).
+  const obs::QueryLog& query_log() const { return query_log_; }
+
+ private:
+  struct PendingQuery {
+    uint64_t query_id = 0;
+    QuerySpec spec;
+    WallTimer queued;  ///< running since Submit
+  };
+  struct DeferredCrack {
+    uint64_t query_id = 0;
+    std::vector<size_t> records;
+    std::vector<data::LabelerOutput> labels;
+  };
+  struct ProxyEntry {
+    std::shared_ptr<const std::vector<double>> scores;
+    core::ProxyTimings timings;  ///< zero when served from cache
+  };
+
+  void WorkerLoop();
+  QueryResponse RunQuery(PendingQuery pending);
+  /// Per-epoch shared proxy scores (first caller computes, others wait).
+  ProxyEntry ProxyFor(const IndexSnapshot& snapshot, const core::Scorer& scorer,
+                      core::PropagationMode mode);
+  /// Cracks the master index with a query's labels and publishes the new
+  /// epoch. Returns representatives added.
+  size_t ApplyCrackNow(const std::vector<size_t>& records,
+                       const std::vector<data::LabelerOutput>& labels);
+  /// Drops proxy futures for epochs other than `epoch`.
+  void PruneProxyCache(uint64_t epoch);
+  void AppendQueryRecord(const QueryResponse& response, const QuerySpec& spec,
+                         double algorithm_seconds, double oracle_seconds,
+                         double crack_seconds,
+                         const core::ProxyTimings& proxy_timings,
+                         size_t failed_oracle_calls);
+
+  const data::Dataset* dataset_;
+  labeler::FallibleLabeler* oracle_;
+  const ServerOptions options_;
+
+  // Oracle invocations predating the server (invariant baseline).
+  size_t baseline_invocations_ = 0;
+  size_t index_invocations_ = 0;
+
+  // Master index: mutated only under crack_mu_; queries read snapshots.
+  std::mutex crack_mu_;
+  std::optional<core::TastiIndex> index_;
+  uint64_t next_epoch_ = 1;
+  std::vector<DeferredCrack> deferred_cracks_;
+
+  EpochManager epochs_;
+  std::unique_ptr<OracleScheduler> scheduler_;
+
+  std::mutex proxy_mu_;
+  std::unordered_map<std::string,
+                     std::shared_future<std::shared_ptr<const std::vector<double>>>>
+      proxy_futures_;
+  std::unordered_map<std::string, core::ProxyTimings> proxy_timings_;
+
+  // Admission + completion state.
+  mutable std::mutex mu_;
+  std::condition_variable admit_cv_;   ///< space / stop for blocked Submits
+  std::condition_variable work_cv_;    ///< queue non-empty / stop for workers
+  std::condition_variable done_cv_;    ///< completions for Wait/Drain
+  bool started_ = false;
+  bool stopping_ = false;
+  uint64_t next_query_id_ = 0;
+  std::deque<PendingQuery> queue_;
+  size_t executing_ = 0;
+  std::unordered_map<uint64_t, size_t> client_running_;
+  std::unordered_map<uint64_t, QueryResponse> completed_;
+  uint64_t queries_completed_ = 0;
+  size_t query_invocations_ = 0;
+
+  std::mutex log_mu_;
+  obs::QueryLog query_log_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tasti::serve
+
+#endif  // TASTI_SERVE_SERVER_H_

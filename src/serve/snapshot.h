@@ -1,0 +1,96 @@
+#ifndef TASTI_SERVE_SNAPSHOT_H_
+#define TASTI_SERVE_SNAPSHOT_H_
+
+/// \file snapshot.h
+/// Epoch-based index snapshots for concurrent query serving.
+///
+/// Queries never read the live TastiIndex: they acquire an immutable
+/// IndexSnapshot — a copy of the propagation-relevant state (representative
+/// ids, labels, validity, min-k distance lists) stamped with an epoch
+/// number. Cracking mutates the master index under the writer's mutex and
+/// then publishes a fresh snapshot (copy-on-write at epoch granularity);
+/// in-flight queries keep their pinned epoch alive via shared_ptr, so
+/// readers never block on writers and never observe torn state. A retired
+/// epoch is reclaimed automatically when its last reader drains.
+///
+/// The embeddings matrix — by far the largest index component — is not
+/// copied: propagation never reads it, only cracking does, and cracking
+/// works on the master.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cluster/topk.h"
+#include "core/index.h"
+#include "data/schema.h"
+#include "util/status.h"
+
+namespace tasti::serve {
+
+/// Immutable propagation state of one index epoch.
+struct IndexSnapshot {
+  uint64_t epoch = 0;
+  size_t num_records = 0;
+  std::vector<size_t> rep_record_ids;
+  std::vector<data::LabelerOutput> rep_labels;
+  std::vector<uint8_t> rep_label_valid;
+  size_t num_failed_representatives = 0;
+  cluster::TopKDistances topk;
+
+  /// View consumable by core propagation / proxy generation.
+  core::IndexView View() const;
+
+  /// Copies the propagation state out of `index` (caller must hold the
+  /// index's writer lock, or be the only thread touching it).
+  static IndexSnapshot FromIndex(const core::TastiIndex& index,
+                                 uint64_t epoch);
+
+  /// Structural invariants: parallel arrays aligned, every stored min-k
+  /// neighbor id names an existing representative. A torn read (a snapshot
+  /// observed mid-mutation) would trip these.
+  Status CheckConsistent() const;
+};
+
+/// Publishes and hands out snapshots. Publish (writers) takes a light
+/// mutex; Acquire (readers) takes the same mutex only long enough to copy
+/// a shared_ptr — never while any index computation runs.
+class EpochManager {
+ public:
+  EpochManager() = default;
+
+  /// Installs `snapshot` as the current epoch. Its epoch stamp must exceed
+  /// the current one.
+  void Publish(IndexSnapshot snapshot);
+
+  /// The current snapshot, pinned: the returned pointer keeps its epoch
+  /// alive until released. Null until the first Publish.
+  std::shared_ptr<const IndexSnapshot> Acquire() const;
+
+  /// Epoch of the current snapshot (0 before the first Publish).
+  uint64_t current_epoch() const;
+
+  /// Snapshots still alive — the current one plus any retired epochs with
+  /// readers that have not yet drained.
+  size_t live_snapshots() const {
+    return live_snapshots_->load(std::memory_order_acquire);
+  }
+
+  /// Total Publish calls.
+  uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const IndexSnapshot> current_;
+  std::shared_ptr<std::atomic<size_t>> live_snapshots_ =
+      std::make_shared<std::atomic<size_t>>(0);
+  std::atomic<uint64_t> published_{0};
+};
+
+}  // namespace tasti::serve
+
+#endif  // TASTI_SERVE_SNAPSHOT_H_

@@ -1,0 +1,549 @@
+// Tests for serve/: epoch snapshots and reclamation, cross-query oracle
+// scheduling (dedup, caching, batching, attribution), admission control,
+// and deterministic-mode reproducibility of the TastiServer. Run under
+// TSan in check.sh's tsan stage — the concurrency claims here (no torn
+// snapshot reads, racing cracks against readers) are exactly what a data
+// race would break.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "core/scorer.h"
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "serve/oracle_scheduler.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+namespace tasti::serve {
+namespace {
+
+data::Dataset TestDataset(size_t n = 2000, uint64_t seed = 71) {
+  data::DatasetOptions opts;
+  opts.num_records = n;
+  opts.seed = seed;
+  return data::MakeNightStreet(opts);
+}
+
+ServerOptions FastServerOptions() {
+  ServerOptions opts;
+  opts.index.num_training_records = 150;
+  opts.index.num_representatives = 150;
+  opts.index.embedding_dim = 32;
+  opts.index.hidden_dim = 64;
+  opts.index.epochs = 10;
+  opts.num_workers = 4;
+  opts.seed = 72;
+  return opts;
+}
+
+/// Holds every call open for `hold_ms` so concurrent requests for the same
+/// record pile up behind the dispatcher (exercising in-flight dedup), and
+/// fails the first `fail_first` calls per record (exercising the
+/// failures-are-not-cached rule). Thread-safe.
+class SlowFlakyOracle : public labeler::FallibleLabeler {
+ public:
+  SlowFlakyOracle(const data::Dataset* dataset, double hold_ms,
+                  size_t fail_first = 0)
+      : dataset_(dataset), hold_ms_(hold_ms), fail_first_(fail_first),
+        calls_per_record_(dataset->size()) {}
+
+  Result<data::LabelerOutput> TryLabel(size_t index) override {
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    if (hold_ms_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(hold_ms_));
+    }
+    const size_t nth =
+        calls_per_record_[index].fetch_add(1, std::memory_order_relaxed);
+    if (nth < fail_first_) {
+      return Status::Unavailable("injected transient failure");
+    }
+    return dataset_->ground_truth[index];
+  }
+  size_t num_records() const override { return dataset_->size(); }
+  size_t invocations() const override {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  void ResetInvocations() override {
+    invocations_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  const data::Dataset* dataset_;
+  double hold_ms_;
+  size_t fail_first_;
+  std::vector<std::atomic<size_t>> calls_per_record_;
+  std::atomic<size_t> invocations_{0};
+};
+
+// --- OracleScheduler ---
+
+TEST(OracleSchedulerTest, ConcurrentIdenticalRequestsCollapseToOneCall) {
+  data::Dataset ds = TestDataset(64);
+  SlowFlakyOracle oracle(&ds, /*hold_ms=*/20.0);
+  OracleScheduler scheduler(&oracle, {});
+
+  constexpr size_t kThreads = 6;
+  std::vector<QueryOracleContext> ctxs(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    ctxs[t].query_id = t + 1;
+    threads.emplace_back([&scheduler, &ctxs, t] {
+      Result<data::LabelerOutput> r = scheduler.Label(7, &ctxs[t]);
+      EXPECT_TRUE(r.ok());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // One physical call serves all six queries; the rest rode the in-flight
+  // entry or the cache.
+  EXPECT_EQ(oracle.invocations(), 1u);
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.physical_calls, 1u);
+  EXPECT_EQ(stats.logical_requests, kThreads);
+  EXPECT_EQ(stats.cache_hits + stats.dedup_hits, kThreads - 1);
+  // The call is attributed to exactly one query.
+  size_t attributed = 0;
+  for (const QueryOracleContext& ctx : ctxs) {
+    attributed += ctx.attributed_invocations.load();
+  }
+  EXPECT_EQ(attributed, 1u);
+}
+
+TEST(OracleSchedulerTest, CacheMakesLaterQueriesFree) {
+  data::Dataset ds = TestDataset(64);
+  SlowFlakyOracle oracle(&ds, 0.0);
+  OracleScheduler scheduler(&oracle, {});
+
+  QueryOracleContext first, second;
+  first.query_id = 1;
+  second.query_id = 2;
+  ASSERT_TRUE(scheduler.Label(3, &first).ok());
+  ASSERT_TRUE(scheduler.Label(3, &second).ok());
+
+  EXPECT_EQ(oracle.invocations(), 1u);
+  EXPECT_EQ(first.attributed_invocations.load(), 1u);
+  EXPECT_EQ(second.attributed_invocations.load(), 0u);
+  EXPECT_EQ(second.cache_hits.load(), 1u);
+  EXPECT_TRUE(scheduler.CachedLabel(3).has_value());
+  EXPECT_FALSE(scheduler.CachedLabel(4).has_value());
+}
+
+TEST(OracleSchedulerTest, FailedCallsAreNotCachedAndRetry) {
+  data::Dataset ds = TestDataset(64);
+  SlowFlakyOracle oracle(&ds, 0.0, /*fail_first=*/1);
+  OracleScheduler scheduler(&oracle, {});
+
+  QueryOracleContext ctx;
+  ctx.query_id = 1;
+  Result<data::LabelerOutput> r1 = scheduler.Label(5, &ctx);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_FALSE(scheduler.CachedLabel(5).has_value());
+  EXPECT_EQ(ctx.failed_calls.load(), 1u);
+
+  Result<data::LabelerOutput> r2 = scheduler.Label(5, &ctx);
+  EXPECT_TRUE(r2.ok());
+  EXPECT_EQ(oracle.invocations(), 2u);
+  EXPECT_EQ(ctx.attributed_invocations.load(), 2u);
+}
+
+TEST(OracleSchedulerTest, DistinctRecordsCoalesceIntoBatches) {
+  data::Dataset ds = TestDataset(128);
+  SlowFlakyOracle oracle(&ds, /*hold_ms=*/5.0);
+  SchedulerOptions options;
+  options.max_batch = 8;
+  OracleScheduler scheduler(&oracle, options);
+
+  constexpr size_t kThreads = 12;
+  std::vector<QueryOracleContext> ctxs(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    ctxs[t].query_id = t + 1;
+    threads.emplace_back([&scheduler, &ctxs, t] {
+      EXPECT_TRUE(scheduler.Label(t, &ctxs[t]).ok());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.physical_calls, kThreads);  // all records distinct
+  EXPECT_LE(stats.max_batch_size, options.max_batch);
+  EXPECT_GE(stats.batches, (kThreads + options.max_batch - 1) /
+                               options.max_batch);
+}
+
+TEST(OracleSchedulerTest, ParallelDispatchPreservesAttribution) {
+  data::Dataset ds = TestDataset(128);
+  labeler::SimulatedLabeler truth(&ds);
+  labeler::FallibleAdapter adapter(&truth);
+  LatencyInjectingOracle slow(&adapter, /*latency_ms=*/2.0);
+  SchedulerOptions options;
+  options.parallel_dispatch = true;
+  options.dispatch_threads = 4;
+  OracleScheduler scheduler(&slow, options);
+
+  constexpr size_t kThreads = 10;
+  std::vector<QueryOracleContext> ctxs(kThreads);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    ctxs[t].query_id = t + 1;
+    threads.emplace_back([&scheduler, &ctxs, t] {
+      EXPECT_TRUE(scheduler.Label(2 * t, &ctxs[t]).ok());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  size_t attributed = 0;
+  for (const QueryOracleContext& ctx : ctxs) {
+    attributed += ctx.attributed_invocations.load();
+  }
+  EXPECT_EQ(attributed, truth.invocations());
+}
+
+// --- Snapshots & epochs ---
+
+TEST(SnapshotTest, PublishRequiresNewerEpochAndTracksLiveness) {
+  data::Dataset ds = TestDataset(400);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  core::IndexOptions index_opts = FastServerOptions().index;
+  index_opts.num_representatives = 60;
+  index_opts.num_training_records = 60;
+  core::TastiIndex index = core::TastiIndex::Build(ds, &adapter, index_opts);
+
+  EpochManager epochs;
+  EXPECT_EQ(epochs.current_epoch(), 0u);
+  EXPECT_EQ(epochs.Acquire(), nullptr);
+
+  epochs.Publish(IndexSnapshot::FromIndex(index, 1));
+  std::shared_ptr<const IndexSnapshot> pinned = epochs.Acquire();
+  ASSERT_NE(pinned, nullptr);
+  EXPECT_TRUE(pinned->CheckConsistent().ok());
+  EXPECT_EQ(epochs.live_snapshots(), 1u);
+
+  index.AddRepresentative(0, ds.ground_truth[0]);
+  epochs.Publish(IndexSnapshot::FromIndex(index, 2));
+  // The retired epoch stays alive while `pinned` holds it.
+  EXPECT_EQ(epochs.live_snapshots(), 2u);
+  EXPECT_EQ(epochs.current_epoch(), 2u);
+  EXPECT_EQ(pinned->epoch, 1u);
+  pinned.reset();
+  EXPECT_EQ(epochs.live_snapshots(), 1u);
+  EXPECT_EQ(epochs.published(), 2u);
+}
+
+TEST(ServerTest, ConcurrentQueriesRacingCracksSeeConsistentSnapshots) {
+  data::Dataset ds = TestDataset(1500);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+  TastiServer server(&ds, &adapter, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A reader thread hammers Acquire + CheckConsistent while queries crack
+  // the index and publish new epochs underneath it.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> checked{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::shared_ptr<const IndexSnapshot> snapshot = server.epochs().Acquire();
+      ASSERT_NE(snapshot, nullptr);
+      ASSERT_TRUE(snapshot->CheckConsistent().ok());
+      checked.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  core::PresenceScorer present(data::ObjectClass::kCar);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    QuerySpec spec;
+    if (i % 2 == 0) {
+      spec.kind = QueryKind::kAggregate;
+      spec.scorer = &cars;
+      spec.error_target = 0.15;
+    } else {
+      spec.kind = QueryKind::kSupgRecall;
+      spec.scorer = &present;
+      spec.target = 0.9;
+      spec.budget = 150;
+    }
+    spec.client_id = i % 3;
+    Result<uint64_t> id = server.Submit(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (uint64_t id : ids) {
+    QueryResponse response = server.Wait(id);
+    EXPECT_TRUE(response.status.ok());
+  }
+  server.Drain();
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(checked.load(), 0u);
+  // Cracking published new epochs, and retired ones were reclaimed once
+  // their readers drained.
+  EXPECT_GT(server.stats().epochs_published, 1u);
+  EXPECT_EQ(server.live_snapshots(), 1u);
+}
+
+// --- TastiServer ---
+
+TEST(ServerTest, AttributionInvariantHoldsAcrossConcurrentQueries) {
+  data::Dataset ds = TestDataset(1500);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+  TastiServer server(&ds, &adapter, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  core::PresenceScorer present(data::ObjectClass::kCar);
+  core::AtLeastCountScorer busy(data::ObjectClass::kCar, 2);
+  std::vector<QuerySpec> specs;
+  for (int round = 0; round < 2; ++round) {
+    QuerySpec agg;
+    agg.kind = QueryKind::kAggregate;
+    agg.scorer = &cars;
+    agg.error_target = 0.15;
+    specs.push_back(agg);
+    QuerySpec supg;
+    supg.kind = QueryKind::kSupgRecall;
+    supg.scorer = &present;
+    supg.target = 0.9;
+    supg.budget = 120;
+    specs.push_back(supg);
+    QuerySpec limit;
+    limit.kind = QueryKind::kLimit;
+    limit.scorer = &busy;
+    limit.want = 4;
+    specs.push_back(limit);
+  }
+  std::vector<uint64_t> ids;
+  for (const QuerySpec& spec : specs) {
+    Result<uint64_t> id = server.Submit(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  size_t query_invocations = 0;
+  for (uint64_t id : ids) {
+    QueryResponse response = server.Wait(id);
+    EXPECT_TRUE(response.status.ok());
+    query_invocations += response.attributed_invocations;
+  }
+  server.Drain();
+
+  EXPECT_TRUE(server.CheckAttributionInvariant().ok());
+  EXPECT_EQ(server.index_invocations() + query_invocations,
+            oracle.invocations());
+  // The query log carries the same ledger.
+  EXPECT_EQ(server.query_log().total_invocations(), oracle.invocations());
+  // Sharing must have saved something: queries overlap records (reps,
+  // popular samples), so logical requests exceed physical calls.
+  SchedulerStats sched = server.scheduler_stats();
+  EXPECT_GT(sched.saved_calls(), 0u);
+  EXPECT_LT(sched.physical_calls, sched.logical_requests);
+}
+
+TEST(ServerTest, DeterministicModeIsBitIdenticalAcrossWorkerCounts) {
+  data::Dataset ds = TestDataset(1500);
+
+  auto run = [&ds](size_t workers) {
+    labeler::SimulatedLabeler oracle(&ds);
+    labeler::FallibleAdapter adapter(&oracle);
+    ServerOptions opts = FastServerOptions();
+    opts.deterministic = true;
+    opts.num_workers = workers;
+    TastiServer server(&ds, &adapter, opts);
+    EXPECT_TRUE(server.Start().ok());
+
+    static core::CountScorer cars(data::ObjectClass::kCar);
+    static core::PresenceScorer present(data::ObjectClass::kCar);
+    static core::AtLeastCountScorer busy(data::ObjectClass::kCar, 2);
+    std::vector<QuerySpec> specs;
+    QuerySpec agg;
+    agg.kind = QueryKind::kAggregate;
+    agg.scorer = &cars;
+    agg.error_target = 0.15;
+    specs.push_back(agg);
+    QuerySpec recall;
+    recall.kind = QueryKind::kSupgRecall;
+    recall.scorer = &present;
+    recall.target = 0.9;
+    recall.budget = 120;
+    specs.push_back(recall);
+    QuerySpec precision;
+    precision.kind = QueryKind::kSupgPrecision;
+    precision.scorer = &present;
+    precision.target = 0.8;
+    precision.budget = 120;
+    specs.push_back(precision);
+    QuerySpec select;
+    select.kind = QueryKind::kThresholdSelect;
+    select.scorer = &present;
+    select.validation_budget = 80;
+    specs.push_back(select);
+    QuerySpec limit;
+    limit.kind = QueryKind::kLimit;
+    limit.scorer = &busy;
+    limit.want = 4;
+    specs.push_back(limit);
+
+    std::vector<uint64_t> ids;
+    for (const QuerySpec& spec : specs) {
+      Result<uint64_t> id = server.Submit(spec);
+      EXPECT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    std::vector<QueryResponse> responses;
+    for (uint64_t id : ids) responses.push_back(server.Wait(id));
+    server.Drain();
+    return responses;
+  };
+
+  std::vector<QueryResponse> serial = run(1);
+  std::vector<QueryResponse> parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const QueryResponse& a = serial[i];
+    const QueryResponse& b = parallel[i];
+    EXPECT_TRUE(a.status.ok());
+    EXPECT_TRUE(b.status.ok());
+    EXPECT_EQ(a.query_id, b.query_id);
+    EXPECT_EQ(a.epoch, b.epoch);
+    // Result payloads are bit-identical regardless of worker count.
+    EXPECT_EQ(a.aggregate.estimate, b.aggregate.estimate);
+    EXPECT_EQ(a.aggregate.labeler_invocations, b.aggregate.labeler_invocations);
+    EXPECT_EQ(a.supg.selected, b.supg.selected);
+    EXPECT_EQ(a.supg.threshold, b.supg.threshold);
+    EXPECT_EQ(a.select.selected, b.select.selected);
+    EXPECT_EQ(a.select.threshold, b.select.threshold);
+    EXPECT_EQ(a.limit.found, b.limit.found);
+    EXPECT_EQ(a.limit.satisfied, b.limit.satisfied);
+  }
+}
+
+TEST(ServerTest, DeterministicDrainAppliesDeferredCracksInQueryIdOrder) {
+  data::Dataset ds = TestDataset(1200);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+  opts.deterministic = true;
+  TastiServer server(&ds, &adapter, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  QuerySpec spec;
+  spec.kind = QueryKind::kAggregate;
+  spec.scorer = &cars;
+  spec.error_target = 0.15;
+  QueryResponse r1 = server.Execute(spec);
+  QueryResponse r2 = server.Execute(spec);
+  EXPECT_TRUE(r1.status.ok());
+  EXPECT_TRUE(r2.status.ok());
+  // No cracks published yet: both queries ran against the build epoch.
+  EXPECT_EQ(r1.epoch, 1u);
+  EXPECT_EQ(r2.epoch, 1u);
+  EXPECT_EQ(server.current_epoch(), 1u);
+
+  server.Drain();
+  // Drain applied the deferred cracks and published the next epoch.
+  EXPECT_EQ(server.current_epoch(), 2u);
+  EXPECT_EQ(server.live_snapshots(), 1u);
+}
+
+TEST(ServerTest, AdmissionRejectsWhenQueueFullAndNonBlocking) {
+  data::Dataset ds = TestDataset(1200);
+  labeler::SimulatedLabeler truth(&ds);
+  labeler::FallibleAdapter adapter(&truth);
+  LatencyInjectingOracle slow(&adapter, /*latency_ms=*/1.0);
+  ServerOptions opts = FastServerOptions();
+  opts.index.num_representatives = 80;
+  opts.index.num_training_records = 80;
+  opts.max_pending = 1;
+  opts.block_on_admission = false;
+  opts.num_workers = 1;
+  TastiServer server(&ds, &slow, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  QuerySpec spec;
+  spec.kind = QueryKind::kAggregate;
+  spec.scorer = &cars;
+  spec.error_target = 0.15;
+  Result<uint64_t> first = server.Submit(spec);
+  ASSERT_TRUE(first.ok());
+  // The slot is taken (queued or executing): an immediate second submit
+  // must be rejected, not queued.
+  Result<uint64_t> second = server.Submit(spec);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  QueryResponse response = server.Wait(*first);
+  EXPECT_TRUE(response.status.ok());
+  server.Drain();
+  // Capacity freed: submits succeed again.
+  EXPECT_TRUE(server.Submit(spec).ok());
+  server.Drain();
+}
+
+TEST(ServerTest, PerClientSlotsDoNotStarveOrDeadlock) {
+  data::Dataset ds = TestDataset(1200);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+  opts.max_client_concurrency = 1;
+  opts.num_workers = 3;
+  TastiServer server(&ds, &adapter, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kAggregate;
+    spec.scorer = &cars;
+    spec.error_target = 0.15;
+    spec.client_id = i % 2;  // two clients, one slot each, three workers
+    Result<uint64_t> id = server.Submit(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (uint64_t id : ids) {
+    EXPECT_TRUE(server.Wait(id).status.ok());
+  }
+  server.Drain();
+  EXPECT_EQ(server.stats().queries_completed, 8u);
+  EXPECT_TRUE(server.CheckAttributionInvariant().ok());
+}
+
+TEST(ServerTest, SubmitBeforeStartAndAfterShutdownFails) {
+  data::Dataset ds = TestDataset(600);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+  opts.index.num_representatives = 80;
+  opts.index.num_training_records = 80;
+  TastiServer server(&ds, &adapter, opts);
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  QuerySpec spec;
+  spec.kind = QueryKind::kAggregate;
+  spec.scorer = &cars;
+  Result<uint64_t> early = server.Submit(spec);
+  ASSERT_FALSE(early.ok());
+  EXPECT_EQ(early.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(server.Start().ok());
+  server.Shutdown();
+  Result<uint64_t> late = server.Submit(spec);
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace tasti::serve

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Gate kernel-benchmark regressions against a committed baseline.
+
+    python3 tools/bench_compare.py BASELINE.json CURRENT.json \
+        [--tolerance 0.15] [--absolute]
+
+Both files are bench_to_json output: a JSON array of
+{"kernel", "n", "d", "ns_per_op"} rows, where kernels come in
+<name>_scalar / <name>_blocked pairs.
+
+Default (relative) mode compares each pair's *speedup* (scalar ns_per_op /
+blocked ns_per_op) against the baseline's, failing when the current
+speedup falls more than --tolerance below it. Speedup is a ratio of two
+timings on the same machine, so the committed baseline transfers across
+hosts — absolute ns_per_op does not, which is why the CI bench-regression
+job uses this mode.
+
+--absolute additionally fails when any kernel's own ns_per_op is more than
+--tolerance slower than the baseline. Use it when baseline and current
+were measured on the same machine (e.g. bisecting a regression locally).
+
+Exits nonzero with one line per regression.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    rows = json.loads(pathlib.Path(path).read_text())
+    out = {}
+    for row in rows:
+        out[row["kernel"]] = float(row["ns_per_op"])
+        if row["ns_per_op"] <= 0:
+            sys.exit(f"bench_compare: {path}: {row['kernel']} has "
+                     f"non-positive ns_per_op")
+    return out
+
+
+def speedups(rows):
+    pairs = {}
+    for kernel, ns in rows.items():
+        if kernel.endswith("_scalar"):
+            blocked = kernel[: -len("_scalar")] + "_blocked"
+            if blocked in rows:
+                pairs[kernel[: -len("_scalar")]] = ns / rows[blocked]
+    return pairs
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="also gate per-kernel ns_per_op (same machine "
+                             "only)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    errors = []
+
+    missing = sorted(base.keys() - cur.keys())
+    for kernel in missing:
+        errors.append(f"kernel {kernel} is in the baseline but missing from "
+                      f"{args.current}")
+
+    base_speedups = speedups(base)
+    cur_speedups = speedups(cur)
+    for name, base_x in sorted(base_speedups.items()):
+        cur_x = cur_speedups.get(name)
+        if cur_x is None:
+            continue  # already reported via missing kernels
+        floor = base_x * (1.0 - args.tolerance)
+        status = "ok" if cur_x >= floor else "REGRESSED"
+        print(f"{name:<12} speedup {cur_x:6.2f}x vs baseline {base_x:6.2f}x "
+              f"(floor {floor:.2f}x) {status}")
+        if cur_x < floor:
+            errors.append(f"{name}: blocked-vs-scalar speedup {cur_x:.2f}x "
+                          f"fell below {floor:.2f}x "
+                          f"(baseline {base_x:.2f}x - {args.tolerance:.0%})")
+
+    if args.absolute:
+        for kernel, base_ns in sorted(base.items()):
+            if kernel not in cur:
+                continue
+            ceiling = base_ns * (1.0 + args.tolerance)
+            if cur[kernel] > ceiling:
+                errors.append(f"{kernel}: {cur[kernel]:.0f} ns/op exceeds "
+                              f"{ceiling:.0f} ns/op "
+                              f"(baseline {base_ns:.0f} + "
+                              f"{args.tolerance:.0%})")
+
+    for error in errors:
+        print(f"bench_compare: {error}", file=sys.stderr)
+    sys.exit(1 if errors else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,63 +1,143 @@
 #!/usr/bin/env bash
 # Tier-1 verify plus sanitizer passes over the concurrency-sensitive tests.
 #
-#   tools/check.sh            # full check
-#   tools/check.sh --fast     # tier-1 only (skip the sanitizer builds)
+#   tools/check.sh                    # full check (all stages)
+#   tools/check.sh --fast             # tier-1 only (skip the sanitizer builds)
+#   tools/check.sh --stage tsan       # one stage; repeatable for several
+#   tools/check.sh --incremental      # reuse configured build dirs as-is
 #
-# The tier-1 stage runs the full ctest suite, which includes the
-# trace_check / trace_check_workload fixtures: they exercise the tracing
-# pipeline end-to-end (quickstart + tasti_cli workload with --trace, then
-# validate_trace on the emitted Chrome JSON).
+# Stages (each maps to one CI matrix entry in .github/workflows/ci.yml):
 #
-# The sanitize stage configures the `sanitize` preset (ASan + UBSan via
-# the ASAN CMake option) and runs the tests closest to the raw-pointer
-# kernel code plus the observability tests: kernels_test, cluster_test,
-# nn_test, util_test, obs_test.
+#   tier1    release build + full ctest suite, including the trace_check /
+#            trace_check_workload fixtures (tracing pipeline end-to-end)
+#            and serve_workload_check (concurrent server vs serialized
+#            baseline: throughput, dedup savings, attribution invariant).
+#   sanitize ASan + UBSan build of the tests closest to the raw-pointer
+#            kernel code plus the observability tests.
+#   chaos    ASan + UBSan build + the `chaos` ctest label: degraded
+#            builds, bit-identity under transient faults, breaker/retry
+#            behavior, integrity-footer corruption checks.
+#   tsan     ThreadSanitizer build of the tests whose value is concurrent
+#            correctness: the serving layer (epoch snapshots, cross-query
+#            oracle batching), obs counters/spans, the thread pool, and
+#            the retry/breaker state machine.
 #
-# The tsan stage builds with ThreadSanitizer and runs the tests whose
-# value is concurrent correctness: the obs counters/spans, the thread
-# pool they instrument, and the retry/breaker state machine.
+# --incremental skips the configure step for any build directory that
+# already has a CMakeCache.txt, so repeated local runs (and CI runs with a
+# restored build cache) only pay for compilation of what changed.
 #
-# The chaos stage builds the `chaos` preset (ASan + UBSan) and runs the
-# ctest label `chaos` — the fault-injection suite: degraded builds,
-# bit-identity under transient faults, breaker/retry behavior, and
-# integrity-footer corruption checks, all with memory checking on.
+# tools/check_targets.py (run in the tier1 stage and the CI lint job)
+# asserts every tests/*_test.cc is registered in tests/CMakeLists.txt and
+# every test binary this script names actually exists, so new tests cannot
+# be silently forgotten from the suite or from the sanitizer stages.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: release build + full test suite (incl. trace_check) =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$(nproc)"
-(cd build && ctest --output-on-failure -j "$(nproc)")
+usage() {
+  sed -n '2,32p' "$0" | sed 's/^# \{0,1\}//'
+}
 
-if [[ "${1:-}" == "--fast" ]]; then
-  echo "== skipping sanitizer stages (--fast) =="
-  exit 0
+STAGES=()
+INCREMENTAL=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) STAGES=(tier1); shift ;;
+    --stage) [[ $# -ge 2 ]] || { echo "error: --stage needs an argument" >&2; exit 2; }
+             STAGES+=("$2"); shift 2 ;;
+    --stage=*) STAGES+=("${1#--stage=}"); shift ;;
+    --incremental) INCREMENTAL=1; shift ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "error: unknown argument '$1' (try --help)" >&2; exit 2 ;;
+  esac
+done
+if [[ ${#STAGES[@]} -eq 0 ]]; then
+  STAGES=(tier1 sanitize chaos tsan)
 fi
-
-echo "== sanitize: ASan/UBSan build of kernel + cluster + obs tests =="
-cmake --preset sanitize >/dev/null
-cmake --build build-sanitize -j "$(nproc)" \
-  --target kernels_test cluster_test nn_test util_test obs_test
-for t in kernels_test cluster_test nn_test util_test obs_test; do
-  echo "-- build-sanitize/tests/$t"
-  "build-sanitize/tests/$t"
+for stage in "${STAGES[@]}"; do
+  case "$stage" in
+    tier1|sanitize|chaos|tsan) ;;
+    *) echo "error: unknown stage '$stage' (tier1|sanitize|chaos|tsan)" >&2
+       exit 2 ;;
+  esac
 done
 
-echo "== chaos: ASan/UBSan build + fault-injection suite (ctest -L chaos) =="
-cmake --preset chaos >/dev/null
-cmake --build build-chaos -j "$(nproc)" --target faults_test
-(cd build-chaos && ctest -L chaos --output-on-failure -j "$(nproc)")
+# configure <build-dir> <cmake-args...>: configure unless --incremental
+# finds the directory already configured *and* current — a cache older
+# than any CMakeLists.txt would leave new targets unbuildable ("No rule
+# to make target"), so staleness forces a (cheap, warm-cache) reconfigure.
+configure() {
+  local dir="$1"; shift
+  if [[ "$INCREMENTAL" == 1 && -f "$dir/CMakeCache.txt" ]] && \
+     [[ -z "$(find . \( -path './build*' -o -path './.git' \) -prune -o \
+              \( -name 'CMakeLists.txt' -o -name 'CMakePresets.json' \) \
+              -newer "$dir/CMakeCache.txt" -print -quit)" ]]; then
+    echo "-- incremental: reusing configured $dir"
+  else
+    cmake "$@" >/dev/null
+  fi
+}
 
-echo "== tsan: ThreadSanitizer build of concurrency tests =="
-cmake --preset tsan >/dev/null
-cmake --build build-tsan -j "$(nproc)" --target obs_test util_test faults_test
-for t in obs_test util_test; do
-  echo "-- build-tsan/tests/$t"
-  "build-tsan/tests/$t"
+# require_sanitizer <flag> <stage>: fail fast with a clear message when the
+# compiler cannot link -fsanitize=<flag>, instead of a wall of cryptic
+# errors halfway through the build.
+require_sanitizer() {
+  local flag="$1" stage="$2" cxx="${CXX:-c++}"
+  if ! echo 'int main(){return 0;}' \
+      | "$cxx" -x c++ "-fsanitize=$flag" -o /dev/null - >/dev/null 2>&1; then
+    echo "error: $cxx cannot build with -fsanitize=$flag, required by the" \
+         "'$stage' stage." >&2
+    echo "hint: use a gcc/clang with $flag sanitizer support (set CXX), or" \
+         "run only the stages this compiler supports: tools/check.sh" \
+         "--stage tier1" >&2
+    exit 1
+  fi
+}
+
+stage_tier1() {
+  echo "== tier-1: release build + full test suite (incl. trace_check) =="
+  python3 tools/check_targets.py
+  configure build -B build -S .
+  cmake --build build -j "$(nproc)"
+  (cd build && ctest --output-on-failure -j "$(nproc)")
+}
+
+stage_sanitize() {
+  echo "== sanitize: ASan/UBSan build of kernel + cluster + obs tests =="
+  require_sanitizer address sanitize
+  configure build-sanitize --preset sanitize
+  cmake --build build-sanitize -j "$(nproc)" \
+    --target kernels_test cluster_test nn_test util_test obs_test
+  for t in kernels_test cluster_test nn_test util_test obs_test; do
+    echo "-- build-sanitize/tests/$t"
+    "build-sanitize/tests/$t"
+  done
+}
+
+stage_chaos() {
+  echo "== chaos: ASan/UBSan build + fault-injection suite (ctest -L chaos) =="
+  require_sanitizer address chaos
+  configure build-chaos --preset chaos
+  cmake --build build-chaos -j "$(nproc)" --target faults_test
+  (cd build-chaos && ctest -L chaos --output-on-failure -j "$(nproc)")
+}
+
+stage_tsan() {
+  echo "== tsan: ThreadSanitizer build of concurrency tests =="
+  require_sanitizer thread tsan
+  configure build-tsan --preset tsan
+  cmake --build build-tsan -j "$(nproc)" \
+    --target obs_test util_test serve_test faults_test
+  for t in obs_test util_test serve_test; do
+    echo "-- build-tsan/tests/$t"
+    "build-tsan/tests/$t"
+  done
+  echo "-- build-tsan/tests/faults_test (retry/breaker state machine)"
+  "build-tsan/tests/faults_test" \
+    --gtest_filter='ResilientLabelerTest.*:FaultInjectorTest.*'
+}
+
+for stage in "${STAGES[@]}"; do
+  "stage_$stage"
 done
-echo "-- build-tsan/tests/faults_test (retry/breaker state machine)"
-"build-tsan/tests/faults_test" \
-  --gtest_filter='ResilientLabelerTest.*:FaultInjectorTest.*'
-echo "== all checks passed =="
+echo "== all requested stages passed: ${STAGES[*]} =="

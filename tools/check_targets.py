@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Consistency check between tests on disk, the CMake test registry, and
+tools/check.sh, so a new test binary cannot be silently forgotten.
+
+Asserts, from the repository root:
+  1. every tests/*_test.cc has a tasti_add_test(<name>) registration in
+     tests/CMakeLists.txt, and every registration has a source file;
+  2. every <name>_test binary that tools/check.sh builds or runs is a
+     registered test (no stale names after a rename/delete);
+  3. every test registered with a `serve` or `chaos` label is exercised by
+     the matching sanitizer stage in tools/check.sh (serve -> tsan targets,
+     chaos -> `ctest -L chaos`).
+
+Run directly (tools/check.sh tier1 and the CI lint job both do):
+    python3 tools/check_targets.py
+Exits nonzero with one line per violation.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def fail(errors):
+    for error in errors:
+        print(f"check_targets: {error}", file=sys.stderr)
+    sys.exit(1 if errors else 0)
+
+
+def main():
+    errors = []
+
+    sources = {p.stem for p in (ROOT / "tests").glob("*_test.cc")}
+    cmake = (ROOT / "tests" / "CMakeLists.txt").read_text()
+    registrations = {}  # name -> labels
+    for match in re.finditer(r"tasti_add_test\((\w+)([^)]*)\)", cmake):
+        name, rest = match.group(1), match.group(2)
+        labels_match = re.search(r"LABELS\s+([\w\s]+)", rest)
+        registrations[name] = labels_match.group(1).split() if labels_match else []
+
+    for name in sorted(sources - registrations.keys()):
+        errors.append(
+            f"tests/{name}.cc exists but has no tasti_add_test({name}) in "
+            "tests/CMakeLists.txt"
+        )
+    for name in sorted(registrations.keys() - sources):
+        errors.append(
+            f"tasti_add_test({name}) in tests/CMakeLists.txt has no "
+            f"tests/{name}.cc"
+        )
+
+    check_sh = (ROOT / "tools" / "check.sh").read_text()
+    for name in sorted(set(re.findall(r"\b([a-z][a-z0-9_]*_test)\b", check_sh))):
+        if name not in registrations:
+            errors.append(
+                f"tools/check.sh references {name}, which is not registered "
+                "in tests/CMakeLists.txt"
+            )
+
+    for name, labels in sorted(registrations.items()):
+        if "serve" in labels and not re.search(rf"\b{name}\b", check_sh):
+            errors.append(
+                f"{name} is labeled `serve` (concurrency-sensitive) but "
+                "tools/check.sh never builds or runs it under TSan"
+            )
+    if "chaos" in {l for labels in registrations.values() for l in labels}:
+        if "-L chaos" not in check_sh:
+            errors.append(
+                "tests carry the `chaos` label but tools/check.sh has no "
+                "`ctest -L chaos` stage"
+            )
+
+    fail(errors)
+
+
+if __name__ == "__main__":
+    main()

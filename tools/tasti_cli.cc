@@ -24,12 +24,16 @@
 // `workload` the document also carries the session's per-query cost
 // ledger). Flags may be written `--key value` or `--key=value`.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/session.h"
 #include "core/index.h"
@@ -49,7 +53,9 @@
 #include "queries/aggregation.h"
 #include "queries/limit.h"
 #include "queries/supg.h"
+#include "serve/server.h"
 #include "util/stats.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -76,7 +82,8 @@ struct Args {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: tasti_cli <build|info|aggregate|select|limit|workload> [flags]\n"
+      "usage: tasti_cli "
+      "<build|info|aggregate|select|limit|workload|serve-workload> [flags]\n"
       "  common: --dataset <name> --records N --seed S --index PATH\n"
       "          --trace=PATH (Chrome trace JSON) --metrics=PATH (snapshot)\n"
       "  build:  --train N1 --reps N2 --k K --out PATH [--pretrained]\n"
@@ -85,6 +92,14 @@ int Usage() {
       "  aggregate: --error E   select: --recall R --budget B   "
       "limit: --want W\n"
       "  workload: --train N1 --reps N2 --error E --budget B --want W\n"
+      "  serve-workload: --clients K --queries-per-client Q "
+      "--oracle-latency-ms L\n"
+      "          [--serial-dispatch] [--check-speedup X] (replays a mixed "
+      "workload\n"
+      "          serialized vs concurrently served; reports throughput and "
+      "oracle\n"
+      "          savings; nonzero exit if the attribution invariant or "
+      "checks fail)\n"
       "  chaos:  --faults SPEC (build/workload; e.g. "
       "transient=0.1,timeout=0.05,throttle=100:8,perm-rate=0.002,seed=9)\n"
       "          --retry-attempts N --breaker-threshold N\n"
@@ -476,6 +491,244 @@ int RunWorkload(const Args& args) {
                             static_cast<long long>(stack.oracle->invocations()));
 }
 
+// Replays one mixed workload twice — serialized on a TastiSession, then
+// concurrently on a TastiServer with K client threads — against a
+// latency-injected oracle (modeling a remote model server), and reports
+// throughput, oracle-call savings from the cross-query scheduler, and the
+// server-wide attribution invariant:
+//
+//   tasti_cli serve-workload --dataset night-street --records 6000 \
+//       --clients 8 --oracle-latency-ms 2 --check-speedup 1.5
+int RunServeWorkload(const Args& args) {
+  const data::Dataset dataset = LoadDataset(args);
+  const size_t clients = static_cast<size_t>(args.GetInt("clients", 8));
+  const size_t per_client =
+      static_cast<size_t>(args.GetInt("queries-per-client", 1));
+  const double latency_ms = args.GetDouble("oracle-latency-ms", 2.0);
+  const double check_speedup = args.GetDouble("check-speedup", 0.0);
+  const double error = args.GetDouble("error", 0.1);
+  const size_t budget = static_cast<size_t>(args.GetInt("budget", 200));
+  const size_t want = static_cast<size_t>(args.GetInt("want", 5));
+  const uint64_t query_seed =
+      static_cast<uint64_t>(args.GetInt("query-seed", 7));
+
+  core::IndexOptions index_opts;
+  index_opts.num_training_records =
+      static_cast<size_t>(args.GetInt("train", 300));
+  index_opts.num_representatives =
+      static_cast<size_t>(args.GetInt("reps", 500));
+  index_opts.k = static_cast<size_t>(args.GetInt("k", 5));
+  index_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  // The workload mix (same scorers and order for both runs).
+  const auto aggregation = MakeScorer(args, dataset);
+  std::unique_ptr<core::Scorer> selection;
+  std::unique_ptr<core::Scorer> limit_predicate;
+  if (dataset.modality == data::Modality::kVideo) {
+    const std::string cls_name = args.Get("class", "car");
+    const data::ObjectClass cls = cls_name == "bus" ? data::ObjectClass::kBus
+                                                    : data::ObjectClass::kCar;
+    selection = std::make_unique<core::AtLeastCountScorer>(cls, 2);
+    limit_predicate = std::make_unique<core::AtLeastCountScorer>(cls, 4);
+  } else {
+    selection = MakeScorer(args, dataset);
+    limit_predicate = MakeScorer(args, dataset);
+  }
+  std::vector<serve::QuerySpec> specs;
+  for (size_t c = 0; c < clients; ++c) {
+    for (size_t q = 0; q < per_client; ++q) {
+      serve::QuerySpec spec;
+      spec.client_id = c;
+      switch ((c * per_client + q) % 5) {
+        case 0:
+          spec.kind = serve::QueryKind::kAggregate;
+          spec.scorer = aggregation.get();
+          spec.error_target = error;
+          break;
+        case 1:
+          spec.kind = serve::QueryKind::kSupgRecall;
+          spec.scorer = selection.get();
+          spec.target = 0.9;
+          spec.budget = budget;
+          break;
+        case 2:
+          spec.kind = serve::QueryKind::kSupgPrecision;
+          spec.scorer = selection.get();
+          spec.target = 0.9;
+          spec.budget = budget;
+          break;
+        case 3:
+          spec.kind = serve::QueryKind::kThresholdSelect;
+          spec.scorer = selection.get();
+          spec.validation_budget = budget;
+          break;
+        default:
+          spec.kind = serve::QueryKind::kLimit;
+          spec.scorer = limit_predicate.get();
+          spec.want = want;
+          break;
+      }
+      specs.push_back(spec);
+    }
+  }
+  const size_t total_queries = specs.size();
+
+  // --- Serialized baseline: one query at a time on a TastiSession ---
+  labeler::SimulatedLabeler serial_sim(&dataset);
+  labeler::FallibleAdapter serial_adapter(&serial_sim);
+  serve::LatencyInjectingOracle serial_oracle(&serial_adapter, latency_ms);
+  api::SessionOptions session_opts;
+  session_opts.index = index_opts;
+  session_opts.seed = query_seed;
+  api::TastiSession session(&dataset, &serial_oracle, session_opts);
+  session.index();  // build outside the timed window
+  WallTimer serial_timer;
+  for (const serve::QuerySpec& spec : specs) {
+    switch (spec.kind) {
+      case serve::QueryKind::kAggregate:
+        session.Aggregate(*spec.scorer, spec.error_target);
+        break;
+      case serve::QueryKind::kAggregateWhere:
+        session.AggregateWhere(*spec.scorer, *spec.statistic,
+                               spec.error_target);
+        break;
+      case serve::QueryKind::kSupgRecall:
+        session.SelectWithRecall(*spec.scorer, spec.target, spec.budget);
+        break;
+      case serve::QueryKind::kSupgPrecision:
+        session.SelectWithPrecision(*spec.scorer, spec.target, spec.budget);
+        break;
+      case serve::QueryKind::kThresholdSelect:
+        session.Select(*spec.scorer, spec.validation_budget);
+        break;
+      case serve::QueryKind::kLimit:
+        session.Limit(*spec.scorer, spec.want);
+        break;
+    }
+  }
+  const double serial_seconds = serial_timer.Seconds();
+  const size_t serial_query_calls =
+      session.total_labeler_invocations() - session.index_invocations();
+
+  // --- Served: K client threads against one TastiServer ---
+  labeler::SimulatedLabeler served_sim(&dataset);
+  labeler::FallibleAdapter served_adapter(&served_sim);
+  serve::LatencyInjectingOracle served_oracle(&served_adapter, latency_ms);
+  serve::ServerOptions server_opts;
+  server_opts.index = index_opts;
+  server_opts.seed = query_seed;
+  server_opts.num_workers = clients;
+  server_opts.max_pending = std::max<size_t>(total_queries, 1);
+  // The latency-injected simulated oracle is thread-safe and counts one
+  // invocation per call, so batches may dispatch in parallel — that
+  // overlap of oracle waits is where served throughput comes from.
+  server_opts.scheduler.parallel_dispatch =
+      args.flags.count("serial-dispatch") == 0;
+  server_opts.scheduler.dispatch_threads = std::max<size_t>(clients, 8);
+  server_opts.scheduler.batch_window_ms = 0.5;
+  serve::TastiServer server(&dataset, &served_oracle, server_opts);
+  {
+    const Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  WallTimer served_timer;
+  std::vector<std::thread> client_threads;
+  std::atomic<size_t> served_failures{0};
+  for (size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (size_t q = 0; q < per_client; ++q) {
+        const serve::QueryResponse response =
+            server.Execute(specs[c * per_client + q]);
+        if (!response.status.ok()) {
+          served_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : client_threads) thread.join();
+  server.Drain();
+  const double served_seconds = served_timer.Seconds();
+  const serve::ServerStats server_stats = server.stats();
+  const serve::SchedulerStats sched = server.scheduler_stats();
+
+  // --- Report ---
+  const double serial_qps =
+      serial_seconds > 0 ? total_queries / serial_seconds : 0.0;
+  const double served_qps =
+      served_seconds > 0 ? total_queries / served_seconds : 0.0;
+  const double speedup =
+      served_seconds > 0 ? serial_seconds / served_seconds : 0.0;
+  std::printf("workload: %zu queries (%zu clients x %zu), oracle latency "
+              "%.1f ms\n",
+              total_queries, clients, per_client, latency_ms);
+  std::printf("serialized: %.2fs (%.2f queries/s), %zu oracle calls\n",
+              serial_seconds, serial_qps, serial_query_calls);
+  std::printf("served:     %.2fs (%.2f queries/s), %zu oracle calls -- "
+              "%.2fx throughput\n",
+              served_seconds, served_qps, server_stats.query_invocations,
+              speedup);
+  std::printf("scheduler: %zu logical requests -> %zu physical calls "
+              "(%zu saved: %zu cache hits, %zu dedup hits) in %zu batches "
+              "(max %zu)\n",
+              sched.logical_requests, sched.physical_calls,
+              sched.saved_calls(), sched.cache_hits, sched.dedup_hits,
+              sched.batches, sched.max_batch_size);
+  std::printf("epochs: %llu published, %zu live snapshots\n",
+              static_cast<unsigned long long>(server_stats.epochs_published),
+              server.live_snapshots());
+  if (served_failures.load() > 0) {
+    std::fprintf(stderr, "%zu served queries failed\n",
+                 served_failures.load());
+    return 1;
+  }
+
+  // The serving-layer attribution invariant: every oracle invocation is
+  // accounted to the index build or exactly one query.
+  const Status invariant = server.CheckAttributionInvariant();
+  if (!invariant.ok()) {
+    std::fprintf(stderr, "%s\n", invariant.ToString().c_str());
+    return 1;
+  }
+  if (server.query_log().total_invocations() != served_oracle.invocations()) {
+    std::fprintf(stderr, "ledger mismatch: %zu vs oracle %zu\n",
+                 server.query_log().total_invocations(),
+                 served_oracle.invocations());
+    return 1;
+  }
+  std::printf("attribution invariant holds: index %zu + queries %zu == "
+              "oracle %zu\n",
+              server_stats.index_invocations, server_stats.query_invocations,
+              served_oracle.invocations());
+
+  if (check_speedup > 0.0) {
+    if (speedup < check_speedup) {
+      std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",
+                   speedup, check_speedup);
+      return 1;
+    }
+    if (sched.saved_calls() == 0) {
+      std::fprintf(stderr, "FAIL: scheduler saved no oracle calls\n");
+      return 1;
+    }
+    if (server_stats.query_invocations >= serial_query_calls) {
+      std::fprintf(stderr,
+                   "FAIL: served used %zu oracle calls, serialized %zu\n",
+                   server_stats.query_invocations, serial_query_calls);
+      return 1;
+    }
+    std::printf("checks passed: speedup >= %.2fx, %zu oracle calls saved "
+                "vs serialized\n",
+                check_speedup,
+                serial_query_calls - server_stats.query_invocations);
+  }
+  return WriteObservability(args, &server.query_log(),
+                            static_cast<long long>(served_oracle.invocations()));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -508,6 +761,8 @@ int main(int argc, char** argv) {
     rc = RunLimit(args);
   } else if (args.command == "workload") {
     return RunWorkload(args);  // writes its own ledger-bearing outputs
+  } else if (args.command == "serve-workload") {
+    return RunServeWorkload(args);
   } else {
     return Usage();
   }
