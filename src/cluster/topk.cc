@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "nn/kernels.h"
 #include "util/status.h"
@@ -102,14 +103,17 @@ TopKDistances ComputeTopK(const nn::Matrix& points, const nn::Matrix& reps,
 
 void UpdateTopKWithNewRep(const nn::Matrix& points, const nn::Matrix& reps,
                           size_t rep_row, uint32_t new_rep_id,
-                          TopKDistances* topk) {
+                          TopKDistances* topk,
+                          std::vector<uint32_t>* dirty_rows) {
   TASTI_CHECK(topk != nullptr, "UpdateTopKWithNewRep requires a topk");
   TASTI_CHECK(points.rows() == topk->num_records, "topk record count mismatch");
   TASTI_CHECK(rep_row < reps.rows(), "rep_row out of range");
   const size_t k = topk->k;
+  std::mutex dirty_mu;
   ParallelForDynamic(0, points.rows(), [&](size_t lo, size_t hi,
                                            size_t /*worker*/) {
     std::vector<float> d2_buf(hi - lo);
+    std::vector<uint32_t> chunk_dirty;
     nn::SquaredDistanceOneToMany(points, lo, hi, reps, rep_row, d2_buf.data());
     for (size_t i = lo; i < hi; ++i) {
       float* dist = topk->distances.data() + i * k;
@@ -133,6 +137,14 @@ void UpdateTopKWithNewRep(const nn::Matrix& points, const nn::Matrix& reps,
       }
       dist[pos] = d;
       ids[pos] = new_rep_id;
+      if (dirty_rows != nullptr) {
+        chunk_dirty.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (dirty_rows != nullptr && !chunk_dirty.empty()) {
+      std::lock_guard<std::mutex> lock(dirty_mu);
+      dirty_rows->insert(dirty_rows->end(), chunk_dirty.begin(),
+                         chunk_dirty.end());
     }
   }, 512);
 }

@@ -34,9 +34,21 @@ TopKDistances ComputeTopK(const nn::Matrix& points, const nn::Matrix& reps,
 /// Incremental cracking update: representative `new_rep_id` with embedding
 /// row `rep_row` of `reps` has been appended; every record's top-k list is
 /// updated in place (one distance evaluation per record).
+///
+/// When `dirty_rows` is non-null, the ids of records whose top-k list
+/// actually changed are appended to it (unsorted, but duplicate-free for a
+/// single call). This is the ground truth the incremental propagation
+/// engine keys on: a record's proxy score depends only on its own top-k
+/// row, so exactly these rows need recomputing after the crack.
 void UpdateTopKWithNewRep(const nn::Matrix& points, const nn::Matrix& reps,
                           size_t rep_row, uint32_t new_rep_id,
-                          TopKDistances* topk);
+                          TopKDistances* topk,
+                          std::vector<uint32_t>* dirty_rows);
+inline void UpdateTopKWithNewRep(const nn::Matrix& points,
+                                 const nn::Matrix& reps, size_t rep_row,
+                                 uint32_t new_rep_id, TopKDistances* topk) {
+  UpdateTopKWithNewRep(points, reps, rep_row, new_rep_id, topk, nullptr);
+}
 
 }  // namespace tasti::cluster
 

@@ -170,19 +170,6 @@ TastiIndex TastiIndex::Build(const data::Dataset& dataset,
   return index;
 }
 
-namespace {
-// Appends the embedding rows of `records` to `reps` in one allocation.
-nn::Matrix AppendRows(const nn::Matrix& reps, const nn::Matrix& embeddings,
-                      const std::vector<size_t>& records) {
-  nn::Matrix grown(reps.rows() + records.size(), reps.cols());
-  std::copy(reps.data(), reps.data() + reps.size(), grown.data());
-  for (size_t i = 0; i < records.size(); ++i) {
-    grown.SetRow(reps.rows() + i, embeddings, records[i]);
-  }
-  return grown;
-}
-}  // namespace
-
 void TastiIndex::AddRepresentative(size_t record_id, data::LabelerOutput label) {
   TASTI_CHECK(record_id < num_records(), "record_id out of range");
   if (is_rep_[record_id]) return;
@@ -192,9 +179,12 @@ void TastiIndex::AddRepresentative(size_t record_id, data::LabelerOutput label) 
   rep_record_ids_.push_back(record_id);
   rep_labels_.push_back(std::move(label));
   rep_label_valid_.push_back(1);
-  rep_embeddings_ = AppendRows(rep_embeddings_, embeddings_, {record_id});
+  // In-place append with geometric capacity growth: P single adds copy
+  // O(P) rows amortized, not P full rep-matrix copies.
+  rep_embeddings_.AppendRowsFrom(embeddings_, {record_id});
   cluster::UpdateTopKWithNewRep(embeddings_, rep_embeddings_,
-                                rep_embeddings_.rows() - 1, new_rep_id, &topk_);
+                                rep_embeddings_.rows() - 1, new_rep_id, &topk_,
+                                delta_.full ? nullptr : &delta_.dirty_rows);
 }
 
 size_t TastiIndex::CrackFrom(const labeler::CachingLabeler& cache) {
@@ -232,17 +222,19 @@ size_t TastiIndex::CrackFromLabels(const std::vector<size_t>& records,
     rep_labels_.push_back(labels[addition_pos[i]]);
     rep_label_valid_.push_back(1);
   }
-  rep_embeddings_ = AppendRows(rep_embeddings_, embeddings_, additions);
+  rep_embeddings_.AppendRowsFrom(embeddings_, additions);
 
   if (additions.size() * 4 > old_count) {
     // Large cracking batch: a fresh top-k pass is cheaper than per-rep
-    // relaxation.
+    // relaxation. Row-level change tracking is lost, so the epoch delta
+    // degrades to full.
     topk_ = cluster::ComputeTopK(embeddings_, rep_embeddings_, topk_.k);
+    delta_.full = true;
   } else {
     for (size_t i = 0; i < additions.size(); ++i) {
       cluster::UpdateTopKWithNewRep(embeddings_, rep_embeddings_, old_count + i,
-                                    static_cast<uint32_t>(old_count + i),
-                                    &topk_);
+                                    static_cast<uint32_t>(old_count + i), &topk_,
+                                    delta_.full ? nullptr : &delta_.dirty_rows);
     }
   }
   return additions.size();
@@ -258,14 +250,9 @@ size_t TastiIndex::AppendRecords(const nn::Matrix& new_features) {
   const nn::Matrix new_embeddings = embedder_->Embed(new_features);
   TASTI_CHECK(new_embeddings.cols() == embeddings_.cols(),
               "appended embedding width mismatch");
-  nn::Matrix grown(embeddings_.rows() + new_embeddings.rows(),
-                   embeddings_.cols());
-  std::copy(embeddings_.data(), embeddings_.data() + embeddings_.size(),
-            grown.data());
-  std::copy(new_embeddings.data(),
-            new_embeddings.data() + new_embeddings.size(),
-            grown.Row(first_new));
-  embeddings_ = std::move(grown);
+  std::vector<size_t> all_rows(new_embeddings.rows());
+  for (size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  embeddings_.AppendRowsFrom(new_embeddings, all_rows);
   is_rep_.resize(embeddings_.rows(), 0);
 
   // Min-k lists for the new rows only.
@@ -308,11 +295,57 @@ void TastiIndex::RepairRepresentative(size_t rep_pos, data::LabelerOutput label)
   rep_labels_[rep_pos] = std::move(label);
   rep_label_valid_[rep_pos] = 1;
   --num_failed_reps_;
+  // A repair leaves every min-k list unchanged but flips the rep from
+  // propagation-excluded to included, so exactly the records holding it in
+  // their stored neighbor list diverge from the previous epoch.
+  if (!delta_.full) {
+    delta_.dirty_reps.push_back(static_cast<uint32_t>(rep_pos));
+    const uint32_t target = static_cast<uint32_t>(rep_pos);
+    const size_t k = topk_.k;
+    for (size_t i = 0; i < topk_.num_records; ++i) {
+      const uint32_t* ids = topk_.rep_ids.data() + i * k;
+      for (size_t j = 0; j < k; ++j) {
+        if (ids[j] == target) {
+          delta_.dirty_rows.push_back(static_cast<uint32_t>(i));
+          break;
+        }
+      }
+    }
+  }
   if (obs::MetricsEnabled()) {
     static obs::Counter* const repairs =
         obs::MetricsRegistry::Global().counter("index.rep_repairs", "reps");
     repairs->Increment();
   }
+}
+
+IndexDelta TastiIndex::TakeDelta() {
+  IndexDelta out = std::move(delta_);
+  delta_ = IndexDelta{};
+  delta_.full = false;
+  delta_.base_num_representatives = num_representatives();
+  delta_.base_num_records = num_records();
+  if (!out.full) {
+    auto sort_unique = [](std::vector<uint32_t>* v) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    };
+    sort_unique(&out.dirty_rows);
+    sort_unique(&out.dirty_reps);
+    // Rows and reps created inside this window are covered by the growth
+    // baselines; keep only entries the parent epoch already had.
+    out.dirty_rows.erase(
+        std::partition_point(
+            out.dirty_rows.begin(), out.dirty_rows.end(),
+            [&](uint32_t r) { return r < out.base_num_records; }),
+        out.dirty_rows.end());
+    out.dirty_reps.erase(
+        std::partition_point(
+            out.dirty_reps.begin(), out.dirty_reps.end(),
+            [&](uint32_t r) { return r < out.base_num_representatives; }),
+        out.dirty_reps.end());
+  }
+  return out;
 }
 
 }  // namespace tasti::core

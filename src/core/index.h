@@ -47,6 +47,27 @@ struct IndexView {
   size_t num_failed_representatives = 0;
 };
 
+/// Mutations accumulated by a TastiIndex since the last TakeDelta() call —
+/// the raw material for incremental propagation across serving epochs. A
+/// consumer holding a PropagationState computed at the baseline needs to
+/// recompute exactly: the dirty_rows, the records appended beyond
+/// base_num_records, and the scorer outputs of representatives appended
+/// beyond base_num_representatives or listed in dirty_reps.
+struct IndexDelta {
+  /// True when the delta cannot be expressed row-wise: no baseline was
+  /// ever taken (fresh or deserialized index), or a large cracking batch
+  /// took the full top-k rebuild path. Consumers must recompute all rows.
+  bool full = true;
+  /// Representative / record counts at the baseline.
+  size_t base_num_representatives = 0;
+  size_t base_num_records = 0;
+  /// Records (< base_num_records) whose min-k list changed; sorted, unique.
+  std::vector<uint32_t> dirty_rows;
+  /// Representative positions (< base_num_representatives) whose label or
+  /// validity changed (repairs); sorted, unique.
+  std::vector<uint32_t> dirty_reps;
+};
+
 /// Wall-clock and budget breakdown of one Build call (Figure 2's bars).
 struct BuildStats {
   double mine_seconds = 0.0;      ///< pretrained embedding + FPF mining
@@ -186,6 +207,15 @@ class TastiIndex {
   /// True if the record is currently a representative.
   bool IsRepresentative(size_t record_id) const;
 
+  // --- Epoch deltas (incremental propagation) ---
+
+  /// Returns every change since the previous TakeDelta() (dirty min-k
+  /// rows, repaired representatives, growth baselines) and starts a fresh
+  /// accumulation window at the current state. The first call on an index
+  /// always reports a full delta. Serving publishes one snapshot per
+  /// TakeDelta, so each epoch's delta is relative to its parent epoch.
+  IndexDelta TakeDelta();
+
   // Internal constructor used by serialization; prefer Build.
   TastiIndex() = default;
 
@@ -203,6 +233,10 @@ class TastiIndex {
   cluster::TopKDistances topk_;
   BuildStats build_stats_;
   std::unique_ptr<embed::Embedder> embedder_;
+  /// Accumulates mutations since the last TakeDelta(); starts full so an
+  /// index without a baseline (fresh build, deserialized) never pretends
+  /// to have a row-wise delta.
+  IndexDelta delta_;
 };
 
 }  // namespace tasti::core

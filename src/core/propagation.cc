@@ -50,6 +50,110 @@ inline double InverseDistanceWeight(double base, double power) {
   if (power == 1.0) return 1.0 / base;
   return 1.0 / std::pow(base, power);
 }
+
+// ---- Per-row propagation kernels ----
+//
+// Both the full pass and PropagateIncremental evaluate records through
+// these helpers, in the same neighbor order, so a row recomputed
+// incrementally is bit-identical to the same row in a fresh full pass.
+
+// Inverse-distance-weighted mean of one record's k stored neighbors.
+inline double NumericRow(const float* dist, const uint32_t* ids, size_t k,
+                         const uint8_t* valid, const double* rep_scores,
+                         const PropagationOptions& options, double* weight_out,
+                         double* score_out) {
+  double weight_sum = 0.0;
+  double score_sum = 0.0;
+  for (size_t j = 0; j < k; ++j) {
+    if (valid != nullptr && valid[ids[j]] == 0) continue;
+    const double w =
+        InverseDistanceWeight(dist[j] + options.epsilon, options.weight_power);
+    weight_sum += w;
+    score_sum += w * rep_scores[ids[j]];
+  }
+  if (weight_out != nullptr) *weight_out = weight_sum;
+  if (score_out != nullptr) *score_out = score_sum;
+  return weight_sum > 0.0 ? score_sum / weight_sum : 0.0;
+}
+
+// Distance-weighted majority vote of one record's k stored neighbors.
+// `votes` is caller-provided scratch (cleared here). The winning value is
+// chosen by weight, ties by smallest value — an order-independent rule, so
+// the result does not depend on the scratch map's bucket history.
+inline double CategoricalRow(const float* dist, const uint32_t* ids, size_t k,
+                             const uint8_t* valid, const double* rep_scores,
+                             const PropagationOptions& options,
+                             std::unordered_map<double, double>* votes) {
+  votes->clear();
+  for (size_t j = 0; j < k; ++j) {
+    if (valid != nullptr && valid[ids[j]] == 0) continue;
+    const double w =
+        InverseDistanceWeight(dist[j] + options.epsilon, options.weight_power);
+    (*votes)[rep_scores[ids[j]]] += w;
+  }
+  double best_score = 0.0;
+  double best_weight = -1.0;
+  for (const auto& [value, weight] : *votes) {
+    if (weight > best_weight ||
+        (weight == best_weight && value < best_score)) {
+      best_weight = weight;
+      best_score = value;
+    }
+  }
+  return best_score;
+}
+
+// Best-scoring stored neighbor (ties by distance) plus a sub-unit
+// proximity bonus; see PropagateLimit for the ranking rationale.
+inline double LimitRow(const float* dist, const uint32_t* ids, size_t k,
+                       const uint8_t* valid, const double* rep_scores,
+                       bool use_best_of_k) {
+  double best_score = 0.0;
+  double best_dist = 0.0;
+  bool any = false;
+  const size_t neighbors = use_best_of_k ? k : 1;
+  for (size_t j = 0; j < neighbors; ++j) {
+    if (valid != nullptr && valid[ids[j]] == 0) continue;
+    const double score = rep_scores[ids[j]];
+    const double d = dist[j];
+    if (!any || score > best_score ||
+        (score == best_score && d < best_dist)) {
+      any = true;
+      best_score = score;
+      best_dist = d;
+    }
+  }
+  return any ? best_score + 0.999 / (1.0 + best_dist) : -1.0;
+}
+
+// Recomputes one record row into the state arrays. `k` is the effective
+// neighbor count for numeric/categorical; limit mode always reads the full
+// stored row (matching PropagateLimit).
+inline void RecomputeRow(const IndexView& view, size_t i, size_t k,
+                         const uint8_t* valid, PropagationState* state,
+                         std::unordered_map<double, double>* votes) {
+  const auto& topk = *view.topk;
+  const size_t stored_k = view.k;
+  const float* dist = topk.distances.data() + i * stored_k;
+  const uint32_t* ids = topk.rep_ids.data() + i * stored_k;
+  const double* rep_scores = state->rep_scores.data();
+  switch (state->mode) {
+    case PropagationMode::kNumeric:
+      state->scores[i] =
+          NumericRow(dist, ids, k, valid, rep_scores, state->options,
+                     &state->weight_sum[i], &state->score_sum[i]);
+      break;
+    case PropagationMode::kCategorical:
+      state->scores[i] = CategoricalRow(dist, ids, k, valid, rep_scores,
+                                        state->options, votes);
+      break;
+    case PropagationMode::kLimit:
+      state->scores[i] =
+          LimitRow(dist, ids, stored_k, valid, rep_scores,
+                   state->use_best_of_k);
+      break;
+  }
+}
 }  // namespace
 
 std::vector<double> PropagateNumeric(const IndexView& view,
@@ -68,16 +172,8 @@ std::vector<double> PropagateNumeric(const IndexView& view,
       // One pointer pair per record instead of a multiply per element read.
       const float* dist = topk.distances.data() + i * stored_k;
       const uint32_t* ids = topk.rep_ids.data() + i * stored_k;
-      double weight_sum = 0.0;
-      double score_sum = 0.0;
-      for (size_t j = 0; j < k; ++j) {
-        if (valid != nullptr && valid[ids[j]] == 0) continue;
-        const double w = InverseDistanceWeight(dist[j] + options.epsilon,
-                                               options.weight_power);
-        weight_sum += w;
-        score_sum += w * rep_scores[ids[j]];
-      }
-      out[i] = weight_sum > 0.0 ? score_sum / weight_sum : 0.0;
+      out[i] = NumericRow(dist, ids, k, valid, rep_scores.data(), options,
+                          nullptr, nullptr);
     }
   }, 2048);
   return out;
@@ -101,22 +197,8 @@ std::vector<double> PropagateCategorical(const IndexView& view,
     for (size_t i = lo; i < hi; ++i) {
       const float* dist = topk.distances.data() + i * stored_k;
       const uint32_t* ids = topk.rep_ids.data() + i * stored_k;
-      votes.clear();
-      for (size_t j = 0; j < k; ++j) {
-        if (valid != nullptr && valid[ids[j]] == 0) continue;
-        const double w = InverseDistanceWeight(dist[j] + options.epsilon,
-                                               options.weight_power);
-        votes[rep_scores[ids[j]]] += w;
-      }
-      double best_score = 0.0;
-      double best_weight = -1.0;
-      for (const auto& [value, weight] : votes) {
-        if (weight > best_weight) {
-          best_weight = weight;
-          best_score = value;
-        }
-      }
-      out[i] = best_score;
+      out[i] = CategoricalRow(dist, ids, k, valid, rep_scores.data(), options,
+                              &votes);
     }
   }, 2048);
   return out;
@@ -133,35 +215,107 @@ std::vector<double> PropagateLimit(const IndexView& view,
   const uint8_t* valid = ValidityMask(view);
   ParallelFor(0, n, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
-      // Rank by the best-scoring representative within the stored min-k
-      // list: a record sitting next to a high-scoring representative is a
-      // strong candidate even if its single nearest representative scores
-      // low (rare events hide at cluster boundaries). Ties within a score
-      // level break by distance to that representative (paper Section 6.3).
       const float* drow = topk.distances.data() + i * topk.k;
       const uint32_t* idrow = topk.rep_ids.data() + i * topk.k;
-      double best_score = 0.0;
-      double best_dist = 0.0;
-      bool any = false;
-      const size_t neighbors = use_best_of_k ? topk.k : 1;
-      for (size_t j = 0; j < neighbors; ++j) {
-        if (valid != nullptr && valid[idrow[j]] == 0) continue;
-        const double score = rep_scores[idrow[j]];
-        const double dist = drow[j];
-        if (!any || score > best_score ||
-            (score == best_score && dist < best_dist)) {
-          any = true;
-          best_score = score;
-          best_dist = dist;
-        }
-      }
-      // Bonus in (0, 1): closer records of the same score rank earlier;
-      // never crosses an integer score boundary. Records with no valid
-      // neighbor rank after everything (degraded coverage).
-      out[i] = any ? best_score + 0.999 / (1.0 + best_dist) : -1.0;
+      out[i] = LimitRow(drow, idrow, topk.k, valid, rep_scores.data(),
+                        use_best_of_k);
     }
   }, 2048);
   return out;
+}
+
+void PropagateFull(const IndexView& view, PropagationState* state) {
+  TASTI_CHECK(state != nullptr, "PropagateFull requires a state");
+  TASTI_CHECK(state->rep_scores.size() == view.num_representatives,
+              "state rep_scores must align with representatives");
+  const size_t n = view.num_records;
+  if (state->mode == PropagationMode::kNumeric) {
+    state->weight_sum.assign(n, 0.0);
+    state->score_sum.assign(n, 0.0);
+  } else {
+    state->weight_sum.clear();
+    state->score_sum.clear();
+  }
+  state->scores.assign(n, 0.0);
+  const size_t k = EffectiveK(view, state->options);
+  const uint8_t* valid = ValidityMask(view);
+  ParallelFor(0, n, [&](size_t lo, size_t hi) {
+    std::unordered_map<double, double> votes;
+    for (size_t i = lo; i < hi; ++i) {
+      RecomputeRow(view, i, k, valid, state, &votes);
+    }
+  }, 2048);
+}
+
+size_t UpdateRepresentativeScores(const IndexView& view, const Scorer& scorer,
+                                  const std::vector<uint32_t>& dirty_reps,
+                                  PropagationState* state) {
+  TASTI_CHECK(state != nullptr, "UpdateRepresentativeScores requires a state");
+  const size_t old_reps = state->rep_scores.size();
+  TASTI_CHECK(view.num_representatives >= old_reps,
+              "representative count went backwards across epochs");
+  const auto& labels = *view.rep_labels;
+  const bool degraded = view.num_failed_representatives > 0;
+  auto score_rep = [&](size_t r) {
+    // Same placeholder convention as RepresentativeScores: a failed rep
+    // contributes 0.0 (skipped by propagation) and is never scored.
+    if (degraded && (*view.rep_label_valid)[r] == 0) {
+      state->rep_scores[r] = 0.0;
+      return;
+    }
+    state->rep_scores[r] = scorer.Score(labels[r]);
+  };
+  size_t scored = 0;
+  state->rep_scores.resize(view.num_representatives);
+  for (size_t r = old_reps; r < view.num_representatives; ++r) {
+    score_rep(r);
+    ++scored;
+  }
+  for (uint32_t r : dirty_reps) {
+    TASTI_CHECK(r < old_reps, "dirty rep beyond the parent epoch's reps");
+    score_rep(r);
+    ++scored;
+  }
+  return scored;
+}
+
+size_t PropagateIncremental(const IndexView& view,
+                            const std::vector<uint32_t>& dirty_rows,
+                            PropagationState* state) {
+  TASTI_CHECK(state != nullptr, "PropagateIncremental requires a state");
+  TASTI_CHECK(state->rep_scores.size() == view.num_representatives,
+              "update rep_scores before PropagateIncremental");
+  const size_t old_n = state->scores.size();
+  const size_t n = view.num_records;
+  TASTI_CHECK(n >= old_n, "record count went backwards across epochs");
+  state->scores.resize(n, 0.0);
+  if (state->mode == PropagationMode::kNumeric) {
+    TASTI_CHECK(state->weight_sum.size() == old_n &&
+                    state->score_sum.size() == old_n,
+                "numeric partials must align with the parent pass");
+    state->weight_sum.resize(n, 0.0);
+    state->score_sum.resize(n, 0.0);
+  }
+  const size_t k = EffectiveK(view, state->options);
+  const uint8_t* valid = ValidityMask(view);
+  // Dirty rows (lists changed by cracking / repaired-rep membership) plus
+  // every appended record; clean rows keep their parent-epoch values,
+  // which a full pass would reproduce bit-for-bit.
+  ParallelFor(0, dirty_rows.size(), [&](size_t lo, size_t hi) {
+    std::unordered_map<double, double> votes;
+    for (size_t d = lo; d < hi; ++d) {
+      const size_t i = dirty_rows[d];
+      TASTI_CHECK(i < n, "dirty row out of range");
+      RecomputeRow(view, i, k, valid, state, &votes);
+    }
+  }, 1024);
+  ParallelFor(old_n, n, [&](size_t lo, size_t hi) {
+    std::unordered_map<double, double> votes;
+    for (size_t i = lo; i < hi; ++i) {
+      RecomputeRow(view, i, k, valid, state, &votes);
+    }
+  }, 1024);
+  return dirty_rows.size() + (n - old_n);
 }
 
 }  // namespace tasti::core

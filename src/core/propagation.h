@@ -12,14 +12,35 @@
 /// Every function takes a core::IndexView, so propagation runs identically
 /// against the mutable TastiIndex and against immutable serving snapshots
 /// (serve::IndexSnapshot); the TastiIndex overloads are thin delegators.
+///
+/// Incremental propagation: a record's propagated score depends only on
+/// its own top-k row and the exact scores of the representatives in it.
+/// When cracking changes the top-k lists of a known set of "dirty" rows
+/// (cluster::UpdateTopKWithNewRep reports them), PropagateIncremental
+/// recomputes only those rows — running the identical per-row arithmetic
+/// the full pass would, so results are bit-identical to recomputing from
+/// scratch. PropagationState carries everything needed to resume.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/index.h"
 #include "core/scorer.h"
 
 namespace tasti::core {
+
+/// How representative scores are propagated to unannotated records.
+enum class PropagationMode {
+  /// Inverse-distance-weighted mean over the k nearest representatives.
+  /// This is the paper's default for numeric scores and its smoothed
+  /// probability estimate for 0/1 predicates (Sections 4.1, 4.3).
+  kNumeric,
+  /// Distance-weighted majority vote (hard categorical outputs).
+  kCategorical,
+  /// k = 1 with distance tie-breaking (limit-query ranking, Section 6.3).
+  kLimit,
+};
 
 /// Propagation parameters.
 struct PropagationOptions {
@@ -83,6 +104,58 @@ inline std::vector<double> PropagateLimit(const TastiIndex& index,
                                           bool use_best_of_k = true) {
   return PropagateLimit(index.View(), rep_scores, use_best_of_k);
 }
+
+/// Resumable propagation output: everything a later epoch needs to update
+/// proxy scores incrementally instead of recomputing all N records.
+struct PropagationState {
+  PropagationMode mode = PropagationMode::kNumeric;
+  PropagationOptions options;
+  bool use_best_of_k = true;  ///< kLimit only (see PropagateLimit)
+
+  /// Exact scorer outputs per representative, 0.0 placeholders for failed
+  /// (invalid) representatives — same convention as RepresentativeScores.
+  std::vector<double> rep_scores;
+  /// Propagated proxy score per record; what queries consume.
+  std::vector<double> scores;
+  /// Numeric-mode per-record partials (empty for other modes): the
+  /// inverse-distance weight total and weighted score total whose quotient
+  /// is scores[i]. Kept alongside the quotient so a dirty-row recompute is
+  /// self-contained and auditable (equivalence tests check them too).
+  std::vector<double> weight_sum;
+  std::vector<double> score_sum;
+
+  /// Heap footprint estimate, for score-cache memory bounding.
+  size_t ApproxBytes() const {
+    return (rep_scores.capacity() + scores.capacity() +
+            weight_sum.capacity() + score_sum.capacity()) *
+               sizeof(double) +
+           sizeof(PropagationState);
+  }
+};
+
+/// Full propagation pass filling `state->scores` from `state->rep_scores`
+/// per `state->mode`. Bit-identical to the matching plain Propagate* call;
+/// mode, options, use_best_of_k, and rep_scores must be set beforehand.
+void PropagateFull(const IndexView& view, PropagationState* state);
+
+/// Incrementally updates `state->rep_scores` (computed against a parent
+/// epoch) to match `view`: scores representatives appended since then plus
+/// the `dirty_reps` positions whose label or validity changed (repaired
+/// reps). Bit-identical to RepresentativeScores(view, scorer). Returns the
+/// number of representatives scored.
+size_t UpdateRepresentativeScores(const IndexView& view, const Scorer& scorer,
+                                  const std::vector<uint32_t>& dirty_reps,
+                                  PropagationState* state);
+
+/// Incrementally updates `state->scores` (a completed pass over a parent
+/// epoch) to match `view`: recomputes exactly the `dirty_rows` plus any
+/// records appended since the state was built, running the same per-row
+/// arithmetic as PropagateFull — so the result is bit-identical to a full
+/// pass over `view`. state->rep_scores must already match `view` (see
+/// UpdateRepresentativeScores). Returns the number of rows recomputed.
+size_t PropagateIncremental(const IndexView& view,
+                            const std::vector<uint32_t>& dirty_rows,
+                            PropagationState* state);
 
 }  // namespace tasti::core
 

@@ -14,17 +14,8 @@
 
 namespace tasti::core {
 
-/// How representative scores are propagated to unannotated records.
-enum class PropagationMode {
-  /// Inverse-distance-weighted mean over the k nearest representatives.
-  /// This is the paper's default for numeric scores and its smoothed
-  /// probability estimate for 0/1 predicates (Sections 4.1, 4.3).
-  kNumeric,
-  /// Distance-weighted majority vote (hard categorical outputs).
-  kCategorical,
-  /// k = 1 with distance tie-breaking (limit-query ranking, Section 6.3).
-  kLimit,
-};
+// PropagationMode lives in propagation.h (included above) next to the
+// propagation passes it selects between.
 
 /// Wall-time split of one ComputeProxyScores call, for per-query cost
 /// attribution (obs::QueryLog).
@@ -47,6 +38,24 @@ std::vector<double> ComputeProxyScores(const TastiIndex& index,
                                        PropagationMode mode = PropagationMode::kNumeric,
                                        const PropagationOptions& options = {},
                                        ProxyTimings* timings = nullptr);
+
+/// Full proxy computation into a resumable PropagationState: evaluates the
+/// scorer on the representatives and runs the full propagation pass.
+/// state->scores is bit-identical to ComputeProxyScores with the same
+/// arguments; the state can then seed UpdateProxyState on a later epoch.
+void ComputeProxyState(const IndexView& view, const Scorer& scorer,
+                       PropagationMode mode, const PropagationOptions& options,
+                       PropagationState* state, ProxyTimings* timings = nullptr);
+
+/// Incrementally advances a parent-epoch PropagationState to `view`:
+/// re-scores appended and `dirty_reps` representatives, then recomputes
+/// the `dirty_rows` plus appended records. Bit-identical to
+/// ComputeProxyState over `view` from scratch. Returns the number of
+/// record rows recomputed.
+size_t UpdateProxyState(const IndexView& view, const Scorer& scorer,
+                        const std::vector<uint32_t>& dirty_rows,
+                        const std::vector<uint32_t>& dirty_reps,
+                        PropagationState* state, ProxyTimings* timings = nullptr);
 
 /// Exact scores for every record via a ground-truth labeler — used by the
 /// evaluation harness to measure proxy quality, never by query processing.

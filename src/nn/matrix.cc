@@ -21,12 +21,46 @@ void Matrix::Scale(float s) {
 }
 
 Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
-  for (size_t i = 0; i < indices.size(); ++i) {
+  // Reserve once and append via memcpy, coalescing runs of consecutive
+  // source rows into one copy; the zero-fill a sized constructor would pay
+  // is skipped entirely.
+  Matrix out;
+  out.cols_ = cols_;
+  out.data_.reserve(indices.size() * cols_);
+  for (size_t i = 0; i < indices.size();) {
     TASTI_CHECK(indices[i] < rows_, "GatherRows index out of range");
-    std::copy(Row(indices[i]), Row(indices[i]) + cols_, out.Row(i));
+    size_t run = 1;
+    while (i + run < indices.size() && indices[i + run] < rows_ &&
+           indices[i + run] == indices[i] + run) {
+      ++run;
+    }
+    const float* first = Row(indices[i]);
+    out.data_.insert(out.data_.end(), first, first + run * cols_);
+    i += run;
   }
+  out.rows_ = indices.size();
   return out;
+}
+
+void Matrix::AppendRowsFrom(const Matrix& src, const std::vector<size_t>& indices) {
+  if (indices.empty()) return;
+  TASTI_CHECK(&src != this, "AppendRowsFrom cannot append a matrix to itself");
+  if (rows_ == 0 && cols_ == 0) cols_ = src.cols();
+  TASTI_CHECK(cols_ == src.cols(), "AppendRowsFrom column mismatch");
+  for (size_t i = 0; i < indices.size();) {
+    TASTI_CHECK(indices[i] < src.rows(), "AppendRowsFrom index out of range");
+    size_t run = 1;
+    while (i + run < indices.size() && indices[i + run] < src.rows() &&
+           indices[i + run] == indices[i] + run) {
+      ++run;
+    }
+    const float* first = src.Row(indices[i]);
+    // vector::insert grows capacity geometrically, giving the amortized
+    // O(1)-per-element append AddRepresentative relies on.
+    data_.insert(data_.end(), first, first + run * cols_);
+    i += run;
+  }
+  rows_ += indices.size();
 }
 
 void Matrix::SetRow(size_t dst_row, const Matrix& src, size_t src_row) {

@@ -27,6 +27,15 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Rows this matrix can grow to before AppendRowsFrom reallocates.
+  /// Exposed so growth amortization is testable (capacity probe).
+  size_t row_capacity() const {
+    return cols_ == 0 ? 0 : data_.capacity() / cols_;
+  }
+
+  /// Pre-allocates storage for `rows` total rows without changing shape.
+  void ReserveRows(size_t rows) { data_.reserve(rows * cols_); }
+
   float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
 
@@ -48,6 +57,12 @@ class Matrix {
 
   /// Returns a new matrix whose rows are the given subset of this one.
   Matrix GatherRows(const std::vector<size_t>& indices) const;
+
+  /// Appends the given rows of `src` to this matrix in place. Storage
+  /// grows geometrically (std::vector), so P single-row appends cost
+  /// amortized O(rows copied), not P full-matrix copies. An empty matrix
+  /// adopts src's column count.
+  void AppendRowsFrom(const Matrix& src, const std::vector<size_t>& indices);
 
   /// Copies the 1 x cols row `src_row` of `src` into row `dst_row`.
   void SetRow(size_t dst_row, const Matrix& src, size_t src_row);

@@ -76,7 +76,11 @@ std::string QueryLog::ToJson() const {
            ", \"failed_oracle_calls\": " +
            std::to_string(q.failed_oracle_calls) +
            ", \"repaired_representatives\": " +
-           std::to_string(q.repaired_representatives) + ",\n";
+           std::to_string(q.repaired_representatives) +
+           ", \"proxy_source\": \"";
+    AppendEscaped(q.proxy_source, &out);
+    out += "\", \"proxy_delta_rows\": " +
+           std::to_string(q.proxy_delta_rows) + ",\n";
     out += "     \"phase_seconds\": {\"rep_score\": " +
            Fmt(q.phases.rep_score_seconds) +
            ", \"propagation\": " + Fmt(q.phases.propagation_seconds) +

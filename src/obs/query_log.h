@@ -58,6 +58,12 @@ struct QueryRecord {
   /// Previously-failed representatives repaired after this query
   /// (self-healing crack; see SessionOptions::repair_failed_reps).
   size_t repaired_representatives = 0;
+  /// How the proxy scores were obtained when served through the score
+  /// cache: "full", "delta", "hit", or "shared". Empty for sessions (no
+  /// cache in the single-query path).
+  std::string proxy_source;
+  /// Record rows recomputed when proxy_source is "delta".
+  size_t proxy_delta_rows = 0;
 
   // Cost of this query's labeler invocations under each Table-1 labeler,
   // in its native unit (filled by QueryLog::AddQuery from its CostModel).

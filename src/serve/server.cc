@@ -40,7 +40,10 @@ const char* QueryKindName(QueryKind kind) {
 TastiServer::TastiServer(const data::Dataset* dataset,
                          labeler::FallibleLabeler* oracle,
                          ServerOptions options)
-    : dataset_(dataset), oracle_(oracle), options_(std::move(options)) {
+    : dataset_(dataset),
+      oracle_(oracle),
+      options_(std::move(options)),
+      score_cache_(options_.score_cache) {
   TASTI_CHECK(dataset_ != nullptr, "TastiServer requires a dataset");
   TASTI_CHECK(oracle_ != nullptr, "TastiServer requires an oracle");
   TASTI_CHECK(oracle_->num_records() == dataset_->size(),
@@ -65,7 +68,10 @@ Status TastiServer::Start() {
   {
     std::lock_guard<std::mutex> lock(crack_mu_);
     index_ = std::move(index);
-    epochs_.Publish(IndexSnapshot::FromIndex(*index_, next_epoch_++));
+    // Root epoch: parent 0 means no delta, but TakeDelta still resets the
+    // index's dirty window so the first crack publishes an incremental one.
+    epochs_.Publish(
+        IndexSnapshot::FromIndexAndTakeDelta(&*index_, next_epoch_++, 0));
   }
   {
     std::lock_guard<std::mutex> lock(log_mu_);
@@ -156,9 +162,11 @@ void TastiServer::Drain() {
   }
   deferred_cracks_.clear();
   if (cracked > 0) {
+    // One delta spanning every deferred crack: the parent is the epoch the
+    // whole wave read, so a single incremental pass advances to it.
     const uint64_t epoch = next_epoch_++;
-    epochs_.Publish(IndexSnapshot::FromIndex(*index_, epoch));
-    PruneProxyCache(epoch);
+    epochs_.Publish(
+        IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
   }
 }
 
@@ -274,7 +282,14 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
   const core::PropagationMode mode = spec.kind == QueryKind::kLimit
                                          ? core::PropagationMode::kLimit
                                          : core::PropagationMode::kNumeric;
-  ProxyEntry proxy = ProxyFor(*snapshot, *spec.scorer, mode);
+  core::ProxyTimings proxy_timings;
+  ScoreCache::Outcome proxy_outcome;
+  std::shared_ptr<const core::PropagationState> proxy =
+      score_cache_.GetOrCompute(*snapshot, *spec.scorer, mode, {},
+                                &proxy_timings, &proxy_outcome);
+  response.proxy_source = proxy_outcome.source;
+  response.proxy_delta_rows = proxy_outcome.delta_rows;
+  const std::vector<double>& proxy_scores = proxy->scores;
 
   QueryOracleContext ctx;
   ctx.query_id = pending.query_id;
@@ -291,7 +306,7 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.confidence = options_.confidence;
       opts.seed = seed;
       Result<queries::AggregationResult> r =
-          queries::TryEstimateMean(*proxy.scores, &timed, *spec.scorer, opts);
+          queries::TryEstimateMean(proxy_scores, &timed, *spec.scorer, opts);
       response.status = r.status();
       if (r.ok()) response.aggregate = std::move(r).value();
       break;
@@ -302,7 +317,7 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.confidence = options_.confidence;
       opts.seed = seed;
       Result<queries::PredicateAggregationResult> r =
-          queries::TryEstimateMeanWithPredicate(*proxy.scores, &timed,
+          queries::TryEstimateMeanWithPredicate(proxy_scores, &timed,
                                                 *spec.scorer, *spec.statistic,
                                                 opts);
       response.status = r.status();
@@ -316,7 +331,7 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.budget = spec.budget;
       opts.seed = seed;
       Result<queries::SupgResult> r =
-          queries::TrySupgRecallSelect(*proxy.scores, &timed, *spec.scorer,
+          queries::TrySupgRecallSelect(proxy_scores, &timed, *spec.scorer,
                                        opts);
       response.status = r.status();
       if (r.ok()) response.supg = std::move(r).value();
@@ -329,7 +344,7 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.budget = spec.budget;
       opts.seed = seed;
       Result<queries::SupgResult> r =
-          queries::TrySupgPrecisionSelect(*proxy.scores, &timed, *spec.scorer,
+          queries::TrySupgPrecisionSelect(proxy_scores, &timed, *spec.scorer,
                                           opts);
       response.status = r.status();
       if (r.ok()) response.supg = std::move(r).value();
@@ -340,7 +355,7 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.validation_budget = spec.validation_budget;
       opts.seed = seed;
       Result<queries::ThresholdSelectResult> r =
-          queries::TryThresholdSelect(*proxy.scores, &timed, *spec.scorer,
+          queries::TryThresholdSelect(proxy_scores, &timed, *spec.scorer,
                                       opts);
       response.status = r.status();
       if (r.ok()) response.select = std::move(r).value();
@@ -350,7 +365,7 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       queries::LimitOptions opts;
       opts.want = spec.want;
       Result<queries::LimitResult> r =
-          queries::TryLimitQuery(*proxy.scores, &timed, *spec.scorer, opts);
+          queries::TryLimitQuery(proxy_scores, &timed, *spec.scorer, opts);
       response.status = r.status();
       if (r.ok()) response.limit = std::move(r).value();
       break;
@@ -392,51 +407,9 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
   response.execute_seconds = exec_timer.Seconds();
 
   AppendQueryRecord(response, spec, algo_timer.Seconds(), timed.seconds(),
-                    crack_seconds, proxy.timings,
+                    crack_seconds, proxy_timings,
                     ctx.failed_calls.load(std::memory_order_relaxed));
   return response;
-}
-
-TastiServer::ProxyEntry TastiServer::ProxyFor(const IndexSnapshot& snapshot,
-                                              const core::Scorer& scorer,
-                                              core::PropagationMode mode) {
-  const std::string key = std::to_string(snapshot.epoch) + "#" + scorer.Name() +
-                          "#" + std::to_string(static_cast<int>(mode));
-  std::promise<std::shared_ptr<const std::vector<double>>> promise;
-  std::shared_future<std::shared_ptr<const std::vector<double>>> future;
-  bool compute = false;
-  {
-    std::lock_guard<std::mutex> lock(proxy_mu_);
-    auto it = proxy_futures_.find(key);
-    if (it != proxy_futures_.end()) {
-      future = it->second;
-    } else {
-      future = promise.get_future().share();
-      proxy_futures_.emplace(key, future);
-      compute = true;
-    }
-  }
-  ProxyEntry entry;
-  if (compute) {
-    TASTI_SPAN("serve.compute_proxy");
-    try {
-      core::ProxyTimings timings;
-      auto scores = std::make_shared<const std::vector<double>>(
-          core::ComputeProxyScores(snapshot.View(), scorer, mode, {},
-                                   &timings));
-      entry.scores = scores;
-      entry.timings = timings;
-      promise.set_value(std::move(scores));
-    } catch (...) {
-      promise.set_exception(std::current_exception());
-      throw;
-    }
-  } else {
-    // Another query computed (or is computing) these scores; its timings
-    // are charged to that query, so this one reports zero proxy time.
-    entry.scores = future.get();
-  }
-  return entry;
 }
 
 size_t TastiServer::ApplyCrackNow(
@@ -446,23 +419,15 @@ size_t TastiServer::ApplyCrackNow(
   std::lock_guard<std::mutex> lock(crack_mu_);
   const size_t cracked = index_->CrackFromLabels(records, labels);
   if (cracked > 0) {
+    // The new epoch carries the dirty-row delta against its parent, so the
+    // score cache advances a warm scorer's state incrementally instead of
+    // re-propagating every record. Old entries age out via LRU — an entry
+    // for a retired epoch is still useful as the next delta's parent.
     const uint64_t epoch = next_epoch_++;
-    epochs_.Publish(IndexSnapshot::FromIndex(*index_, epoch));
-    PruneProxyCache(epoch);
+    epochs_.Publish(
+        IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
   }
   return cracked;
-}
-
-void TastiServer::PruneProxyCache(uint64_t epoch) {
-  const std::string prefix = std::to_string(epoch) + "#";
-  std::lock_guard<std::mutex> lock(proxy_mu_);
-  for (auto it = proxy_futures_.begin(); it != proxy_futures_.end();) {
-    if (it->first.compare(0, prefix.size(), prefix) != 0) {
-      it = proxy_futures_.erase(it);
-    } else {
-      ++it;
-    }
-  }
 }
 
 void TastiServer::AppendQueryRecord(const QueryResponse& response,
@@ -485,6 +450,8 @@ void TastiServer::AppendQueryRecord(const QueryResponse& response,
   record.labeler_invocations = response.attributed_invocations;
   record.cracked_representatives = response.cracked_representatives;
   record.failed_oracle_calls = failed_oracle_calls;
+  record.proxy_source = ProxySourceName(response.proxy_source);
+  record.proxy_delta_rows = response.proxy_delta_rows;
   std::lock_guard<std::mutex> lock(log_mu_);
   query_log_.AddQuery(std::move(record));
 }

@@ -12,9 +12,11 @@
 ///  - share one OracleScheduler (oracle_scheduler.h) — concurrent label
 ///    requests dedup, batch, and hit a server-wide cache, so a record
 ///    annotated for one query is free for every later one;
-///  - share per-epoch proxy scores — the first query needing a (scorer,
-///    mode) pair computes it, concurrent queries for the same pair wait on
-///    the same future instead of recomputing.
+///  - share proxy scores through a server-wide ScoreCache (score_cache.h)
+///    — the first query needing a (scorer, mode, epoch) triple computes
+///    it, concurrent queries wait on the same future, later epochs advance
+///    the parent epoch's scores incrementally through the snapshot's
+///    dirty-row delta instead of recomputing every record.
 ///
 /// Admission control bounds the work in flight: a FIFO queue capped at
 /// max_pending, plus optional per-client concurrency slots so one chatty
@@ -50,6 +52,7 @@
 #include "queries/predicate_aggregation.h"
 #include "queries/supg.h"
 #include "serve/oracle_scheduler.h"
+#include "serve/score_cache.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -105,6 +108,10 @@ struct QueryResponse {
   size_t scheduler_cache_hits = 0;    ///< answered by the server-wide cache
   size_t scheduler_dedup_hits = 0;    ///< piggybacked on another query's call
   size_t cracked_representatives = 0;
+  /// How the query's proxy scores were obtained (score cache accounting).
+  ProxySource proxy_source = ProxySource::kFull;
+  /// Record rows recomputed when proxy_source is kDelta.
+  size_t proxy_delta_rows = 0;
   double queue_wait_ms = 0.0;  ///< admission-queue time before a worker ran it
   double execute_seconds = 0.0;  ///< wall time from dequeue to completion
 };
@@ -128,6 +135,8 @@ struct ServerOptions {
   /// and scheduling order.
   bool deterministic = false;
   SchedulerOptions scheduler;
+  /// Bounds on the server-wide proxy-score cache.
+  ScoreCacheOptions score_cache;
   /// Index construction parameters (Start() builds the index).
   core::IndexOptions index;
   /// Success probability shared by guarantee-carrying queries.
@@ -188,6 +197,7 @@ class TastiServer {
 
   ServerStats stats() const;
   SchedulerStats scheduler_stats() const { return scheduler_->stats(); }
+  ScoreCacheStats score_cache_stats() const { return score_cache_.stats(); }
   uint64_t current_epoch() const { return epochs_.current_epoch(); }
   /// Snapshots alive right now (current + retired-but-pinned).
   size_t live_snapshots() const { return epochs_.live_snapshots(); }
@@ -214,22 +224,13 @@ class TastiServer {
     std::vector<size_t> records;
     std::vector<data::LabelerOutput> labels;
   };
-  struct ProxyEntry {
-    std::shared_ptr<const std::vector<double>> scores;
-    core::ProxyTimings timings;  ///< zero when served from cache
-  };
-
   void WorkerLoop();
   QueryResponse RunQuery(PendingQuery pending);
-  /// Per-epoch shared proxy scores (first caller computes, others wait).
-  ProxyEntry ProxyFor(const IndexSnapshot& snapshot, const core::Scorer& scorer,
-                      core::PropagationMode mode);
   /// Cracks the master index with a query's labels and publishes the new
-  /// epoch. Returns representatives added.
+  /// epoch (carrying its dirty-row delta for the score cache). Returns
+  /// representatives added.
   size_t ApplyCrackNow(const std::vector<size_t>& records,
                        const std::vector<data::LabelerOutput>& labels);
-  /// Drops proxy futures for epochs other than `epoch`.
-  void PruneProxyCache(uint64_t epoch);
   void AppendQueryRecord(const QueryResponse& response, const QuerySpec& spec,
                          double algorithm_seconds, double oracle_seconds,
                          double crack_seconds,
@@ -252,12 +253,7 @@ class TastiServer {
 
   EpochManager epochs_;
   std::unique_ptr<OracleScheduler> scheduler_;
-
-  std::mutex proxy_mu_;
-  std::unordered_map<std::string,
-                     std::shared_future<std::shared_ptr<const std::vector<double>>>>
-      proxy_futures_;
-  std::unordered_map<std::string, core::ProxyTimings> proxy_timings_;
+  ScoreCache score_cache_;
 
   // Admission + completion state.
   mutable std::mutex mu_;

@@ -31,6 +31,24 @@ IndexSnapshot IndexSnapshot::FromIndex(const core::TastiIndex& index,
   return snapshot;
 }
 
+IndexSnapshot IndexSnapshot::FromIndexAndTakeDelta(core::TastiIndex* index,
+                                                   uint64_t epoch,
+                                                   uint64_t parent_epoch) {
+  IndexSnapshot snapshot = FromIndex(*index, epoch);
+  core::IndexDelta delta = index->TakeDelta();
+  if (delta.full || parent_epoch == 0) {
+    snapshot.delta_full = true;
+    return snapshot;
+  }
+  snapshot.parent_epoch = parent_epoch;
+  snapshot.delta_full = false;
+  snapshot.parent_num_records = delta.base_num_records;
+  snapshot.parent_num_representatives = delta.base_num_representatives;
+  snapshot.dirty_rows = std::move(delta.dirty_rows);
+  snapshot.dirty_reps = std::move(delta.dirty_reps);
+  return snapshot;
+}
+
 Status IndexSnapshot::CheckConsistent() const {
   const size_t reps = rep_record_ids.size();
   if (rep_labels.size() != reps || rep_label_valid.size() != reps) {
@@ -52,6 +70,25 @@ Status IndexSnapshot::CheckConsistent() const {
   }
   if (failed != num_failed_representatives) {
     return Status::Internal("snapshot: failed-rep count mismatch");
+  }
+  if (!delta_full) {
+    if (parent_epoch == 0 || parent_epoch >= epoch) {
+      return Status::Internal("snapshot: delta parent epoch out of order");
+    }
+    if (parent_num_records > num_records ||
+        parent_num_representatives > rep_record_ids.size()) {
+      return Status::Internal("snapshot: delta baselines exceed current size");
+    }
+    for (uint32_t row : dirty_rows) {
+      if (row >= parent_num_records) {
+        return Status::Internal("snapshot: dirty row beyond parent records");
+      }
+    }
+    for (uint32_t rep : dirty_reps) {
+      if (rep >= parent_num_representatives) {
+        return Status::Internal("snapshot: dirty rep beyond parent reps");
+      }
+    }
   }
   return Status::OK();
 }

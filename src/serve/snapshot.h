@@ -31,6 +31,14 @@
 namespace tasti::serve {
 
 /// Immutable propagation state of one index epoch.
+///
+/// Each snapshot also carries its *delta* against the parent epoch (the
+/// snapshot published immediately before it): which record rows' min-k
+/// lists changed and which representatives were re-labeled. The score
+/// cache uses it to advance a parent epoch's PropagationState to this
+/// epoch by recomputing only the divergent rows (bit-identical to a full
+/// pass). delta_full means "no row-wise delta available — recompute
+/// everything" and is always safe.
 struct IndexSnapshot {
   uint64_t epoch = 0;
   size_t num_records = 0;
@@ -40,17 +48,34 @@ struct IndexSnapshot {
   size_t num_failed_representatives = 0;
   cluster::TopKDistances topk;
 
+  // --- Delta against the parent epoch ---
+  uint64_t parent_epoch = 0;   ///< 0 when this is a root (full) epoch
+  bool delta_full = true;      ///< no row-wise delta; treat all rows dirty
+  size_t parent_num_records = 0;
+  size_t parent_num_representatives = 0;
+  std::vector<uint32_t> dirty_rows;  ///< sorted, < parent_num_records
+  std::vector<uint32_t> dirty_reps;  ///< sorted, < parent_num_representatives
+
   /// View consumable by core propagation / proxy generation.
   core::IndexView View() const;
 
   /// Copies the propagation state out of `index` (caller must hold the
-  /// index's writer lock, or be the only thread touching it).
+  /// index's writer lock, or be the only thread touching it). The snapshot
+  /// has no parent (delta_full = true); the index's accumulated delta is
+  /// left untouched.
   static IndexSnapshot FromIndex(const core::TastiIndex& index,
                                  uint64_t epoch);
 
+  /// FromIndex plus delta capture: consumes index->TakeDelta() and stamps
+  /// the result as the delta against `parent_epoch`. Pass parent_epoch = 0
+  /// (or an index whose delta window is full) to publish a root epoch.
+  static IndexSnapshot FromIndexAndTakeDelta(core::TastiIndex* index,
+                                             uint64_t epoch,
+                                             uint64_t parent_epoch);
+
   /// Structural invariants: parallel arrays aligned, every stored min-k
-  /// neighbor id names an existing representative. A torn read (a snapshot
-  /// observed mid-mutation) would trip these.
+  /// neighbor id names an existing representative, delta bounds honored. A
+  /// torn read (a snapshot observed mid-mutation) would trip these.
   Status CheckConsistent() const;
 };
 

@@ -512,6 +512,37 @@ TEST(TopKTest, IncrementalUpdateMatchesRecompute) {
   }
 }
 
+TEST(TopKTest, DirtyRowsAreExactlyTheChangedRecords) {
+  nn::Matrix points = RandomPoints(150, 4, 31);
+  nn::Matrix reps = RandomPoints(12, 4, 32);
+  const size_t k = 3;
+  TopKDistances topk = ComputeTopK(points, reps, k);
+
+  nn::Matrix extra = RandomPoints(4, 4, 33);
+  nn::Matrix grown(reps.rows() + extra.rows(), reps.cols());
+  std::copy(reps.data(), reps.data() + reps.size(), grown.data());
+  std::copy(extra.data(), extra.data() + extra.size(),
+            grown.data() + reps.size());
+
+  for (size_t r = 0; r < extra.rows(); ++r) {
+    const TopKDistances before = topk;
+    std::vector<uint32_t> dirty;
+    UpdateTopKWithNewRep(points, grown, reps.rows() + r,
+                         static_cast<uint32_t>(reps.rows() + r), &topk, &dirty);
+    std::set<uint32_t> dirty_set(dirty.begin(), dirty.end());
+    ASSERT_EQ(dirty_set.size(), dirty.size()) << "duplicate dirty rows";
+    for (size_t i = 0; i < points.rows(); ++i) {
+      bool changed = false;
+      for (size_t j = 0; j < k && !changed; ++j) {
+        changed = topk.Dist(i, j) != before.Dist(i, j) ||
+                  topk.RepId(i, j) != before.RepId(i, j);
+      }
+      EXPECT_EQ(dirty_set.count(static_cast<uint32_t>(i)) != 0, changed)
+          << "row " << i << " dirty flag wrong after rep " << r;
+    }
+  }
+}
+
 TEST(TopKTest, UpdateIgnoresFartherRep) {
   nn::Matrix points = RandomPoints(50, 3, 25);
   nn::Matrix reps = RandomPoints(10, 3, 26, 0.1f);  // tight cluster near origin

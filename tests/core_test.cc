@@ -316,6 +316,34 @@ TEST(CrackingTest, AddRepresentativeGrowsIndex) {
   EXPECT_EQ(index.topk().RepId(new_record, 0), static_cast<uint32_t>(before));
 }
 
+TEST(CrackingTest, SingleAddsReallocateGeometricallyNotPerAdd) {
+  data::Dataset ds = SmallDataset();
+  TastiIndex index = BuildSmallIndex(ds);
+
+  // P single-record cracks must trigger O(log P) capacity changes of the
+  // representative matrix, not one full-matrix copy per add (the old
+  // quadratic growth: each AddRepresentative rebuilt rep_embeddings_).
+  constexpr size_t kAdds = 64;
+  size_t capacity_changes = 0;
+  size_t prev_capacity = index.rep_embeddings().row_capacity();
+  size_t record = 0;
+  for (size_t added = 0; added < kAdds; ++record) {
+    ASSERT_LT(record, ds.size());
+    if (index.IsRepresentative(record)) continue;
+    index.AddRepresentative(record, ds.ground_truth[record]);
+    ++added;
+    const size_t capacity = index.rep_embeddings().row_capacity();
+    if (capacity != prev_capacity) {
+      ++capacity_changes;
+      prev_capacity = capacity;
+    }
+  }
+  EXPECT_LE(capacity_changes, 8u)
+      << "rep matrix reallocated per add instead of amortized doubling";
+  EXPECT_GE(index.rep_embeddings().row_capacity(),
+            index.rep_embeddings().rows());
+}
+
 TEST(CrackingTest, AddExistingRepIsNoop) {
   data::Dataset ds = SmallDataset();
   TastiIndex index = BuildSmallIndex(ds);

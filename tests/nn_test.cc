@@ -60,6 +60,55 @@ TEST(MatrixTest, GatherRowsSelectsAndDuplicates) {
   EXPECT_EQ(g.At(2, 0), 20.0f);
 }
 
+TEST(MatrixTest, AppendRowsFromMatchesGatherRows) {
+  Rng rng(9);
+  Matrix src = RandomMatrix(8, 3, &rng);
+  // Mixes contiguous runs (1,2,3 and 5,6), jumps, and a repeat.
+  std::vector<size_t> indices = {1, 2, 3, 0, 7, 5, 6, 0};
+  Matrix expected = src.GatherRows(indices);
+
+  // Appending into a default-constructed matrix adopts the column count.
+  Matrix fresh;
+  fresh.AppendRowsFrom(src, indices);
+  ASSERT_EQ(fresh.rows(), expected.rows());
+  ASSERT_EQ(fresh.cols(), expected.cols());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fresh.data()[i], expected.data()[i]);
+  }
+
+  // Appending onto existing rows preserves them and extends.
+  Matrix grown = RandomMatrix(2, 3, &rng);
+  const Matrix base = grown;
+  grown.AppendRowsFrom(src, indices);
+  ASSERT_EQ(grown.rows(), base.rows() + indices.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(grown.data()[i], base.data()[i]);
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(grown.data()[base.size() + i], expected.data()[i]);
+  }
+
+  // Appending nothing is a no-op.
+  grown.AppendRowsFrom(src, {});
+  EXPECT_EQ(grown.rows(), base.rows() + indices.size());
+}
+
+TEST(MatrixTest, ReserveRowsMakesAppendsCopyFree) {
+  Rng rng(11);
+  Matrix src = RandomMatrix(4, 5, &rng);
+  Matrix m;
+  m.AppendRowsFrom(src, {0});
+  m.ReserveRows(64);
+  EXPECT_GE(m.row_capacity(), 64u);
+  const float* before = m.data();
+  for (size_t i = 0; i < 63; ++i) {
+    m.AppendRowsFrom(src, {i % src.rows()});
+  }
+  // Within reserved capacity no reallocation (hence no full copy) happens.
+  EXPECT_EQ(m.data(), before);
+  EXPECT_EQ(m.rows(), 64u);
+}
+
 TEST(MatrixTest, RowSliceAndVStackRoundTrip) {
   Rng rng(1);
   Matrix m = RandomMatrix(6, 3, &rng);

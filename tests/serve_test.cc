@@ -12,10 +12,14 @@
 #include <vector>
 
 #include "api/session.h"
+#include "core/index.h"
+#include "core/propagation.h"
+#include "core/proxy.h"
 #include "core/scorer.h"
 #include "data/dataset.h"
 #include "labeler/labeler.h"
 #include "serve/oracle_scheduler.h"
+#include "serve/score_cache.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
 
@@ -543,6 +547,253 @@ TEST(ServerTest, SubmitBeforeStartAndAfterShutdownFails) {
   Result<uint64_t> late = server.Submit(spec);
   ASSERT_FALSE(late.ok());
   EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+}
+
+// --- ScoreCache ---
+
+core::TastiIndex BuildBareIndex(const data::Dataset& ds) {
+  labeler::SimulatedLabeler oracle(&ds);
+  return core::TastiIndex::Build(ds, &oracle, FastServerOptions().index);
+}
+
+void ExpectScoresBitIdentical(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "score diverges at record " << i;
+  }
+}
+
+TEST(ScoreCacheTest, HitSharingAndDeltaAdvance) {
+  data::Dataset ds = TestDataset(1200);
+  core::TastiIndex index = BuildBareIndex(ds);
+  core::CountScorer cars(data::ObjectClass::kCar);
+
+  IndexSnapshot snap1 = IndexSnapshot::FromIndexAndTakeDelta(&index, 1, 0);
+  EXPECT_TRUE(snap1.delta_full);  // root epoch has no parent
+
+  ScoreCache cache;
+  ScoreCache::Outcome outcome;
+  core::ProxyTimings timings;
+  auto s1 = cache.GetOrCompute(snap1, cars, core::PropagationMode::kNumeric,
+                               {}, &timings, &outcome);
+  EXPECT_EQ(outcome.source, ProxySource::kFull);
+  EXPECT_GT(timings.propagation_seconds, 0.0);
+  ExpectScoresBitIdentical(
+      s1->scores, core::ComputeProxyScores(snap1.View(), cars,
+                                           core::PropagationMode::kNumeric));
+
+  // Same key again: the exact shared state comes back, zero proxy time.
+  auto s2 = cache.GetOrCompute(snap1, cars, core::PropagationMode::kNumeric,
+                               {}, &timings, &outcome);
+  EXPECT_EQ(outcome.source, ProxySource::kHit);
+  EXPECT_EQ(s2.get(), s1.get());
+  EXPECT_EQ(timings.propagation_seconds, 0.0);
+  EXPECT_EQ(timings.rep_score_seconds, 0.0);
+
+  // Crack a few records and publish epoch 2 with a row-wise delta.
+  size_t added = 0;
+  for (size_t r = 0; r < ds.size() && added < 4; ++r) {
+    if (!index.IsRepresentative(r)) {
+      index.AddRepresentative(r, ds.ground_truth[r]);
+      ++added;
+    }
+  }
+  IndexSnapshot snap2 = IndexSnapshot::FromIndexAndTakeDelta(&index, 2, 1);
+  ASSERT_FALSE(snap2.delta_full);
+  ASSERT_FALSE(snap2.dirty_rows.empty());
+
+  auto s3 = cache.GetOrCompute(snap2, cars, core::PropagationMode::kNumeric,
+                               {}, &timings, &outcome);
+  EXPECT_EQ(outcome.source, ProxySource::kDelta);
+  EXPECT_GT(outcome.delta_rows, 0u);
+  EXPECT_LT(outcome.delta_rows, snap2.num_records);
+  // The parent entry is untouched (copy-on-write)...
+  ExpectScoresBitIdentical(
+      s1->scores, core::ComputeProxyScores(snap1.View(), cars,
+                                           core::PropagationMode::kNumeric));
+  // ...and the advanced child is bit-identical to a full recompute.
+  ExpectScoresBitIdentical(
+      s3->scores, core::ComputeProxyScores(snap2.View(), cars,
+                                           core::PropagationMode::kNumeric));
+
+  ScoreCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.full_computes, 1u);
+  EXPECT_EQ(stats.delta_hits, 1u);
+  EXPECT_EQ(stats.delta_rows, outcome.delta_rows);
+  EXPECT_EQ(stats.resident_entries, 2u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+}
+
+TEST(ScoreCacheTest, EvictionBoundsResidencyAndInvalidateDropsEntries) {
+  data::Dataset ds = TestDataset(800);
+  core::TastiIndex index = BuildBareIndex(ds);
+  core::CountScorer cars(data::ObjectClass::kCar);
+  core::PresenceScorer present(data::ObjectClass::kCar);
+
+  ScoreCacheOptions copts;
+  copts.max_entries = 1;
+  ScoreCache cache(copts);
+  IndexSnapshot snap = IndexSnapshot::FromIndexAndTakeDelta(&index, 1, 0);
+
+  ScoreCache::Outcome outcome;
+  cache.GetOrCompute(snap, cars, core::PropagationMode::kNumeric, {}, nullptr,
+                     &outcome);
+  // A second scorer on the same epoch overflows max_entries = 1: the LRU
+  // (cars) entry is evicted, the entry being served survives.
+  cache.GetOrCompute(snap, present, core::PropagationMode::kNumeric, {},
+                     nullptr, &outcome);
+  ScoreCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.resident_entries, 1u);
+  cache.GetOrCompute(snap, present, core::PropagationMode::kNumeric, {},
+                     nullptr, &outcome);
+  EXPECT_EQ(outcome.source, ProxySource::kHit);
+  cache.GetOrCompute(snap, cars, core::PropagationMode::kNumeric, {}, nullptr,
+                     &outcome);
+  EXPECT_EQ(outcome.source, ProxySource::kFull);  // evicted -> recompute
+
+  cache.Invalidate();
+  stats = cache.stats();
+  EXPECT_EQ(stats.resident_entries, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_GT(stats.invalidations, 0u);
+  cache.GetOrCompute(snap, cars, core::PropagationMode::kNumeric, {}, nullptr,
+                     &outcome);
+  EXPECT_EQ(outcome.source, ProxySource::kFull);
+}
+
+TEST(ScoreCacheTest, ColdCacheOnDeltaSnapshotFallsBackToFull) {
+  data::Dataset ds = TestDataset(800);
+  core::TastiIndex index = BuildBareIndex(ds);
+  core::CountScorer cars(data::ObjectClass::kCar);
+  index.TakeDelta();
+  size_t added = 0;
+  for (size_t r = 0; r < ds.size() && added < 2; ++r) {
+    if (!index.IsRepresentative(r)) {
+      index.AddRepresentative(r, ds.ground_truth[r]);
+      ++added;
+    }
+  }
+  IndexSnapshot snap2 = IndexSnapshot::FromIndexAndTakeDelta(&index, 2, 1);
+  ASSERT_FALSE(snap2.delta_full);
+
+  ScoreCache cache;  // no parent entry anywhere
+  ScoreCache::Outcome outcome;
+  auto state = cache.GetOrCompute(snap2, cars, core::PropagationMode::kNumeric,
+                                  {}, nullptr, &outcome);
+  EXPECT_EQ(outcome.source, ProxySource::kFull);
+  ExpectScoresBitIdentical(
+      state->scores, core::ComputeProxyScores(snap2.View(), cars,
+                                              core::PropagationMode::kNumeric));
+}
+
+// Run under TSan (check.sh tsan stage): concurrent readers resolving
+// through the cache while a publisher cracks the index and publishes new
+// delta-carrying epochs. Any unsynchronized access to entries, stats, or a
+// parent state being copied while read would trip the race detector.
+TEST(ScoreCacheTest, ConcurrentReadersAcrossEpochPublishes) {
+  data::Dataset ds = TestDataset(800);
+  core::TastiIndex index = BuildBareIndex(ds);
+  core::CountScorer cars(data::ObjectClass::kCar);
+
+  EpochManager epochs;
+  epochs.Publish(IndexSnapshot::FromIndexAndTakeDelta(&index, 1, 0));
+  ScoreCache cache;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::shared_ptr<const IndexSnapshot> snap = epochs.Acquire();
+        auto state = cache.GetOrCompute(
+            *snap, cars, core::PropagationMode::kNumeric, {}, nullptr, nullptr);
+        EXPECT_EQ(state->scores.size(), snap->num_records);
+        EXPECT_EQ(state->rep_scores.size(), snap->rep_record_ids.size());
+      }
+    });
+  }
+
+  size_t next_record = 0;
+  for (uint64_t epoch = 2; epoch <= 6; ++epoch) {
+    while (index.IsRepresentative(next_record)) ++next_record;
+    index.AddRepresentative(next_record, ds.ground_truth[next_record]);
+    epochs.Publish(
+        IndexSnapshot::FromIndexAndTakeDelta(&index, epoch, epoch - 1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+
+  // Whatever mix of full/delta/hit produced the final epoch's entry, it
+  // must be bit-identical to a from-scratch computation.
+  std::shared_ptr<const IndexSnapshot> snap = epochs.Acquire();
+  auto state = cache.GetOrCompute(*snap, cars, core::PropagationMode::kNumeric,
+                                  {}, nullptr, nullptr);
+  ExpectScoresBitIdentical(
+      state->scores, core::ComputeProxyScores(snap->View(), cars,
+                                              core::PropagationMode::kNumeric));
+  EXPECT_EQ(cache.stats().full_computes + cache.stats().delta_hits,
+            cache.stats().resident_entries + cache.stats().evictions);
+}
+
+TEST(ServerTest, ScoreCacheAccountingAcrossDeterministicWaves) {
+  data::Dataset ds = TestDataset(1200);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+  opts.deterministic = true;
+  TastiServer server(&ds, &adapter, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  QuerySpec spec;
+  spec.kind = QueryKind::kAggregate;
+  spec.scorer = &cars;
+  spec.error_target = 0.15;
+
+  auto wave = [&] {
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < 3; ++i) {
+      Result<uint64_t> id = server.Submit(spec);
+      ASSERT_TRUE(id.ok());
+      ids.push_back(*id);
+    }
+    for (uint64_t id : ids) {
+      QueryResponse response = server.Wait(id);
+      EXPECT_TRUE(response.status.ok());
+    }
+    server.Drain();
+  };
+
+  // Wave 1 (epoch 1): one query computes, two reuse the entry.
+  wave();
+  ScoreCacheStats stats = server.score_cache_stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_EQ(stats.full_computes, 1u);
+  EXPECT_EQ(stats.hits + stats.shared_hits, 2u);
+
+  // Drain published epoch 2 from the wave's cracks; wave 2 advances the
+  // warm scorer (delta when the crack stayed row-wise, full otherwise)
+  // exactly once and the rest reuse it.
+  ASSERT_GT(server.current_epoch(), 1u);
+  wave();
+  stats = server.score_cache_stats();
+  EXPECT_EQ(stats.lookups, 6u);
+  EXPECT_EQ(stats.full_computes + stats.delta_hits, 2u);
+  EXPECT_EQ(stats.hits + stats.shared_hits, 4u);
+
+  // The ledger records how each query's proxies were obtained.
+  size_t sourced = 0;
+  for (const obs::QueryRecord& record : server.query_log().queries()) {
+    EXPECT_FALSE(record.proxy_source.empty());
+    if (!record.proxy_source.empty()) ++sourced;
+  }
+  EXPECT_EQ(sourced, 6u);
+  EXPECT_TRUE(server.CheckAttributionInvariant().ok());
 }
 
 }  // namespace

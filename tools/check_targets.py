@@ -9,7 +9,11 @@ Asserts, from the repository root:
      registered test (no stale names after a rename/delete);
   3. every test registered with a `serve` or `chaos` label is exercised by
      the matching sanitizer stage in tools/check.sh (serve -> tsan targets,
-     chaos -> `ctest -L chaos`).
+     chaos -> `ctest -L chaos`);
+  4. every bench/*.cc has a registration (tasti_add_bench or
+     add_executable) in bench/CMakeLists.txt and vice versa;
+  5. every committed bench baseline (bench/baselines/BENCH_*.json) is
+     gated by the CI bench-regression job in .github/workflows/ci.yml.
 
 Run directly (tools/check.sh tier1 and the CI lint job both do):
     python3 tools/check_targets.py
@@ -70,6 +74,30 @@ def main():
             errors.append(
                 "tests carry the `chaos` label but tools/check.sh has no "
                 "`ctest -L chaos` stage"
+            )
+
+    bench_sources = {p.stem for p in (ROOT / "bench").glob("*.cc")}
+    bench_cmake = (ROOT / "bench" / "CMakeLists.txt").read_text()
+    bench_registered = set(
+        re.findall(r"(?:tasti_add_bench|add_executable)\((\w+)", bench_cmake)
+    )
+    for name in sorted(bench_sources - bench_registered):
+        errors.append(
+            f"bench/{name}.cc exists but bench/CMakeLists.txt never "
+            f"registers a `{name}` target"
+        )
+    for name in sorted(bench_registered - bench_sources):
+        errors.append(
+            f"bench/CMakeLists.txt registers `{name}` but bench/{name}.cc "
+            "does not exist"
+        )
+
+    ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+    for baseline in sorted((ROOT / "bench" / "baselines").glob("BENCH_*.json")):
+        if baseline.name not in ci:
+            errors.append(
+                f"bench/baselines/{baseline.name} is committed but the CI "
+                "bench-regression job never gates it"
             )
 
     fail(errors)

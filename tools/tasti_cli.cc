@@ -680,6 +680,18 @@ int RunServeWorkload(const Args& args) {
   std::printf("epochs: %llu published, %zu live snapshots\n",
               static_cast<unsigned long long>(server_stats.epochs_published),
               server.live_snapshots());
+  const serve::ScoreCacheStats cache = server.score_cache_stats();
+  std::printf("score cache: %llu lookups, %.0f%% hit ratio (%llu hits, "
+              "%llu shared, %llu delta), %llu full computes, %llu dirty rows "
+              "recomputed, %llu evictions\n",
+              static_cast<unsigned long long>(cache.lookups),
+              cache.hit_ratio() * 100.0,
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.shared_hits),
+              static_cast<unsigned long long>(cache.delta_hits),
+              static_cast<unsigned long long>(cache.full_computes),
+              static_cast<unsigned long long>(cache.delta_rows),
+              static_cast<unsigned long long>(cache.evictions));
   if (served_failures.load() > 0) {
     std::fprintf(stderr, "%zu served queries failed\n",
                  served_failures.load());
