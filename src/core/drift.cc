@@ -10,15 +10,21 @@ namespace tasti::core {
 
 DriftReport DetectDrift(const TastiIndex& index, size_t recent_begin,
                         double ratio_threshold) {
-  TASTI_CHECK(recent_begin > 0 && recent_begin < index.num_records(),
+  return DetectDrift(index.topk(), index.num_records(), recent_begin,
+                     ratio_threshold);
+}
+
+DriftReport DetectDrift(const cluster::TopKDistances& topk,
+                        size_t num_records, size_t recent_begin,
+                        double ratio_threshold) {
+  TASTI_CHECK(recent_begin > 0 && recent_begin < num_records,
               "recent_begin must split the records into two non-empty ranges");
   TASTI_CHECK(ratio_threshold > 0.0, "ratio_threshold must be positive");
 
-  const auto& topk = index.topk();
   std::vector<double> baseline, recent;
   baseline.reserve(recent_begin);
-  recent.reserve(index.num_records() - recent_begin);
-  for (size_t i = 0; i < index.num_records(); ++i) {
+  recent.reserve(num_records - recent_begin);
+  for (size_t i = 0; i < num_records; ++i) {
     (i < recent_begin ? baseline : recent).push_back(topk.Dist(i, 0));
   }
 

@@ -41,6 +41,13 @@ struct DriftReport {
 DriftReport DetectDrift(const TastiIndex& index, size_t recent_begin,
                         double ratio_threshold = 1.3);
 
+/// Same computation from a bare top-k table. Lets the serving monitor run
+/// drift checks against a published IndexSnapshot (which carries the
+/// epoch's TopKDistances) without touching the live index or its locks.
+DriftReport DetectDrift(const cluster::TopKDistances& topk,
+                        size_t num_records, size_t recent_begin,
+                        double ratio_threshold = 1.3);
+
 }  // namespace tasti::core
 
 #endif  // TASTI_CORE_DRIFT_H_

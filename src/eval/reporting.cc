@@ -3,6 +3,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace tasti::eval {
 
 namespace {
@@ -58,6 +60,18 @@ void PrintQueryLog(const obs::QueryLog& log) {
   std::printf("totals: %s labeler calls, %ss across %zu queries\n",
               FmtCount(static_cast<long long>(log.total_invocations())).c_str(),
               Fmt(log.total_query_seconds(), 3).c_str(), log.queries().size());
+  if (log.queries().size() >= 2) {
+    // Latency quantiles over per-query totals, interpolated from a
+    // throwaway histogram (50us .. ~26s exponential buckets).
+    obs::Histogram hist(obs::ExponentialBuckets(0.05, 2.0, 20));
+    for (const obs::QueryRecord& q : log.queries()) {
+      hist.Observe(q.phases.TotalSeconds() * 1000.0);
+    }
+    std::printf("latency:  p50=%sms p95=%sms p99=%sms\n",
+                Fmt(hist.Quantile(0.50), 2).c_str(),
+                Fmt(hist.Quantile(0.95), 2).c_str(),
+                Fmt(hist.Quantile(0.99), 2).c_str());
+  }
 }
 
 }  // namespace tasti::eval

@@ -60,6 +60,7 @@ void ResilientLabeler::TransitionBreaker(BreakerState next) {
       break;
   }
   SetBreakerGauge(next);
+  if (options_.on_breaker_transition) options_.on_breaker_transition(next);
 }
 
 void ResilientLabeler::RecordAttemptOutcome(bool success) {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -98,6 +99,11 @@ class ResilientLabeler : public FallibleLabeler {
     BreakerPolicy breaker;
     /// Seed for the deterministic backoff jitter.
     uint64_t seed = 0;
+    /// Invoked on every breaker state change (opens, half-opens, closes) —
+    /// the serving monitor's breaker-trip alert hook. Called with the
+    /// wrapper's internal mutex held: the callback must be fast and must
+    /// not call back into this labeler.
+    std::function<void(BreakerState)> on_breaker_transition;
   };
 
   /// The inner labeler must outlive the wrapper.

@@ -4,27 +4,46 @@
 /// \file config.h
 /// Global observability switches.
 ///
-/// Tracing and metrics are off by default and must cost next to nothing
-/// while off: every instrumentation site guards itself with one relaxed
-/// atomic load and a branch (see Span in trace.h and the TASTI_METRIC_*
-/// helpers in metrics.h). The flags are constinit atomics — no static
-/// initialization guard on the hot path.
+/// Tracing, flight recording, and metrics are off by default and must cost
+/// next to nothing while off: every instrumentation site guards itself
+/// with one relaxed atomic load and a branch (see Span in trace.h and the
+/// metric helpers in metrics.h). The flags are constinit atomics — no
+/// static initialization guard on the hot path.
+///
+/// Spans have two possible sinks, packed into one atomic bitmask so the
+/// disabled path still pays exactly one relaxed load:
+///  - kSpanSinkTrace: the unbounded TraceRecorder (full tracing; export
+///    with --trace),
+///  - kSpanSinkFlight: the bounded FlightRecorder ring (always-on "black
+///    box" that the serving monitor dumps when an alert fires — see
+///    obs/live.h).
 
 #include <atomic>
+#include <cstdint>
 
 namespace tasti::obs {
 
+/// Bits of the span-sink mask.
+inline constexpr uint32_t kSpanSinkTrace = 1u;
+inline constexpr uint32_t kSpanSinkFlight = 2u;
+
 /// Process-wide observability configuration.
 struct Config {
-  std::atomic<bool> tracing{false};
+  std::atomic<uint32_t> span_sinks{0};
   std::atomic<bool> metrics{false};
 };
 
 inline constinit Config g_config;
 
-/// One relaxed load: the only cost a disabled span pays.
-inline bool TracingEnabled() {
-  return g_config.tracing.load(std::memory_order_relaxed);
+/// One relaxed load: the only cost a disabled span pays. Nonzero when any
+/// span sink (tracing or flight recording) is active.
+inline uint32_t SpanSinks() {
+  return g_config.span_sinks.load(std::memory_order_relaxed);
+}
+
+inline bool TracingEnabled() { return (SpanSinks() & kSpanSinkTrace) != 0; }
+inline bool FlightRecordingEnabled() {
+  return (SpanSinks() & kSpanSinkFlight) != 0;
 }
 
 /// One relaxed load: the only cost a disabled metric update pays.
@@ -33,14 +52,27 @@ inline bool MetricsEnabled() {
 }
 
 inline void SetTracingEnabled(bool on) {
-  g_config.tracing.store(on, std::memory_order_relaxed);
+  if (on) {
+    g_config.span_sinks.fetch_or(kSpanSinkTrace, std::memory_order_relaxed);
+  } else {
+    g_config.span_sinks.fetch_and(~kSpanSinkTrace, std::memory_order_relaxed);
+  }
+}
+
+inline void SetFlightRecordingEnabled(bool on) {
+  if (on) {
+    g_config.span_sinks.fetch_or(kSpanSinkFlight, std::memory_order_relaxed);
+  } else {
+    g_config.span_sinks.fetch_and(~kSpanSinkFlight, std::memory_order_relaxed);
+  }
 }
 
 inline void SetMetricsEnabled(bool on) {
   g_config.metrics.store(on, std::memory_order_relaxed);
 }
 
-/// Convenience: flip both subsystems at once.
+/// Convenience: flip tracing + metrics at once (flight recording is opted
+/// into separately — it is a serving-monitor concern, not a trace export).
 inline void EnableAll() {
   SetTracingEnabled(true);
   SetMetricsEnabled(true);
@@ -49,6 +81,7 @@ inline void EnableAll() {
 inline void DisableAll() {
   SetTracingEnabled(false);
   SetMetricsEnabled(false);
+  SetFlightRecordingEnabled(false);
 }
 
 }  // namespace tasti::obs

@@ -25,6 +25,18 @@ void Histogram::Observe(double value) {
   }
 }
 
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> counts(buckets_.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  // Recompute the total from the bucket loads rather than trusting count_:
+  // during a live workload the two are updated non-atomically.
+  return QuantileFromBuckets(upper_bounds_, counts.data(), total, q);
+}
+
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -42,6 +54,27 @@ std::vector<double> ExponentialBuckets(double start, double factor,
     bound *= factor;
   }
   return bounds;
+}
+
+double QuantileFromBuckets(const std::vector<double>& upper_bounds,
+                           const uint64_t* bucket_counts, uint64_t count,
+                           double q) {
+  TASTI_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count == 0 || upper_bounds.empty()) return 0.0;
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < upper_bounds.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (cumulative + in_bucket >= rank && in_bucket > 0.0) {
+      const double lower =
+          i == 0 ? std::min(0.0, upper_bounds[0]) : upper_bounds[i - 1];
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + fraction * (upper_bounds[i] - lower);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank falls in the +inf overflow bucket: clamp to the last finite bound.
+  return upper_bounds.back();
 }
 
 std::vector<double> LinearBuckets(double start, double width, size_t count) {
@@ -137,6 +170,45 @@ void MetricsRegistry::ResetAll() {
         break;
     }
   }
+}
+
+std::vector<MetricSample> MetricsRegistry::Samples() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    MetricSample sample;
+    sample.name = entry->name;
+    sample.unit = entry->unit;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        sample.kind = 'c';
+        sample.value = static_cast<double>(entry->counter->value());
+        break;
+      case Kind::kGauge:
+        sample.kind = 'g';
+        sample.value = entry->gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        sample.kind = 'h';
+        sample.count = h.count();
+        sample.sum = h.sum();
+        sample.upper_bounds = h.upper_bounds();
+        sample.bucket_counts.resize(h.num_buckets());
+        for (size_t b = 0; b < h.num_buckets(); ++b) {
+          sample.bucket_counts[b] = h.bucket_count(b);
+        }
+        break;
+      }
+    }
+    samples.push_back(std::move(sample));
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return samples;
 }
 
 namespace {

@@ -76,6 +76,11 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   size_t num_buckets() const { return buckets_.size(); }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation over the
+  /// bucket bounds — see QuantileFromBuckets(). Returns 0 when empty.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -93,6 +98,32 @@ std::vector<double> ExponentialBuckets(double start, double factor,
 /// where the observed range is small and uniform — e.g. oracle-scheduler
 /// batch sizes, admission queue depths.
 std::vector<double> LinearBuckets(double start, double width, size_t count);
+
+/// Quantile estimate from bucketed counts shared by Histogram and the
+/// sliding-window sketches in obs/live.h. `bucket_counts` has
+/// upper_bounds.size() + 1 entries (the last is the +inf overflow) and
+/// `count` is their total. The target rank q*count is located in its
+/// bucket and interpolated linearly between the bucket's bounds; the first
+/// bucket's lower bound is min(0, upper_bounds[0]) and a rank landing in
+/// the overflow bucket returns the last finite bound (the estimate is
+/// clamped, not extrapolated).
+double QuantileFromBuckets(const std::vector<double>& upper_bounds,
+                           const uint64_t* bucket_counts, uint64_t count,
+                           double q);
+
+/// One instrument's state as captured by MetricsRegistry::Samples().
+/// Decouples exporters (JSON, Prometheus exposition in obs/live.h) from
+/// the registry's internal entry layout.
+struct MetricSample {
+  std::string name;
+  std::string unit;
+  char kind = 'c';  // 'c' counter, 'g' gauge, 'h' histogram
+  double value = 0.0;                   // counter / gauge
+  uint64_t count = 0;                   // histogram
+  double sum = 0.0;                     // histogram
+  std::vector<double> upper_bounds;     // histogram (finite bounds)
+  std::vector<uint64_t> bucket_counts;  // histogram (+inf bucket last)
+};
 
 /// Name-keyed instrument registry with a JSON snapshot exporter.
 /// Instrument pointers are stable for the registry's lifetime.
@@ -116,6 +147,11 @@ class MetricsRegistry {
 
   /// Zeroes every instrument (registrations persist).
   void ResetAll();
+
+  /// Point-in-time copy of every instrument, sorted by name. Values are
+  /// read with relaxed loads, so a sample taken during a live workload is
+  /// per-instrument consistent, not cross-instrument consistent.
+  std::vector<MetricSample> Samples() const;
 
   /// JSON snapshot: an array of flat objects sorted by metric name, e.g.
   ///   [{"metric": "session.queries", "type": "counter", "unit": "calls",

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstdio>
 
+#include "obs/live.h"
+
 namespace tasti::obs {
 
 namespace {
@@ -106,7 +108,18 @@ void TraceRecorder::Clear() {
   epoch_ = std::chrono::steady_clock::now();
 }
 
-namespace {
+void Span::Finish() {
+  TraceRecorder& global = TraceRecorder::Global();
+  const int64_t dur_us = global.NowMicros() - start_us_;
+  if ((sinks_ & kSpanSinkTrace) != 0) {
+    global.Record(name_, start_us_, dur_us);
+  }
+  if ((sinks_ & kSpanSinkFlight) != 0) {
+    FlightRecorder::Global().Record(name_, start_us_, dur_us);
+  }
+}
+
+namespace internal {
 // Span names are static identifiers (module.phase); escaping covers the
 // JSON specials anyway so a stray name cannot corrupt the file.
 void AppendJsonEscaped(const char* s, std::string* out) {
@@ -124,7 +137,9 @@ void AppendJsonEscaped(const char* s, std::string* out) {
     }
   }
 }
-}  // namespace
+}  // namespace internal
+
+using internal::AppendJsonEscaped;
 
 std::string TraceRecorder::ToJson() const {
   const std::vector<TraceEvent> events = Snapshot();

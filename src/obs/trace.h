@@ -102,23 +102,31 @@ class TraceRecorder {
   uint32_t next_tid_ = 1;
 };
 
-/// RAII span over the global recorder. If tracing is disabled at
-/// construction, the destructor is a null-pointer check and nothing is
-/// recorded (a span that straddles a disable still completes — events are
-/// never half-recorded).
+/// RAII span over the global sinks. The sink mask is sampled once at
+/// construction (a span that straddles a disable still completes — events
+/// are never half-recorded): bit kSpanSinkTrace sends the completed span
+/// to TraceRecorder::Global(), bit kSpanSinkFlight additionally to the
+/// bounded FlightRecorder ring (obs/live.h). With every sink off the
+/// constructor is one relaxed load and the destructor one branch.
 class Span {
  public:
-  explicit Span(const char* name) {
-    if (TracingEnabled()) Begin(&TraceRecorder::Global(), name);
+  explicit Span(const char* name) : sinks_(SpanSinks()) {
+    if (sinks_ != 0) {
+      name_ = name;
+      start_us_ = TraceRecorder::Global().NowMicros();
+    }
   }
 
-  /// Records into a specific recorder regardless of the global flag
+  /// Records into a specific recorder regardless of the global flags
   /// (test hook).
-  Span(TraceRecorder* recorder, const char* name) { Begin(recorder, name); }
+  Span(TraceRecorder* recorder, const char* name)
+      : recorder_(recorder), name_(name), start_us_(recorder->NowMicros()) {}
 
   ~Span() {
     if (recorder_ != nullptr) {
       recorder_->Record(name_, start_us_, recorder_->NowMicros() - start_us_);
+    } else if (sinks_ != 0) {
+      Finish();
     }
   }
 
@@ -126,16 +134,22 @@ class Span {
   Span& operator=(const Span&) = delete;
 
  private:
-  void Begin(TraceRecorder* recorder, const char* name) {
-    recorder_ = recorder;
-    name_ = name;
-    start_us_ = recorder->NowMicros();
-  }
+  /// Out of line: fans the completed span out to the global sinks chosen
+  /// at construction (both sinks share TraceRecorder::Global()'s clock so
+  /// trace exports and flight dumps line up on one timebase).
+  void Finish();
 
   TraceRecorder* recorder_ = nullptr;
   const char* name_ = nullptr;
   int64_t start_us_ = 0;
+  uint32_t sinks_ = 0;
 };
+
+namespace internal {
+/// Appends `s` to `out` with JSON string escaping (shared by the trace
+/// and flight-recorder exporters).
+void AppendJsonEscaped(const char* s, std::string* out);
+}  // namespace internal
 
 }  // namespace tasti::obs
 

@@ -23,6 +23,9 @@ void ExportLookup(ProxySource source, size_t delta_rows) {
       registry.counter("serve.score_cache.full_computes", "lookups");
   static obs::Counter* const rows =
       registry.counter("serve.score_cache.delta_rows", "rows");
+  static obs::Counter* const lookups =
+      registry.counter("serve.score_cache.lookups", "lookups");
+  lookups->Increment();  // hit-ratio denominator for live dashboards
   switch (source) {
     case ProxySource::kHit: hits->Increment(); break;
     case ProxySource::kShared: shared->Increment(); break;

@@ -7,6 +7,7 @@
 #include "labeler/resilient.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/monitor.h"
 
 namespace tasti::serve {
 
@@ -53,6 +54,22 @@ TastiServer::TastiServer(const data::Dataset* dataset,
 
 TastiServer::~TastiServer() { Shutdown(); }
 
+void TastiServer::AttachMonitor(ServerMonitor* monitor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TASTI_CHECK(!started_, "AttachMonitor must be called before Start()");
+  monitor_ = monitor;
+  if (monitor_ != nullptr) monitor_->BindServer(this);
+}
+
+void TastiServer::NotifyEpochPublished() {
+  if (monitor_ == nullptr) return;
+  // Acquire (not the snapshot we just published) keeps this hook lock-free
+  // against concurrent publishes: the monitor wants the freshest health,
+  // not a specific epoch.
+  std::shared_ptr<const IndexSnapshot> snapshot = epochs_.Acquire();
+  if (snapshot != nullptr) monitor_->OnEpochPublish(*snapshot);
+}
+
 Status TastiServer::Start() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -82,6 +99,7 @@ Status TastiServer::Start() {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
   }
+  NotifyEpochPublished();
   const size_t workers = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
@@ -117,7 +135,10 @@ Result<uint64_t> TastiServer::Submit(const QuerySpec& spec) {
   pending.spec = spec;
   const uint64_t query_id = pending.query_id;
   queue_.push_back(std::move(pending));
+  const size_t depth = queue_.size();
   work_cv_.notify_one();
+  lock.unlock();  // monitor hooks never run under server locks
+  if (monitor_ != nullptr) monitor_->OnSubmit(depth);
   return query_id;
 }
 
@@ -150,7 +171,7 @@ void TastiServer::Drain() {
   // representative sequence — hence the next epoch's proxies — is
   // independent of which worker finished which query first.
   TASTI_SPAN("serve.deferred_crack");
-  std::lock_guard<std::mutex> lock(crack_mu_);
+  std::unique_lock<std::mutex> lock(crack_mu_);
   if (deferred_cracks_.empty()) return;
   std::sort(deferred_cracks_.begin(), deferred_cracks_.end(),
             [](const DeferredCrack& a, const DeferredCrack& b) {
@@ -161,13 +182,17 @@ void TastiServer::Drain() {
     cracked += index_->CrackFromLabels(crack.records, crack.labels);
   }
   deferred_cracks_.clear();
+  bool published = false;
   if (cracked > 0) {
     // One delta spanning every deferred crack: the parent is the epoch the
     // whole wave read, so a single incremental pass advances to it.
     const uint64_t epoch = next_epoch_++;
     epochs_.Publish(
         IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
+    published = true;
   }
+  lock.unlock();
+  if (published) NotifyEpochPublished();
 }
 
 void TastiServer::Shutdown() {
@@ -187,6 +212,7 @@ ServerStats TastiServer::stats() const {
   ServerStats stats;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    stats.queries_submitted = next_query_id_;  // ids are dense from 1
     stats.queries_completed = queries_completed_;
     stats.query_invocations = query_invocations_;
   }
@@ -416,18 +442,40 @@ size_t TastiServer::ApplyCrackNow(
     const std::vector<size_t>& records,
     const std::vector<data::LabelerOutput>& labels) {
   TASTI_SPAN("serve.crack");
-  std::lock_guard<std::mutex> lock(crack_mu_);
-  const size_t cracked = index_->CrackFromLabels(records, labels);
-  if (cracked > 0) {
-    // The new epoch carries the dirty-row delta against its parent, so the
-    // score cache advances a warm scorer's state incrementally instead of
-    // re-propagating every record. Old entries age out via LRU — an entry
-    // for a retired epoch is still useful as the next delta's parent.
+  size_t cracked = 0;
+  bool published = false;
+  {
+    std::lock_guard<std::mutex> lock(crack_mu_);
+    cracked = index_->CrackFromLabels(records, labels);
+    if (cracked > 0) {
+      // The new epoch carries the dirty-row delta against its parent, so
+      // the score cache advances a warm scorer's state incrementally
+      // instead of re-propagating every record. Old entries age out via
+      // LRU — an entry for a retired epoch is still useful as the next
+      // delta's parent.
+      const uint64_t epoch = next_epoch_++;
+      epochs_.Publish(
+          IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
+      published = true;
+    }
+  }
+  if (published) NotifyEpochPublished();
+  return cracked;
+}
+
+size_t TastiServer::AppendRecords(const nn::Matrix& features) {
+  TASTI_SPAN("serve.append_records");
+  size_t first_new = 0;
+  {
+    std::lock_guard<std::mutex> lock(crack_mu_);
+    TASTI_CHECK(index_.has_value(), "Start() the server before appending");
+    first_new = index_->AppendRecords(features);
     const uint64_t epoch = next_epoch_++;
     epochs_.Publish(
         IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
   }
-  return cracked;
+  NotifyEpochPublished();
+  return first_new;
 }
 
 void TastiServer::AppendQueryRecord(const QueryResponse& response,
@@ -437,23 +485,31 @@ void TastiServer::AppendQueryRecord(const QueryResponse& response,
                                     double crack_seconds,
                                     const core::ProxyTimings& proxy_timings,
                                     size_t failed_oracle_calls) {
+  obs::QueryPhaseTimes phases;
+  phases.rep_score_seconds = proxy_timings.rep_score_seconds;
+  phases.propagation_seconds = proxy_timings.propagation_seconds;
+  phases.algorithm_seconds = algorithm_seconds;
+  phases.oracle_seconds = oracle_seconds;
+  phases.crack_seconds = crack_seconds;
+
   obs::QueryRecord record;
   record.query_type = QueryKindName(response.kind);
   record.params = "scorer=" + spec.scorer->Name() +
                   " client=" + std::to_string(spec.client_id) +
                   " epoch=" + std::to_string(response.epoch);
-  record.phases.rep_score_seconds = proxy_timings.rep_score_seconds;
-  record.phases.propagation_seconds = proxy_timings.propagation_seconds;
-  record.phases.algorithm_seconds = algorithm_seconds;
-  record.phases.oracle_seconds = oracle_seconds;
-  record.phases.crack_seconds = crack_seconds;
+  record.phases = phases;
   record.labeler_invocations = response.attributed_invocations;
   record.cracked_representatives = response.cracked_representatives;
   record.failed_oracle_calls = failed_oracle_calls;
   record.proxy_source = ProxySourceName(response.proxy_source);
   record.proxy_delta_rows = response.proxy_delta_rows;
-  std::lock_guard<std::mutex> lock(log_mu_);
-  query_log_.AddQuery(std::move(record));
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    query_log_.AddQuery(std::move(record));
+  }
+  if (monitor_ != nullptr) {
+    monitor_->OnQueryComplete(response, phases, failed_oracle_calls);
+  }
 }
 
 }  // namespace tasti::serve

@@ -59,6 +59,8 @@
 
 namespace tasti::serve {
 
+class ServerMonitor;
+
 enum class QueryKind {
   kAggregate,
   kAggregateWhere,
@@ -145,8 +147,11 @@ struct ServerOptions {
   uint64_t seed = 1234;
 };
 
-/// Aggregate server tallies (safe to read while serving).
+/// Aggregate server tallies. Safe to read live, from any thread, while a
+/// workload is executing: counters are copied under the server mutex and
+/// the epoch tallies are atomics.
 struct ServerStats {
+  uint64_t queries_submitted = 0;
   uint64_t queries_completed = 0;
   size_t index_invocations = 0;
   /// Sum of attributed_invocations over completed queries.
@@ -168,6 +173,11 @@ class TastiServer {
 
   TastiServer(const TastiServer&) = delete;
   TastiServer& operator=(const TastiServer&) = delete;
+
+  /// Attaches a live-telemetry monitor (serve/monitor.h): the server
+  /// drives its submit/complete/publish hooks. Must be called before
+  /// Start(); the monitor must outlive the server. Pass nullptr to detach.
+  void AttachMonitor(ServerMonitor* monitor);
 
   /// Builds the index (charging the oracle), publishes epoch 1, and starts
   /// the scheduler and workers. Call once.
@@ -193,10 +203,22 @@ class TastiServer {
   /// Drains and stops the workers. Subsequent Submits fail; idempotent.
   void Shutdown();
 
+  /// Streaming ingestion: embeds `features`, appends them as new records
+  /// (nearest-rep assignment, no new labels), and publishes a fresh epoch
+  /// carrying the appended-row delta. Returns the index of the first
+  /// appended record. Requires the index to have been built with its
+  /// embedding network (core::TastiIndex::AppendRecords). Thread-safe
+  /// against concurrent queries and cracks.
+  size_t AppendRecords(const nn::Matrix& features);
+
   // --- Introspection ---
 
+  /// Live-safe: may be called from any thread at any time.
   ServerStats stats() const;
-  SchedulerStats scheduler_stats() const { return scheduler_->stats(); }
+  /// Live-safe; all zeros before Start().
+  SchedulerStats scheduler_stats() const {
+    return scheduler_ == nullptr ? SchedulerStats{} : scheduler_->stats();
+  }
   ScoreCacheStats score_cache_stats() const { return score_cache_.stats(); }
   uint64_t current_epoch() const { return epochs_.current_epoch(); }
   /// Snapshots alive right now (current + retired-but-pinned).
@@ -236,10 +258,14 @@ class TastiServer {
                          double crack_seconds,
                          const core::ProxyTimings& proxy_timings,
                          size_t failed_oracle_calls);
+  /// Forwards the freshly published epoch to the monitor (outside all
+  /// server locks).
+  void NotifyEpochPublished();
 
   const data::Dataset* dataset_;
   labeler::FallibleLabeler* oracle_;
   const ServerOptions options_;
+  ServerMonitor* monitor_ = nullptr;  ///< set before Start(), then read-only
 
   // Oracle invocations predating the server (invariant baseline).
   size_t baseline_invocations_ = 0;

@@ -15,6 +15,7 @@
 #include "core/scorer.h"
 #include "core/serialize.h"
 #include "data/dataset.h"
+#include "labeler/faults.h"
 #include "labeler/labeler.h"
 #include "util/stats.h"
 
@@ -630,6 +631,51 @@ TEST(DriftTest, DetectsDistributionShift) {
   EXPECT_TRUE(report.drifted) << report.ToString();
   EXPECT_GT(report.recent_mean, report.baseline_mean);
   EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(DriftTest, TopKOverloadMatchesTheIndexOverload) {
+  // The serving monitor detects drift from an IndexSnapshot's copied
+  // min-k lists without holding the index; the two entry points must
+  // agree exactly.
+  data::Dataset ds = SmallDataset(1500);
+  TastiIndex index = BuildSmallIndex(ds);
+  data::DatasetOptions shifted_opts;
+  shifted_opts.num_records = 300;
+  shifted_opts.seed = 97;
+  data::Dataset shifted = data::MakeTaipei(shifted_opts);
+  const size_t first_new = index.AppendRecords(shifted.features);
+
+  const DriftReport via_index = DetectDrift(index, first_new);
+  const DriftReport via_topk =
+      DetectDrift(index.topk(), index.num_records(), first_new);
+  EXPECT_DOUBLE_EQ(via_topk.baseline_mean, via_index.baseline_mean);
+  EXPECT_DOUBLE_EQ(via_topk.recent_mean, via_index.recent_mean);
+  EXPECT_DOUBLE_EQ(via_topk.mean_ratio, via_index.mean_ratio);
+  EXPECT_EQ(via_topk.drifted, via_index.drifted);
+}
+
+TEST(DriftTest, DegradedIndexStillDetectsShift) {
+  // An index built against a faulty oracle keeps its failed
+  // representatives (marked invalid) — drift detection works off min-k
+  // distances, which exist regardless of annotation state, so a degraded
+  // index must still flag a scene change.
+  data::Dataset ds = SmallDataset(1500);
+  labeler::SimulatedLabeler sim(&ds);
+  labeler::FaultSchedule sched;
+  sched.permanent_rate = 0.05;
+  sched.seed = 11;
+  labeler::FaultInjectingLabeler inj(&sim, sched);
+  TastiIndex index = TastiIndex::Build(ds, &inj, FastIndexOptions());
+  ASSERT_GT(index.num_failed_representatives(), 0u);
+
+  data::DatasetOptions shifted_opts;
+  shifted_opts.num_records = 400;
+  shifted_opts.seed = 99;
+  data::Dataset shifted = data::MakeTaipei(shifted_opts);
+  const size_t first_new = index.AppendRecords(shifted.features);
+  const DriftReport report = DetectDrift(index, first_new);
+  EXPECT_TRUE(report.drifted) << report.ToString();
+  EXPECT_GT(report.mean_ratio, 1.3);
 }
 
 TEST(DriftTest, CrackingRestoresCoverage) {

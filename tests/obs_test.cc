@@ -8,9 +8,12 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/live.h"
 
 #include "api/session.h"
 #include "core/scorer.h"
@@ -32,14 +35,18 @@ namespace {
 class ObsFlagsGuard {
  public:
   ObsFlagsGuard()
-      : tracing_(obs::TracingEnabled()), metrics_(obs::MetricsEnabled()) {}
+      : tracing_(obs::TracingEnabled()),
+        flight_(obs::FlightRecordingEnabled()),
+        metrics_(obs::MetricsEnabled()) {}
   ~ObsFlagsGuard() {
     obs::SetTracingEnabled(tracing_);
+    obs::SetFlightRecordingEnabled(flight_);
     obs::SetMetricsEnabled(metrics_);
   }
 
  private:
   bool tracing_;
+  bool flight_;
   bool metrics_;
 };
 
@@ -446,6 +453,262 @@ TEST(SessionAttributionTest, LedgerMatchesTheOracleCounter) {
   EXPECT_GT(log.index_build_seconds(), 0.0);
   const obs::QueryPhaseTimes& first = log.queries()[0].phases;
   EXPECT_GT(first.rep_score_seconds + first.propagation_seconds, 0.0);
+}
+
+// ---------- Histogram quantiles ----------
+
+TEST(QuantileTest, InterpolatesWithinBuckets) {
+  // Bounds 10 / 20 / 40 with 10 observations spread 4/4/2: p50 falls at
+  // rank 5, one observation into the second bucket -> 10 + (1/4)*10.
+  obs::Histogram hist({10.0, 20.0, 40.0});
+  for (int i = 0; i < 4; ++i) hist.Observe(5.0);
+  for (int i = 0; i < 4; ++i) hist.Observe(15.0);
+  for (int i = 0; i < 2; ++i) hist.Observe(30.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 12.5);
+  // p100 = top of the last occupied bucket; p0 = bottom of the first.
+  EXPECT_DOUBLE_EQ(hist.Quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.0), 0.0);
+}
+
+TEST(QuantileTest, EmptyAndOverflowBehave) {
+  obs::Histogram hist({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.5), 0.0);  // empty -> 0
+  hist.Observe(100.0);                        // lands in the +inf bucket
+  // Overflow observations clamp to the last finite bound instead of
+  // inventing a value beyond the instrument's range.
+  EXPECT_DOUBLE_EQ(hist.Quantile(0.99), 2.0);
+}
+
+// ---------- Sliding-window quantile sketch ----------
+
+TEST(SlidingSketchTest, MergesSlotsInsideTheWindow) {
+  obs::SlidingQuantileSketch sketch({1.0, 10.0, 100.0}, 10.0, 3);  // 30s
+  sketch.Observe(5.0, 100.0);
+  sketch.Observe(5.0, 111.0);
+  sketch.Observe(50.0, 122.0);
+  const obs::WindowSnapshot snap = sketch.Snapshot(125.0);
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 60.0);
+  EXPECT_GT(snap.Quantile(0.99), 10.0);
+}
+
+TEST(SlidingSketchTest, OldSlotsAgeOutOnRotation) {
+  obs::SlidingQuantileSketch sketch({1.0, 10.0, 100.0}, 10.0, 3);
+  sketch.Observe(50.0, 100.0);
+  EXPECT_EQ(sketch.Snapshot(105.0).count, 1u);
+  // 3 slots x 10s later the observation's slot is out of the window even
+  // though its ring position has not been overwritten.
+  EXPECT_EQ(sketch.Snapshot(131.0).count, 0u);
+  // Writing a new observation reuses (and zeroes) the stale slot.
+  sketch.Observe(2.0, 131.0);
+  const obs::WindowSnapshot snap = sketch.Snapshot(131.0);
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 2.0);
+}
+
+// ---------- SLO burn rates ----------
+
+obs::SloConfig FastSloConfig() {
+  obs::SloConfig config;
+  config.latency_threshold_ms = 100.0;
+  config.latency_target = 0.9;  // error budget 0.1
+  config.fast_window_seconds = 60.0;
+  config.slow_window_seconds = 600.0;
+  config.burn_rate_threshold = 2.0;
+  config.min_events = 5;
+  config.alert_cooldown_seconds = 30.0;
+  return config;
+}
+
+TEST(SloTrackerTest, AlertsWhenBothWindowsBurn) {
+  obs::SloTracker slo(FastSloConfig());
+  // All-bad traffic: burn = 1.0/0.1 = 10x in both windows.
+  for (int i = 0; i < 6; ++i) {
+    slo.RecordQuery(10.0 + i, /*latency_ms=*/500.0, /*ok=*/true, 0);
+  }
+  const obs::BurnRates burn =
+      slo.Burn(obs::SloObjective::kLatency, 16.0);
+  EXPECT_DOUBLE_EQ(burn.fast, 10.0);
+  EXPECT_DOUBLE_EQ(burn.slow, 10.0);
+  const std::vector<obs::Alert> alerts = slo.TakeAlerts();
+  ASSERT_EQ(alerts.size(), 1u);  // cooldown suppresses repeats
+  EXPECT_EQ(alerts[0].objective, obs::SloObjective::kLatency);
+  EXPECT_GE(alerts[0].burn_fast, 2.0);
+  EXPECT_TRUE(slo.TakeAlerts().empty());
+  // After the cooldown the objective re-arms.
+  slo.RecordQuery(50.0, 500.0, true, 0);
+  EXPECT_EQ(slo.TakeAlerts().size(), 1u);
+}
+
+TEST(SloTrackerTest, MinEventsSuppressesStartupNoise) {
+  obs::SloTracker slo(FastSloConfig());
+  for (int i = 0; i < 4; ++i) slo.RecordQuery(10.0 + i, 500.0, true, 0);
+  EXPECT_TRUE(slo.TakeAlerts().empty());  // only 4 < min_events in fast
+}
+
+TEST(SloTrackerTest, HealthyTrafficKeepsBurnNearZero) {
+  obs::SloTracker slo(FastSloConfig());
+  for (int i = 0; i < 100; ++i) slo.RecordQuery(10.0 + i * 0.1, 1.0, true, 0);
+  EXPECT_DOUBLE_EQ(slo.Burn(obs::SloObjective::kLatency, 20.0).fast, 0.0);
+  EXPECT_TRUE(slo.TakeAlerts().empty());
+  EXPECT_EQ(slo.alerts_raised(), 0u);
+}
+
+TEST(SloTrackerTest, ErrorObjectiveTracksFailedQueries) {
+  obs::SloTracker slo(FastSloConfig());
+  for (int i = 0; i < 10; ++i) {
+    slo.RecordQuery(10.0 + i, 1.0, /*ok=*/i % 2 == 0, 0);
+  }
+  const obs::BurnRates burn = slo.Burn(obs::SloObjective::kErrors, 20.0);
+  EXPECT_GT(burn.fast, 100.0);  // 50% bad against a 0.1% budget
+  EXPECT_EQ(burn.fast_events, 10u);
+}
+
+// ---------- Flight recorder ----------
+
+TEST(FlightRecorderTest, RingOverwritesOldestBeyondCapacity) {
+  obs::FlightRecorder recorder(/*capacity_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("flight_test.span", i * 10, 5);
+  }
+  EXPECT_EQ(recorder.event_count(), 4u);
+  const std::vector<obs::TraceEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The survivors are the newest four, in timestamp order.
+  EXPECT_EQ(events.front().ts_us, 60);
+  EXPECT_EQ(events.back().ts_us, 90);
+}
+
+TEST(FlightRecorderTest, SpansReachFlightSinkWhenTracingIsOff) {
+  ObsFlagsGuard guard;
+  obs::SetTracingEnabled(false);
+  obs::SetFlightRecordingEnabled(true);
+  obs::FlightRecorder& global = obs::FlightRecorder::Global();
+  global.Clear();
+  const size_t trace_before = obs::TraceRecorder::Global().event_count();
+  { TASTI_SPAN("flight_test.only_flight"); }
+  obs::SetFlightRecordingEnabled(false);
+  EXPECT_EQ(global.event_count(), 1u);
+  // The trace sink stayed dark: the flag bits are independent.
+  EXPECT_EQ(obs::TraceRecorder::Global().event_count(), trace_before);
+  global.Clear();
+}
+
+TEST(FlightRecorderTest, ChromeJsonUsesMatchedBeginEndPairs) {
+  obs::FlightRecorder recorder(/*capacity_per_thread=*/64);
+  // parent [0, 100] wrapping child [10, 30] on this thread.
+  recorder.Record("flight_test.child", 10, 20);
+  recorder.Record("flight_test.parent", 0, 100);
+  const std::string json = recorder.ToChromeJson("unit_test");
+  const Result<json::Value> doc = json::Value::Parse(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  size_t begins = 0;
+  size_t ends = 0;
+  bool instant = false;
+  std::vector<std::string> stack;
+  for (const json::Value& event : events->AsArray()) {
+    const std::string ph = event.GetStringOr("ph", "");
+    if (ph == "i") {
+      instant = true;
+      EXPECT_EQ(event.GetStringOr("name", ""), "flight.dump");
+      const json::Value* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->GetStringOr("reason", ""), "unit_test");
+    } else if (ph == "B") {
+      ++begins;
+      stack.push_back(event.GetStringOr("name", ""));
+    } else if (ph == "E") {
+      ++ends;
+      ASSERT_FALSE(stack.empty());
+      EXPECT_EQ(stack.back(), event.GetStringOr("name", ""));
+      stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(instant);
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(FlightRecorderTest, ConcurrentRecordsStayBoundedPerThread) {
+  obs::FlightRecorder recorder(/*capacity_per_thread=*/32);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 500; ++i) {
+        recorder.Record("flight_test.concurrent", i, 1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(recorder.event_count(), 32u * kThreads);
+}
+
+// ---------- Prometheus exposition ----------
+
+TEST(ExpositionTest, RendersRegistryAndLiveSamples) {
+  obs::MetricsRegistry registry;
+  registry.counter("serve.queries", "calls")->Increment(7);
+  registry.gauge("serve.queue_depth", "items")->Set(3.0);
+  obs::Histogram* hist =
+      registry.histogram("serve.wait_ms", {1.0, 10.0}, "ms");
+  hist->Observe(0.5);
+  hist->Observe(5.0);
+  hist->Observe(100.0);
+
+  obs::LiveStats live;
+  live.Add("tasti_query_latency_ms", 12.5,
+           {{"kind", "aggregate"}, {"quantile", "0.99"}}, 'g',
+           "sliding-window latency quantiles");
+
+  const std::string text = obs::WriteExposition(registry, live);
+  // Registry names are sanitized into one namespace.
+  EXPECT_NE(text.find("# TYPE tasti_serve_queries counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("tasti_serve_queries 7"), std::string::npos);
+  EXPECT_NE(text.find("tasti_serve_queue_depth 3"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == count.
+  EXPECT_NE(text.find("tasti_serve_wait_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("tasti_serve_wait_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("tasti_serve_wait_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("tasti_serve_wait_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("tasti_serve_wait_ms_sum"), std::string::npos);
+  // Live samples carry their labels through.
+  EXPECT_NE(
+      text.find(
+          "tasti_query_latency_ms{kind=\"aggregate\",quantile=\"0.99\"} "
+          "12.5"),
+      std::string::npos);
+  // Every line is either a comment or "name{labels} value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST(ExpositionTest, TypeLinesAreEmittedOncePerFamily) {
+  obs::MetricsRegistry registry;
+  obs::LiveStats live;
+  live.Add("tasti_burn", 1.0, {{"window", "fast"}});
+  live.Add("tasti_burn", 0.5, {{"window", "slow"}});
+  const std::string text = obs::WriteExposition(registry, live);
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = text.find("# TYPE tasti_burn gauge", pos)) !=
+         std::string::npos) {
+    ++count;
+    pos += 1;
+  }
+  EXPECT_EQ(count, 1u);
 }
 
 }  // namespace

@@ -8,10 +8,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "api/session.h"
+#include "obs/live.h"
+#include "serve/monitor.h"
 #include "core/index.h"
 #include "core/propagation.h"
 #include "core/proxy.h"
@@ -793,6 +798,216 @@ TEST(ServerTest, ScoreCacheAccountingAcrossDeterministicWaves) {
     if (!record.proxy_source.empty()) ++sourced;
   }
   EXPECT_EQ(sourced, 6u);
+  EXPECT_TRUE(server.CheckAttributionInvariant().ok());
+}
+
+// --- Live stats / ServerMonitor ---
+
+TEST(ServerTest, StatsAreSafeToReadDuringALiveWorkload) {
+  // ServerStats counters are updated by worker threads; stats() must be
+  // readable concurrently without torn or racing reads. TSan (check.sh's
+  // tsan stage runs this binary) is the real assertion here.
+  data::Dataset ds = TestDataset(1200);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+  TastiServer server(&ds, &adapter, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    uint64_t last_completed = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const ServerStats stats = server.stats();
+      // Monotone counters never go backwards, even mid-workload.
+      EXPECT_GE(stats.queries_completed, last_completed);
+      last_completed = stats.queries_completed;
+      EXPECT_GE(stats.queries_submitted, stats.queries_completed);
+      (void)server.scheduler_stats();
+      (void)server.score_cache_stats();
+    }
+  });
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  core::PresenceScorer present(data::ObjectClass::kCar);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    QuerySpec spec;
+    if (i % 2 == 0) {
+      spec.kind = QueryKind::kAggregate;
+      spec.scorer = &cars;
+      spec.error_target = 0.15;
+    } else {
+      spec.kind = QueryKind::kSupgRecall;
+      spec.scorer = &present;
+      spec.target = 0.9;
+      spec.budget = 120;
+    }
+    Result<uint64_t> id = server.Submit(spec);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  for (uint64_t id : ids) {
+    EXPECT_TRUE(server.Wait(id).status.ok());
+  }
+  server.Drain();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(server.stats().queries_completed, 8u);
+}
+
+TEST(MonitorTest, TracksQuantilesBurnsAlertsAndDumps) {
+  data::Dataset ds = TestDataset(1200);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+
+  obs::ManualClock clock(1000.0);
+  MonitorOptions mopts;
+  // Impossible latency SLO: every query breaches, so burn hits 1/budget
+  // and the alert + dump path must fire deterministically.
+  mopts.slo.latency_threshold_ms = 0.0001;
+  mopts.slo.min_events = 3;
+  mopts.flight_dump_path = ::testing::TempDir() + "/monitor_test_flight";
+  mopts.dump_cooldown_seconds = 0.0;
+  ServerMonitor monitor(mopts, &clock);
+
+  TastiServer server(&ds, &adapter, opts);
+  server.AttachMonitor(&monitor);
+  ASSERT_TRUE(server.Start().ok());
+
+  core::CountScorer cars(data::ObjectClass::kCar);
+  QuerySpec spec;
+  spec.kind = QueryKind::kAggregate;
+  spec.scorer = &cars;
+  spec.error_target = 0.15;
+  for (int i = 0; i < 6; ++i) {
+    clock.Advance(1.0);
+    EXPECT_TRUE(server.Execute(spec).status.ok());
+  }
+  server.Drain();
+
+  // Quantiles: six aggregate queries are in the window.
+  obs::LiveStats live = monitor.Collect();
+  bool saw_latency_quantile = false;
+  bool saw_burn = false;
+  bool saw_cache = false;
+  for (const obs::LiveSample& sample : live.samples) {
+    if (sample.name == "tasti_query_latency_ms") {
+      for (const auto& [key, value] : sample.labels) {
+        if (key == "kind" && value == "aggregate") saw_latency_quantile = true;
+      }
+    }
+    if (sample.name == "tasti_slo_burn_rate") saw_burn = true;
+    if (sample.name == "tasti_score_cache_hit_ratio") saw_cache = true;
+  }
+  EXPECT_TRUE(saw_latency_quantile);
+  EXPECT_TRUE(saw_burn);
+  EXPECT_TRUE(saw_cache);
+
+  // Every query breached, so both burn windows saturate at 1/error_budget
+  // (latency_target 0.99 -> budget 0.01 -> burn 100x).
+  const obs::BurnRates burn = monitor.Burn(obs::SloObjective::kLatency);
+  EXPECT_GT(burn.fast, mopts.slo.burn_rate_threshold);
+  EXPECT_GT(burn.slow, mopts.slo.burn_rate_threshold);
+  EXPECT_GE(monitor.alerts_raised(), 1u);
+  const std::vector<obs::Alert> alerts = monitor.alerts();
+  ASSERT_FALSE(alerts.empty());
+  EXPECT_EQ(alerts[0].objective, obs::SloObjective::kLatency);
+
+  // The breach wrote a bounded flight dump.
+  const std::vector<std::string> dumps = monitor.dump_files();
+  ASSERT_FALSE(dumps.empty());
+  std::ifstream in(dumps[0]);
+  ASSERT_TRUE(in.good()) << dumps[0];
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("flight.dump"), std::string::npos);
+
+  // The status line is renderable and mentions the alert count.
+  EXPECT_NE(monitor.StatusLine().find("alerts="), std::string::npos);
+  EXPECT_TRUE(server.CheckAttributionInvariant().ok());
+}
+
+TEST(MonitorTest, FaultHookRaisesAlertOncePerCooldown) {
+  obs::ManualClock clock(0.0);
+  MonitorOptions mopts;
+  mopts.event_alert_cooldown_seconds = 10.0;
+  ServerMonitor monitor(mopts, &clock);
+
+  monitor.OnFault("breaker_open", "oracle circuit breaker opened");
+  monitor.OnFault("breaker_open", "oracle circuit breaker opened");
+  EXPECT_EQ(monitor.alerts_raised(), 1u);  // second is inside the cooldown
+  clock.Advance(11.0);
+  monitor.OnFault("breaker_open", "oracle circuit breaker opened");
+  EXPECT_EQ(monitor.alerts_raised(), 2u);
+  // Distinct fault kinds have independent cooldowns.
+  monitor.OnFault("oracle_failure", "query exhausted retries");
+  EXPECT_EQ(monitor.alerts_raised(), 3u);
+}
+
+TEST(MonitorTest, EpochPublishUpdatesDriftGaugesAndAlerts) {
+  data::Dataset ds = TestDataset(1500);
+  labeler::SimulatedLabeler oracle(&ds);
+  labeler::FallibleAdapter adapter(&oracle);
+  ServerOptions opts = FastServerOptions();
+
+  obs::ManualClock clock(0.0);
+  MonitorOptions mopts;
+  ServerMonitor monitor(mopts, &clock);
+
+  TastiServer server(&ds, &adapter, opts);
+  server.AttachMonitor(&monitor);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Start() published the baseline epoch into the monitor.
+  IndexHealth health = monitor.index_health();
+  EXPECT_EQ(health.num_records, ds.size());
+  EXPECT_EQ(health.baseline_records, ds.size());
+  EXPECT_DOUBLE_EQ(health.drift_ratio, 1.0);
+  EXPECT_FALSE(health.drifted);
+
+  // A budget-bounded query runs against the baseline first (the oracle
+  // only covers the original records; appended footage is unlabeled until
+  // cracked). Bounded so its cracks leave most records non-representative
+  // — an aggregate here would crack nearly everything and flatten the
+  // baseline distances the drift ratio is measured against.
+  core::PresenceScorer present(data::ObjectClass::kCar);
+  QuerySpec spec;
+  spec.kind = QueryKind::kSupgRecall;
+  spec.scorer = &present;
+  spec.target = 0.9;
+  spec.budget = 120;
+  EXPECT_TRUE(server.Execute(spec).status.ok());
+  server.Drain();
+
+  // The camera pans to a different scene: taipei features appended live.
+  data::DatasetOptions shifted_opts;
+  shifted_opts.num_records = 400;
+  shifted_opts.seed = 99;
+  data::Dataset shifted = data::MakeTaipei(shifted_opts);
+  clock.Advance(5.0);
+  const size_t first_new = server.AppendRecords(shifted.features);
+  EXPECT_EQ(first_new, ds.size());
+
+  health = monitor.index_health();
+  EXPECT_EQ(health.num_records, ds.size() + 400);
+  EXPECT_GT(health.drift_ratio, mopts.drift_ratio_threshold);
+  EXPECT_TRUE(health.drifted);
+
+  // The drift alert fired and the gauges flow into Collect().
+  bool drift_alert = false;
+  for (const obs::Alert& alert : monitor.alerts()) {
+    if (alert.objective == obs::SloObjective::kIndexDrift) drift_alert = true;
+  }
+  EXPECT_TRUE(drift_alert);
+  bool saw_drifted_gauge = false;
+  for (const obs::LiveSample& sample : monitor.Collect().samples) {
+    if (sample.name == "tasti_index_drifted" && sample.value == 1.0) {
+      saw_drifted_gauge = true;
+    }
+  }
+  EXPECT_TRUE(saw_drifted_gauge);
   EXPECT_TRUE(server.CheckAttributionInvariant().ok());
 }
 

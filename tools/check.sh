@@ -21,6 +21,10 @@
 #            correctness: the serving layer (epoch snapshots, cross-query
 #            oracle batching), obs counters/spans, the thread pool, and
 #            the retry/breaker state machine.
+#   monitor  live-telemetry smoke: `tasti_cli monitor` under a concurrent
+#            workload with a breach-everything SLO, then asserts the
+#            Prometheus exposition carries the expected metric families
+#            and the flight-recorder dump passes validate_trace --flight.
 #
 # --incremental skips the configure step for any build directory that
 # already has a CMakeCache.txt, so repeated local runs (and CI runs with a
@@ -35,7 +39,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  sed -n '2,32p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,36p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 STAGES=()
@@ -52,12 +56,12 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(tier1 sanitize chaos tsan)
+  STAGES=(tier1 sanitize chaos tsan monitor)
 fi
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    tier1|sanitize|chaos|tsan) ;;
-    *) echo "error: unknown stage '$stage' (tier1|sanitize|chaos|tsan)" >&2
+    tier1|sanitize|chaos|tsan|monitor) ;;
+    *) echo "error: unknown stage '$stage' (tier1|sanitize|chaos|tsan|monitor)" >&2
        exit 2 ;;
   esac
 done
@@ -135,6 +139,47 @@ stage_tsan() {
   echo "-- build-tsan/tests/faults_test (retry/breaker state machine)"
   "build-tsan/tests/faults_test" \
     --gtest_filter='ResilientLabelerTest.*:FaultInjectorTest.*'
+}
+
+stage_monitor() {
+  echo "== monitor: live-telemetry smoke (exposition + flight dump) =="
+  configure build -B build -S .
+  cmake --build build -j "$(nproc)" --target tasti_cli validate_trace
+  local out=build/tools/check_monitor.prom
+  local flight=build/tools/check_monitor_flight
+  rm -f "$out" "$flight"-*.json
+  # --slo-latency-ms 0.001 makes every query breach the latency objective,
+  # so the run deterministically raises an alert and cuts a flight dump.
+  build/tools/tasti_cli monitor --dataset night-street --records 3000 \
+    --train 150 --reps 200 --clients 4 --rounds 2 --budget 60 \
+    --oracle-latency-ms 1 --slo-latency-ms 0.001 --slo-min-events 3 \
+    --frame-ms 0 --require-alert --out "$out" --flight-dump "$flight"
+  python3 - "$out" <<'PYEOF'
+import sys
+
+path = sys.argv[1]
+text = open(path).read()
+families = {
+    "tasti_query_latency_ms",
+    "tasti_slo_burn_rate",
+    "tasti_score_cache_hit_ratio",
+    "tasti_index_degraded_reps",
+}
+missing = sorted(f for f in families if f"\n{f}" not in text and not text.startswith(f))
+if missing:
+    sys.exit(f"monitor exposition {path} is missing families: {missing}")
+# Every non-comment line must parse as `name{labels} value` or `name value`.
+import re
+line_re = re.compile(r"^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? [-+0-9.eEinfa]+$")
+for line in text.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    if not line_re.match(line):
+        sys.exit(f"unparseable exposition line: {line!r}")
+print(f"monitor exposition OK ({sum(1 for l in text.splitlines() if l and not l.startswith('#'))} samples)")
+PYEOF
+  echo "-- validate_trace --flight $flight-1.json"
+  build/tools/validate_trace "$flight"-1.json --flight --max-events=40000
 }
 
 for stage in "${STAGES[@]}"; do

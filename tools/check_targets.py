@@ -13,7 +13,12 @@ Asserts, from the repository root:
   4. every bench/*.cc has a registration (tasti_add_bench or
      add_executable) in bench/CMakeLists.txt and vice versa;
   5. every committed bench baseline (bench/baselines/BENCH_*.json) is
-     gated by the CI bench-regression job in .github/workflows/ci.yml.
+     gated by the CI bench-regression job in .github/workflows/ci.yml;
+  6. every tools/*.cc has an add_executable in tools/CMakeLists.txt and
+     vice versa;
+  7. every stage_<name>() function in tools/check.sh is runnable (listed
+     in the default stage set and the case validation) and has a matching
+     `stage: <name>` entry in the CI matrix.
 
 Run directly (tools/check.sh tier1 and the CI lint job both do):
     python3 tools/check_targets.py
@@ -92,7 +97,53 @@ def main():
             "does not exist"
         )
 
+    tool_sources = {p.stem for p in (ROOT / "tools").glob("*.cc")}
+    tools_cmake = (ROOT / "tools" / "CMakeLists.txt").read_text()
+    tools_registered = set(re.findall(r"add_executable\((\w+)", tools_cmake))
+    for name in sorted(tool_sources - tools_registered):
+        errors.append(
+            f"tools/{name}.cc exists but tools/CMakeLists.txt never "
+            f"registers a `{name}` target"
+        )
+    for name in sorted(tools_registered - tool_sources):
+        errors.append(
+            f"tools/CMakeLists.txt registers `{name}` but tools/{name}.cc "
+            "does not exist"
+        )
+
     ci = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+
+    stage_functions = set(re.findall(r"^stage_(\w+)\(\)", check_sh, re.MULTILINE))
+    # Union over assignments: --fast sets STAGES=(tier1), the no-argument
+    # default sets the full list; a stage must appear in the latter.
+    default_stages = set()
+    for match in re.finditer(r"STAGES=\(([\w\s]+)\)", check_sh):
+        default_stages |= set(match.group(1).split())
+    ci_stages = set(re.findall(r"stage:\s*(\w+)", ci))
+    for name in sorted(stage_functions - default_stages):
+        errors.append(
+            f"tools/check.sh defines stage_{name} but the default STAGES "
+            "list never runs it"
+        )
+    for name in sorted(default_stages - stage_functions):
+        errors.append(
+            f"tools/check.sh lists `{name}` in STAGES but defines no "
+            f"stage_{name} function"
+        )
+    for name in sorted(stage_functions):
+        if not re.search(rf"\b{name}\|", check_sh) and not re.search(
+            rf"\|{name}\)", check_sh
+        ):
+            errors.append(
+                f"tools/check.sh's --stage validation does not accept "
+                f"`{name}`"
+            )
+    for name in sorted(stage_functions - ci_stages):
+        errors.append(
+            f"tools/check.sh defines stage_{name} but .github/workflows/"
+            f"ci.yml has no `stage: {name}` matrix entry"
+        )
+
     for baseline in sorted((ROOT / "bench" / "baselines").glob("BENCH_*.json")):
         if baseline.name not in ci:
             errors.append(

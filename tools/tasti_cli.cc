@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,9 +48,11 @@
 #include "labeler/labeler.h"
 #include "labeler/resilient.h"
 #include "obs/config.h"
+#include "obs/live.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/trace.h"
+#include "serve/monitor.h"
 #include "queries/aggregation.h"
 #include "queries/limit.h"
 #include "queries/supg.h"
@@ -83,7 +86,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: tasti_cli "
-      "<build|info|aggregate|select|limit|workload|serve-workload> [flags]\n"
+      "<build|info|aggregate|select|limit|workload|serve-workload|monitor> "
+      "[flags]\n"
       "  common: --dataset <name> --records N --seed S --index PATH\n"
       "          --trace=PATH (Chrome trace JSON) --metrics=PATH (snapshot)\n"
       "  build:  --train N1 --reps N2 --k K --out PATH [--pretrained]\n"
@@ -100,6 +104,13 @@ int Usage() {
       "oracle\n"
       "          savings; nonzero exit if the attribution invariant or "
       "checks fail)\n"
+      "  monitor: serve-workload flags plus --rounds R --frame-ms MS\n"
+      "          --out PROM (exposition, default monitor.prom) --flight-dump "
+      "PREFIX\n"
+      "          --slo-latency-ms T --inject-drift N --require-alert\n"
+      "          (runs a monitored serve workload printing live status "
+      "frames;\n"
+      "          writes Prometheus exposition + flight-recorder dumps)\n"
       "  chaos:  --faults SPEC (build/workload; e.g. "
       "transient=0.1,timeout=0.05,throttle=100:8,perm-rate=0.002,seed=9)\n"
       "          --retry-attempts N --breaker-threshold N\n"
@@ -120,7 +131,9 @@ struct OracleStack {
 };
 
 bool MakeOracleStack(const Args& args, const data::Dataset* dataset,
-                     OracleStack* stack) {
+                     OracleStack* stack,
+                     std::function<void(labeler::BreakerState)> on_breaker =
+                         nullptr) {
   stack->sim = std::make_unique<labeler::SimulatedLabeler>(dataset);
   const std::string spec = args.Get("faults", "");
   if (spec.empty()) {
@@ -142,6 +155,7 @@ bool MakeOracleStack(const Args& args, const data::Dataset* dataset,
       static_cast<size_t>(args.GetInt("retry-attempts", 6));
   ropts.breaker.failure_threshold =
       static_cast<size_t>(args.GetInt("breaker-threshold", 8));
+  ropts.on_breaker_transition = std::move(on_breaker);
   stack->resilient = std::make_unique<labeler::ResilientLabeler>(
       stack->injector.get(), ropts);
   stack->oracle = stack->resilient.get();
@@ -692,6 +706,17 @@ int RunServeWorkload(const Args& args) {
               static_cast<unsigned long long>(cache.full_computes),
               static_cast<unsigned long long>(cache.delta_rows),
               static_cast<unsigned long long>(cache.evictions));
+  if (obs::MetricsEnabled()) {
+    const obs::Histogram* wait = obs::MetricsRegistry::Global().histogram(
+        "serve.queue_wait_ms", obs::ExponentialBuckets(0.05, 2.0, 16), "ms");
+    if (wait->count() > 0) {
+      std::printf("queue wait: p50=%.2fms p95=%.2fms p99=%.2fms over %llu "
+                  "queries\n",
+                  wait->Quantile(0.50), wait->Quantile(0.95),
+                  wait->Quantile(0.99),
+                  static_cast<unsigned long long>(wait->count()));
+    }
+  }
   if (served_failures.load() > 0) {
     std::fprintf(stderr, "%zu served queries failed\n",
                  served_failures.load());
@@ -741,6 +766,242 @@ int RunServeWorkload(const Args& args) {
                             static_cast<long long>(served_oracle.invocations()));
 }
 
+// Runs a monitored serve workload: K client threads against one
+// TastiServer with a ServerMonitor attached, printing a one-line status
+// frame every --frame-ms while queries run, then writing a
+// Prometheus-style exposition (--out) and any flight-recorder dumps
+// (--flight-dump prefix). --faults wires the chaos stack in, with breaker
+// trips feeding the monitor's fault hook; --inject-drift N appends N
+// out-of-distribution records after the workload so the drift gauges and
+// alert fire end to end:
+//
+//   tasti_cli monitor --dataset night-street --records 6000 --clients 8 \
+//       --rounds 2 --slo-latency-ms 50 --out monitor.prom \
+//       --flight-dump flight --inject-drift 500
+int RunMonitor(const Args& args) {
+  const data::Dataset dataset = LoadDataset(args);
+  const size_t clients = static_cast<size_t>(args.GetInt("clients", 8));
+  const size_t per_client = static_cast<size_t>(
+      args.GetInt("rounds", args.GetInt("queries-per-client", 2)));
+  const double latency_ms = args.GetDouble("oracle-latency-ms", 2.0);
+  const double error = args.GetDouble("error", 0.1);
+  const size_t budget = static_cast<size_t>(args.GetInt("budget", 200));
+  const size_t want = static_cast<size_t>(args.GetInt("want", 5));
+  const uint64_t query_seed =
+      static_cast<uint64_t>(args.GetInt("query-seed", 7));
+  const size_t inject_drift =
+      static_cast<size_t>(args.GetInt("inject-drift", 0));
+  const double frame_ms = args.GetDouble("frame-ms", 200.0);
+  const std::string out_path = args.Get("out", "monitor.prom");
+
+  // The monitor is the point of this command: metrics and the flight
+  // recorder are always on (tracing stays opt-in via --trace).
+  obs::SetMetricsEnabled(true);
+  obs::SetFlightRecordingEnabled(true);
+
+  serve::MonitorOptions mopts;
+  mopts.slo.latency_threshold_ms = args.GetDouble("slo-latency-ms", 250.0);
+  mopts.slo.oracle_budget_per_query = args.GetDouble("slo-oracle-budget", 0.0);
+  mopts.slo.burn_rate_threshold = args.GetDouble("burn-threshold", 2.0);
+  mopts.slo.min_events =
+      static_cast<uint64_t>(args.GetInt("slo-min-events", 5));
+  mopts.slo.alert_cooldown_seconds = args.GetDouble("alert-cooldown-s", 60.0);
+  mopts.flight_dump_path = args.Get("flight-dump", "flight");
+  mopts.max_flight_dumps =
+      static_cast<size_t>(args.GetInt("max-flight-dumps", 4));
+  mopts.dump_cooldown_seconds = args.GetDouble("dump-cooldown-s", 1.0);
+  mopts.drift_ratio_threshold = args.GetDouble("drift-threshold", 1.3);
+  serve::ServerMonitor monitor(mopts);
+
+  // Oracle stack: optional chaos (--faults) with breaker trips routed to
+  // the monitor, then injected latency modeling a remote model server.
+  OracleStack stack;
+  if (!MakeOracleStack(args, &dataset, &stack,
+                       [&monitor](labeler::BreakerState state) {
+                         if (state == labeler::BreakerState::kOpen) {
+                           monitor.OnFault("breaker_open",
+                                           "oracle circuit breaker opened");
+                         }
+                       })) {
+    return 2;
+  }
+  serve::LatencyInjectingOracle oracle(stack.oracle, latency_ms);
+
+  core::IndexOptions index_opts;
+  index_opts.num_training_records =
+      static_cast<size_t>(args.GetInt("train", 300));
+  index_opts.num_representatives =
+      static_cast<size_t>(args.GetInt("reps", 500));
+  index_opts.k = static_cast<size_t>(args.GetInt("k", 5));
+  index_opts.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  // Same mixed workload as serve-workload, without the serialized
+  // baseline.
+  const auto aggregation = MakeScorer(args, dataset);
+  std::unique_ptr<core::Scorer> selection;
+  std::unique_ptr<core::Scorer> limit_predicate;
+  if (dataset.modality == data::Modality::kVideo) {
+    const std::string cls_name = args.Get("class", "car");
+    const data::ObjectClass cls = cls_name == "bus" ? data::ObjectClass::kBus
+                                                    : data::ObjectClass::kCar;
+    selection = std::make_unique<core::AtLeastCountScorer>(cls, 2);
+    limit_predicate = std::make_unique<core::AtLeastCountScorer>(cls, 4);
+  } else {
+    selection = MakeScorer(args, dataset);
+    limit_predicate = MakeScorer(args, dataset);
+  }
+  std::vector<serve::QuerySpec> specs;
+  for (size_t c = 0; c < clients; ++c) {
+    for (size_t q = 0; q < per_client; ++q) {
+      serve::QuerySpec spec;
+      spec.client_id = c;
+      switch ((c * per_client + q) % 5) {
+        case 0:
+          spec.kind = serve::QueryKind::kAggregate;
+          spec.scorer = aggregation.get();
+          spec.error_target = error;
+          break;
+        case 1:
+          spec.kind = serve::QueryKind::kSupgRecall;
+          spec.scorer = selection.get();
+          spec.target = 0.9;
+          spec.budget = budget;
+          break;
+        case 2:
+          spec.kind = serve::QueryKind::kSupgPrecision;
+          spec.scorer = selection.get();
+          spec.target = 0.9;
+          spec.budget = budget;
+          break;
+        case 3:
+          spec.kind = serve::QueryKind::kThresholdSelect;
+          spec.scorer = selection.get();
+          spec.validation_budget = budget;
+          break;
+        default:
+          spec.kind = serve::QueryKind::kLimit;
+          spec.scorer = limit_predicate.get();
+          spec.want = want;
+          break;
+      }
+      specs.push_back(spec);
+    }
+  }
+  const size_t total_queries = specs.size();
+
+  serve::ServerOptions server_opts;
+  server_opts.index = index_opts;
+  server_opts.seed = query_seed;
+  server_opts.num_workers = clients;
+  server_opts.max_pending = std::max<size_t>(total_queries, 1);
+  server_opts.scheduler.parallel_dispatch =
+      args.flags.count("serial-dispatch") == 0;
+  server_opts.scheduler.dispatch_threads = std::max<size_t>(clients, 8);
+  server_opts.scheduler.batch_window_ms = 0.5;
+  serve::TastiServer server(&dataset, &oracle, server_opts);
+  server.AttachMonitor(&monitor);
+  {
+    const Status status = server.Start();
+    if (!status.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("monitor: %zu queries (%zu clients x %zu), slo latency "
+              "%.2f ms, dumps -> %s-*.json\n",
+              total_queries, clients, per_client,
+              mopts.slo.latency_threshold_ms,
+              mopts.flight_dump_path.empty() ? "(disabled)"
+                                             : mopts.flight_dump_path.c_str());
+
+  std::atomic<bool> done{false};
+  std::thread frame_thread([&] {
+    if (frame_ms <= 0.0) return;
+    while (!done.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(frame_ms * 1000.0)));
+      std::printf("frame %s\n", monitor.StatusLine().c_str());
+      std::fflush(stdout);
+    }
+  });
+
+  std::vector<std::thread> client_threads;
+  std::atomic<size_t> failures{0};
+  for (size_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (size_t q = 0; q < per_client; ++q) {
+        const serve::QueryResponse response =
+            server.Execute(specs[c * per_client + q]);
+        if (!response.status.ok()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : client_threads) thread.join();
+  server.Drain();
+
+  if (inject_drift > 0) {
+    // Out-of-distribution rows (a different dataset family) appended live:
+    // the publish hook recomputes DetectDrift over the appended suffix and
+    // the drift gauge/alert path fires if the distances inflate.
+    data::DatasetOptions drift_opts;
+    drift_opts.num_records = inject_drift;
+    drift_opts.feature_dim = dataset.feature_dim();
+    drift_opts.seed = index_opts.seed + 1;
+    const data::Dataset shifted = data::MakeTaipei(drift_opts);
+    const size_t first_new = server.AppendRecords(shifted.features);
+    const serve::IndexHealth health = monitor.index_health();
+    std::printf("injected drift: appended %zu records at %zu; drift ratio "
+                "%.3f (threshold %.2f) drifted=%s\n",
+                inject_drift, first_new, health.drift_ratio,
+                mopts.drift_ratio_threshold, health.drifted ? "yes" : "no");
+  }
+
+  done.store(true, std::memory_order_relaxed);
+  frame_thread.join();
+  std::printf("final %s\n", monitor.StatusLine().c_str());
+
+  const std::vector<obs::Alert> alerts = monitor.alerts();
+  for (const obs::Alert& alert : alerts) {
+    std::printf("alert [%s] t=%.1fs %s\n",
+                obs::SloObjectiveName(alert.objective), alert.fired_at_seconds,
+                alert.message.c_str());
+  }
+  const std::vector<std::string> dumps = monitor.dump_files();
+  for (const std::string& path : dumps) {
+    std::printf("flight dump: %s\n", path.c_str());
+  }
+
+  const Status invariant = server.CheckAttributionInvariant();
+  if (!invariant.ok()) {
+    std::fprintf(stderr, "%s\n", invariant.ToString().c_str());
+    return 1;
+  }
+
+  const Status written =
+      obs::WriteExpositionFile(obs::MetricsRegistry::Global(),
+                               monitor.Collect(), out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "exposition write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote exposition to %s (%zu alerts, %zu flight dumps, "
+              "%zu query failures)\n",
+              out_path.c_str(), alerts.size(), dumps.size(), failures.load());
+
+  if (args.flags.count("require-alert") != 0 &&
+      (alerts.empty() || dumps.empty())) {
+    std::fprintf(stderr, "FAIL: --require-alert but %zu alerts, %zu dumps\n",
+                 alerts.size(), dumps.size());
+    return 1;
+  }
+  return WriteObservability(args, &server.query_log());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -775,6 +1036,8 @@ int main(int argc, char** argv) {
     return RunWorkload(args);  // writes its own ledger-bearing outputs
   } else if (args.command == "serve-workload") {
     return RunServeWorkload(args);
+  } else if (args.command == "monitor") {
+    return RunMonitor(args);
   } else {
     return Usage();
   }
