@@ -1,12 +1,18 @@
 #include "core/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
 #include "embed/pretrained.h"
 #include "embed/triplet_trainer.h"
+#include "labeler/label_codec.h"
 #include "nn/serialize.h"
 #include "util/checksum.h"
 
@@ -73,81 +79,6 @@ bool GetVector(const std::string& in, size_t* at, std::vector<T>* v) {
   return true;
 }
 
-// --- LabelerOutput (tag + payload) ---
-
-enum class LabelTag : uint8_t { kVideo = 0, kText = 1, kSpeech = 2 };
-
-void PutLabel(std::string* out, const data::LabelerOutput& label) {
-  if (const auto* video = std::get_if<data::VideoLabel>(&label)) {
-    Put<uint8_t>(out, static_cast<uint8_t>(LabelTag::kVideo));
-    Put<uint32_t>(out, static_cast<uint32_t>(video->boxes.size()));
-    for (const data::Box& box : video->boxes) {
-      Put<uint8_t>(out, static_cast<uint8_t>(box.cls));
-      Put<float>(out, box.x);
-      Put<float>(out, box.y);
-      Put<float>(out, box.w);
-      Put<float>(out, box.h);
-    }
-    return;
-  }
-  if (const auto* text = std::get_if<data::TextLabel>(&label)) {
-    Put<uint8_t>(out, static_cast<uint8_t>(LabelTag::kText));
-    Put<uint8_t>(out, static_cast<uint8_t>(text->op));
-    Put<int32_t>(out, text->num_predicates);
-    return;
-  }
-  const auto& speech = std::get<data::SpeechLabel>(label);
-  Put<uint8_t>(out, static_cast<uint8_t>(LabelTag::kSpeech));
-  Put<uint8_t>(out, static_cast<uint8_t>(speech.gender));
-  Put<int32_t>(out, speech.age_years);
-}
-
-bool GetLabel(const std::string& in, size_t* at, data::LabelerOutput* label) {
-  uint8_t tag = 0;
-  if (!Get(in, at, &tag)) return false;
-  switch (static_cast<LabelTag>(tag)) {
-    case LabelTag::kVideo: {
-      uint32_t count = 0;
-      if (!Get(in, at, &count)) return false;
-      data::VideoLabel video;
-      video.boxes.reserve(count);
-      for (uint32_t i = 0; i < count; ++i) {
-        uint8_t cls = 0;
-        data::Box box;
-        if (!Get(in, at, &cls) || !Get(in, at, &box.x) || !Get(in, at, &box.y) ||
-            !Get(in, at, &box.w) || !Get(in, at, &box.h)) {
-          return false;
-        }
-        box.cls = static_cast<data::ObjectClass>(cls);
-        video.boxes.push_back(box);
-      }
-      *label = std::move(video);
-      return true;
-    }
-    case LabelTag::kText: {
-      uint8_t op = 0;
-      int32_t preds = 0;
-      if (!Get(in, at, &op) || !Get(in, at, &preds)) return false;
-      data::TextLabel text;
-      text.op = static_cast<data::SqlOp>(op);
-      text.num_predicates = preds;
-      *label = text;
-      return true;
-    }
-    case LabelTag::kSpeech: {
-      uint8_t gender = 0;
-      int32_t age = 0;
-      if (!Get(in, at, &gender) || !Get(in, at, &age)) return false;
-      data::SpeechLabel speech;
-      speech.gender = static_cast<data::Gender>(gender);
-      speech.age_years = age;
-      *label = speech;
-      return true;
-    }
-  }
-  return false;
-}
-
 }  // namespace
 
 Result<std::string> IndexSerializer::SerializeToString(const TastiIndex& index) {
@@ -167,9 +98,11 @@ Result<std::string> IndexSerializer::SerializeToString(const TastiIndex& index) 
                                 index.rep_record_ids_.end());
   PutVector(&out, rep_ids);
 
+  // Labels use the shared codec (labeler/label_codec.h) — the same
+  // encoding the write-ahead log stores per crack.
   Put<uint64_t>(&out, index.rep_labels_.size());
   for (const data::LabelerOutput& label : index.rep_labels_) {
-    PutLabel(&out, label);
+    labeler::EncodeLabel(&out, label);
   }
   // v3: validity flags (0 marks a representative whose annotation failed).
   PutVector(&out, index.rep_label_valid_);
@@ -243,7 +176,7 @@ Result<TastiIndex> IndexSerializer::DeserializeFromString(
   }
   index.rep_labels_.resize(num_labels);
   for (uint64_t i = 0; i < num_labels; ++i) {
-    if (!GetLabel(buffer, &at, &index.rep_labels_[i])) {
+    if (!labeler::DecodeLabel(buffer, &at, &index.rep_labels_[i])) {
       return Status::InvalidArgument("truncated labels");
     }
   }
@@ -318,12 +251,43 @@ Result<TastiIndex> IndexSerializer::DeserializeFromString(
 }
 
 Status IndexSerializer::Save(const TastiIndex& index, const std::string& path) {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return Status::IOError("cannot open for writing: " + path);
   Result<std::string> buffer = SerializeToString(index);
   TASTI_RETURN_NOT_OK(buffer.status());
-  file.write(buffer->data(), static_cast<std::streamsize>(buffer->size()));
-  if (!file) return Status::IOError("write failed: " + path);
+  // Atomic publish: tmp file + fsync + rename. A crash mid-Save leaves at
+  // most a stray tmp; `path` always holds a complete index (the old one
+  // until the rename commits, the new one after).
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open for writing: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < buffer->size()) {
+    const ssize_t n =
+        ::write(fd, buffer->data() + written, buffer->size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      ::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp + ": " + detail);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::close(fd);
+    ::remove(tmp.c_str());
+    return Status::IOError("fsync failed: " + tmp + ": " + detail);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string detail = std::strerror(errno);
+    ::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path + ": " +
+                           detail);
+  }
   return Status::OK();
 }
 

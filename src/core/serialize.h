@@ -19,7 +19,9 @@ namespace tasti::core {
 /// Saves/loads TastiIndex instances. All methods are stateless.
 class IndexSerializer {
  public:
-  /// Writes the index to `path`. Overwrites existing files.
+  /// Writes the index to `path` atomically (tmp file + fsync + rename):
+  /// a crash mid-Save can never leave a truncated index at `path`.
+  /// Overwrites existing files.
   static Status Save(const TastiIndex& index, const std::string& path);
 
   /// Reads an index from `path`.

@@ -1,0 +1,137 @@
+#ifndef TASTI_DURABLE_CHECKPOINT_H_
+#define TASTI_DURABLE_CHECKPOINT_H_
+
+/// \file checkpoint.h
+/// Atomic full-index checkpoints plus the DurabilityManager that ties the
+/// WAL and checkpointer together for the server.
+///
+/// A checkpoint is one self-describing file checkpoint-<seq>.ckpt: a
+/// header naming the epoch it captures and the WAL position replay should
+/// resume from, the serialized index (core/serialize.h), and a TCHK
+/// footer over the whole thing. It is published atomically — written to a
+/// tmp file, fsynced, renamed — and then MANIFEST (same atomic discipline,
+/// also footered) is pointed at it. Recovery that finds no readable
+/// MANIFEST can still scan checkpoint files directly, because each one
+/// carries its own metadata.
+///
+/// Checkpointing rotates the WAL to a fresh segment first, so the manifest
+/// high-water mark (wal_segment, next_lsn) cleanly bounds what replay must
+/// read; segments and checkpoints below the mark are garbage-collected
+/// after the manifest rename commits.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/index.h"
+#include "durable/file.h"
+#include "durable/wal.h"
+#include "util/status.h"
+
+namespace tasti::durable {
+
+/// Format versions, bumped on incompatible layout changes. Encode* take an
+/// explicit version so tests can manufacture version-skewed files.
+inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Checkpoint metadata: stored in MANIFEST and inside each checkpoint.
+struct Manifest {
+  uint64_t checkpoint_seq = 0;
+  uint64_t epoch = 0;         ///< epoch the checkpoint captures
+  uint64_t wal_segment = 1;   ///< first WAL segment replay must read
+  uint64_t next_lsn = 1;      ///< first LSN not reflected in the checkpoint
+  std::string checkpoint_file;
+};
+
+std::string CheckpointFileName(uint64_t seq);
+std::optional<uint64_t> ParseCheckpointFileName(const std::string& name);
+
+std::string EncodeManifest(const Manifest& manifest,
+                           uint32_t version = kManifestVersion);
+Result<Manifest> DecodeManifest(const std::string& buffer);
+
+Result<std::string> EncodeCheckpoint(const core::TastiIndex& index,
+                                     const Manifest& meta,
+                                     uint32_t version = kCheckpointVersion);
+struct CheckpointContents {
+  Manifest meta;
+  core::TastiIndex index;
+};
+Result<CheckpointContents> DecodeCheckpoint(const std::string& buffer);
+
+/// Server-facing knobs (ServerOptions::durability).
+struct DurabilityOptions {
+  /// Directory for WAL segments, checkpoints, and MANIFEST. Empty disables
+  /// durability entirely.
+  std::string dir;
+  /// Full checkpoint every N published epochs (WAL replay cost bound).
+  size_t checkpoint_every_epochs = 16;
+  /// Filesystem indirection; null means the real DefaultFile(). The
+  /// crash-injection harness passes its counting instance here.
+  File* fs = nullptr;
+};
+
+struct DurabilityStats {
+  uint64_t records_logged = 0;
+  uint64_t bytes_logged = 0;
+  uint64_t syncs = 0;  ///< fsync barriers issued (one per epoch publish)
+  uint64_t epochs_published = 0;
+  uint64_t checkpoints_written = 0;
+  uint64_t segments_deleted = 0;  ///< GC'd after successful checkpoints
+  bool failed = false;  ///< sticky: an IO error stopped durable logging
+};
+
+/// Coordinates the WAL writer and checkpointer. Not thread-safe: the
+/// server calls it under its crack mutex, where mutations are already
+/// serialized. Any IO failure is sticky — the server keeps serving from
+/// memory (availability first) and surfaces a monitor fault, but no
+/// further durable state is written.
+class DurabilityManager {
+ public:
+  /// Opens `options.dir` (creating it) and writes an immediate checkpoint
+  /// of `index` at `epoch`, so there is always a checkpoint to recover
+  /// from. A fresh start passes the defaults; recovery resumes with the
+  /// positions Recover() returned, which also retires the replayed WAL.
+  static Result<std::unique_ptr<DurabilityManager>> Open(
+      const DurabilityOptions& options, const core::TastiIndex& index,
+      uint64_t epoch, uint64_t next_lsn = 1, uint64_t wal_segment = 1,
+      uint64_t checkpoint_seq = 0);
+
+  /// Buffers one mutation record (reaches disk at the next CommitEpoch).
+  Status Log(WalRecord record);
+
+  /// Logs the epoch-publish marker and issues the fsync barrier; then
+  /// checkpoints if the configured cadence is due.
+  Status CommitEpoch(const core::TastiIndex& index, uint64_t epoch);
+
+  /// Unconditional checkpoint (rotate WAL, write checkpoint + manifest,
+  /// GC). The server calls this on shutdown.
+  Status Checkpoint(const core::TastiIndex& index, uint64_t epoch);
+
+  /// True when epochs were committed since the last checkpoint.
+  bool dirty_since_checkpoint() const { return dirty_since_checkpoint_; }
+
+  const DurabilityStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurabilityManager(const DurabilityOptions& options, File* fs);
+  Status Fail(Status status);
+  /// Best-effort removal of checkpoints/segments below the new manifest.
+  void CollectGarbage(const Manifest& meta);
+
+  const DurabilityOptions options_;
+  File* fs_;
+  std::string dir_;
+  std::unique_ptr<WalWriter> writer_;
+  uint64_t checkpoint_seq_ = 0;
+  size_t epochs_since_checkpoint_ = 0;
+  bool dirty_since_checkpoint_ = false;
+  DurabilityStats stats_;
+  Status failure_ = Status::OK();
+};
+
+}  // namespace tasti::durable
+
+#endif  // TASTI_DURABLE_CHECKPOINT_H_

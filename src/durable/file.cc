@@ -1,0 +1,234 @@
+#include "durable/file.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace tasti::durable {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync on the directory makes a just-committed rename/create durable.
+/// Best effort: some filesystems refuse O_RDONLY fsync on directories.
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+Status WriteFd(int fd, const char* data, size_t size, const std::string& path) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status WriteAll(const std::string& path, const std::string& data, int flags) {
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) return Errno("open", path);
+  Status status = WriteFd(fd, data.data(), data.size(), path);
+  if (status.ok() && ::fsync(fd) != 0) status = Errno("fsync", path);
+  ::close(fd);
+  return status;
+}
+
+}  // namespace
+
+File::Admission File::AdmitOp(uint64_t* op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *op = ++ops_;
+  if (crashed_) return Admission::kDead;
+  if (crash_.crash_at_op != 0 && *op >= crash_.crash_at_op) {
+    crashed_ = true;
+    return Admission::kTear;
+  }
+  return Admission::kRun;
+}
+
+size_t File::TornPrefix(uint64_t op, size_t size) const {
+  // Same discipline as labeler/faults.h: a pure function of (seed, op), so
+  // the byte the tear lands on is reproducible run to run.
+  uint64_t h = crash_.seed * 0x9E3779B97F4A7C15ull + op;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 29;
+  return static_cast<size_t>(h % (size + 1));
+}
+
+Status File::CrashedStatus() const {
+  return Status::DataLoss("injected crash: filesystem is dead");
+}
+
+Status File::Write(const std::string& path, const std::string& data) {
+  uint64_t op = 0;
+  switch (AdmitOp(&op)) {
+    case Admission::kRun:
+      return WriteAll(path, data, O_WRONLY | O_CREAT | O_TRUNC);
+    case Admission::kTear: {
+      const std::string prefix = data.substr(0, TornPrefix(op, data.size()));
+      (void)WriteAll(path, prefix, O_WRONLY | O_CREAT | O_TRUNC);
+      return Status::DataLoss("injected crash at op " + std::to_string(op) +
+                              ": torn write of " + path);
+    }
+    case Admission::kDead:
+      break;
+  }
+  return CrashedStatus();
+}
+
+Status File::Append(const std::string& path, const std::string& data) {
+  uint64_t op = 0;
+  switch (AdmitOp(&op)) {
+    case Admission::kRun:
+      return WriteAll(path, data, O_WRONLY | O_CREAT | O_APPEND);
+    case Admission::kTear: {
+      const std::string prefix = data.substr(0, TornPrefix(op, data.size()));
+      (void)WriteAll(path, prefix, O_WRONLY | O_CREAT | O_APPEND);
+      return Status::DataLoss("injected crash at op " + std::to_string(op) +
+                              ": torn append to " + path);
+    }
+    case Admission::kDead:
+      break;
+  }
+  return CrashedStatus();
+}
+
+Status File::Rename(const std::string& from, const std::string& to) {
+  uint64_t op = 0;
+  if (AdmitOp(&op) != Admission::kRun) return CrashedStatus();
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return Errno("rename", from + " -> " + to);
+  }
+  SyncDir(ParentDir(to));
+  return Status::OK();
+}
+
+Status File::Remove(const std::string& path) {
+  uint64_t op = 0;
+  if (AdmitOp(&op) != Admission::kRun) return CrashedStatus();
+  if (::remove(path.c_str()) != 0) return Errno("remove", path);
+  return Status::OK();
+}
+
+Status File::MakeDir(const std::string& path) {
+  uint64_t op = 0;
+  if (AdmitOp(&op) != Admission::kRun) return CrashedStatus();
+  std::string prefix;
+  size_t at = 0;
+  while (at < path.size()) {
+    size_t slash = path.find('/', at + 1);
+    if (slash == std::string::npos) slash = path.size();
+    prefix = path.substr(0, slash);
+    at = slash;
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Status File::WriteAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  Status written = Write(tmp, data);
+  if (!written.ok()) {
+    // A crash here leaves at most a torn `tmp`; the target is untouched.
+    (void)::remove(tmp.c_str());
+    return written;
+  }
+  Status renamed = Rename(tmp, path);
+  if (!renamed.ok()) (void)::remove(tmp.c_str());
+  return renamed;
+}
+
+Result<std::string> File::Read(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Errno("open", path);
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Errno("read", path);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Result<std::vector<std::string>> File::List(const std::string& dir) const {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory: " + dir);
+    return Errno("opendir", dir);
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(handle);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool File::Exists(const std::string& path) const {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+void File::ArmCrash(uint64_t ops_from_now, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_.crash_at_op = ops_ + ops_from_now;
+  crash_.seed = seed;
+  crashed_ = false;
+}
+
+uint64_t File::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool File::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+File* DefaultFile() {
+  static File* const file = new File();
+  return file;
+}
+
+}  // namespace tasti::durable

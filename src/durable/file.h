@@ -1,0 +1,106 @@
+#ifndef TASTI_DURABLE_FILE_H_
+#define TASTI_DURABLE_FILE_H_
+
+/// \file file.h
+/// Filesystem indirection for the durability layer, with deterministic
+/// crash injection.
+///
+/// Every mutation the WAL, checkpointer, and recovery path perform goes
+/// through a durable::File so the crash-injection harness can count
+/// filesystem operations and kill the "process" at exactly op N. The model
+/// (like labeler/faults.h, a seeded pure function of the op counter):
+///
+///  - Write/Append are one counted op each: the bytes plus their fsync
+///    either land entirely (op admitted) or — at the crash point — only a
+///    seeded prefix lands (a torn write, the page-cache loss a real crash
+///    produces). Data buffered by callers but never synced simply never
+///    reaches the file.
+///  - Rename/Remove/MakeDir are counted, atomic ops: at the crash point
+///    they fail without side effects (POSIX rename is atomic; there is no
+///    torn rename to model).
+///  - After the crash point every further mutation fails ("the process is
+///    dead"); reads are uncounted and unaffected, because recovery — a new
+///    process — uses a fresh File.
+///
+/// A default-constructed File never injects anything and is the real
+/// filesystem (fsync barriers included); DefaultFile() is a process-wide
+/// instance of it.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tasti::durable {
+
+/// Deterministic crash schedule: the `crash_at_op`-th mutation (1-based)
+/// tears/fails and every later one fails. 0 disables injection.
+struct CrashPoint {
+  uint64_t crash_at_op = 0;
+  uint64_t seed = 0;  ///< determines the torn-write prefix length
+};
+
+/// Thread-safe; the op numbering is deterministic only when callers
+/// serialize their mutations (the server logs under its crack mutex).
+class File {
+ public:
+  File() = default;
+  explicit File(CrashPoint crash) : crash_(crash) {}
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  // --- Mutations (counted ops, crash-injectable) ---
+
+  /// Creates/truncates `path` with `data` and fsyncs it.
+  Status Write(const std::string& path, const std::string& data);
+  /// Appends `data` to `path` (creating it if absent) and fsyncs it.
+  Status Append(const std::string& path, const std::string& data);
+  /// Atomic rename; the destination directory is fsynced so the rename —
+  /// the commit point of every atomic-publish sequence — survives a crash.
+  Status Rename(const std::string& from, const std::string& to);
+  Status Remove(const std::string& path);
+  /// mkdir -p; one counted op.
+  Status MakeDir(const std::string& path);
+  /// The atomic-publish idiom: write `path`.tmp + fsync, rename over
+  /// `path`. The tmp file is unlinked (best effort) on failure, so a crash
+  /// mid-Write can never leave a truncated file at the target path.
+  Status WriteAtomic(const std::string& path, const std::string& data);
+
+  // --- Reads (uncounted, never injected) ---
+
+  Result<std::string> Read(const std::string& path) const;
+  /// Sorted names in `dir` (excluding "." and "..").
+  Result<std::vector<std::string>> List(const std::string& dir) const;
+  bool Exists(const std::string& path) const;
+
+  // --- Introspection / test hooks ---
+
+  /// Re-arms injection to crash `ops_from_now` mutations from now (tests
+  /// arm a crash mid-scenario without predicting absolute op numbers).
+  void ArmCrash(uint64_t ops_from_now, uint64_t seed);
+  uint64_t ops() const;
+  bool crashed() const;
+
+ private:
+  enum class Admission { kRun, kTear, kDead };
+  /// Counts one mutation and decides its fate.
+  Admission AdmitOp(uint64_t* op);
+  /// Seeded torn-write length for the crashing op: some prefix of `size`.
+  size_t TornPrefix(uint64_t op, size_t size) const;
+  Status CrashedStatus() const;
+
+  mutable std::mutex mu_;
+  CrashPoint crash_;
+  uint64_t ops_ = 0;
+  bool crashed_ = false;
+};
+
+/// The process-wide real filesystem (no injection).
+File* DefaultFile();
+
+}  // namespace tasti::durable
+
+#endif  // TASTI_DURABLE_FILE_H_

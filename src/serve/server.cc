@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "api/session.h"
+#include "core/serialize.h"
 #include "labeler/resilient.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -94,17 +95,153 @@ Status TastiServer::Start() {
     std::lock_guard<std::mutex> lock(log_mu_);
     query_log_.RecordIndexBuild(index_invocations_, build_timer.Seconds());
   }
+  if (!options_.durability.dir.empty()) {
+    // The opening checkpoint persists the freshly built index, so every
+    // oracle call it charged is already recoverable before the first
+    // query. Failing here fails Start: the caller asked for durability.
+    std::lock_guard<std::mutex> lock(crack_mu_);
+    Result<std::unique_ptr<durable::DurabilityManager>> durability =
+        durable::DurabilityManager::Open(options_.durability, *index_,
+                                         epochs_.current_epoch());
+    TASTI_RETURN_NOT_OK(durability.status());
+    durability_ = std::move(*durability);
+  }
   scheduler_ = std::make_unique<OracleScheduler>(oracle_, options_.scheduler);
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
   }
   NotifyEpochPublished();
+  SpawnWorkers();
+  return Status::OK();
+}
+
+void TastiServer::SpawnWorkers() {
   const size_t workers = std::max<size_t>(1, options_.num_workers);
   workers_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+}
+
+std::string TastiServer::LogMutationLocked(durable::WalRecord record) {
+  if (durability_ == nullptr) return "";
+  Status logged = durability_->Log(std::move(record));
+  return logged.ok() ? "" : "wal append failed: " + logged.message();
+}
+
+std::string TastiServer::CommitEpochLocked(uint64_t epoch) {
+  if (durability_ == nullptr) return "";
+  Status committed = durability_->CommitEpoch(*index_, epoch);
+  return committed.ok() ? ""
+                        : "epoch " + std::to_string(epoch) +
+                              " commit failed: " + committed.message();
+}
+
+durable::DurabilityStats TastiServer::durability_stats() const {
+  std::lock_guard<std::mutex> lock(crack_mu_);
+  return durability_ == nullptr ? durable::DurabilityStats{}
+                                : durability_->stats();
+}
+
+Result<std::string> TastiServer::SerializeIndex() const {
+  std::lock_guard<std::mutex> lock(crack_mu_);
+  if (!index_.has_value()) {
+    return Status::FailedPrecondition("no index: Start() or RecoverFrom()");
+  }
+  return core::IndexSerializer::SerializeToString(*index_);
+}
+
+Status TastiServer::RecoverFrom(const std::string& dir_arg) {
+  const std::string dir =
+      dir_arg.empty() ? options_.durability.dir : dir_arg;
+  if (dir.empty()) {
+    return Status::InvalidArgument(
+        "RecoverFrom needs a directory (argument or durability.dir)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ && !stopping_) {
+      return Status::FailedPrecondition(
+          "Shutdown() the server before RecoverFrom()");
+    }
+  }
+  TASTI_SPAN("serve.recover");
+  durable::File* fs = options_.durability.fs != nullptr
+                          ? options_.durability.fs
+                          : durable::DefaultFile();
+  WallTimer recover_timer;
+  Result<durable::RecoveredState> recovered = durable::Recover(fs, dir);
+  TASTI_RETURN_NOT_OK(recovered.status());
+
+  std::string durability_fault;
+  {
+    std::lock_guard<std::mutex> lock(crack_mu_);
+    index_ = std::move(recovered->index);
+    next_epoch_ = recovered->epoch + 1;
+    deferred_cracks_.clear();
+    // A warm restart may rewind behind ids the pre-crash instance
+    // published; Reset() lets the recovered epoch be (re)published.
+    epochs_.Reset();
+    epochs_.Publish(IndexSnapshot::FromIndexAndTakeDelta(
+        &*index_, recovered->epoch, 0));
+    // Cached proxy state is keyed by epoch id, and this restart will reuse
+    // ids the crashed instance already published with *different* index
+    // content — an explicit invalidation is the only safe restart state.
+    score_cache_.Invalidate();
+    durable::DurabilityOptions durability_options = options_.durability;
+    durability_options.dir = dir;
+    Result<std::unique_ptr<durable::DurabilityManager>> durability =
+        durable::DurabilityManager::Open(
+            durability_options, *index_, recovered->epoch,
+            recovered->next_lsn, recovered->wal_segment,
+            recovered->checkpoint_seq);
+    if (durability.ok()) {
+      durability_ = std::move(*durability);
+    } else {
+      durability_.reset();
+      durability_fault =
+          "durable logging disabled after recovery: " +
+          durability.status().message();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.clear();
+    completed_.clear();
+    client_running_.clear();
+    executing_ = 0;
+    queries_completed_ = 0;
+    query_invocations_ = 0;
+    stopping_ = false;
+  }
+  // The recovered labels were paid for by the crashed instance; this
+  // incarnation's attribution ledger starts clean.
+  baseline_invocations_ = oracle_->invocations();
+  index_invocations_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(log_mu_);
+    query_log_ = obs::QueryLog();
+    query_log_.RecordIndexBuild(0, recover_timer.Seconds());
+  }
+  recovery_stats_ = recovered->stats;
+  // A fresh scheduler: the server-wide label cache is in-memory state the
+  // crash invalidated along with everything else.
+  scheduler_ = std::make_unique<OracleScheduler>(oracle_, options_.scheduler);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  NotifyEpochPublished();
+  if (monitor_ != nullptr) {
+    for (const std::string& fault : recovered->stats.faults) {
+      monitor_->OnFault("durability", fault);
+    }
+    if (!durability_fault.empty()) {
+      monitor_->OnFault("durability", durability_fault);
+    }
+  }
+  if (workers_.empty()) SpawnWorkers();
   return Status::OK();
 }
 
@@ -178,8 +315,19 @@ void TastiServer::Drain() {
               return a.query_id < b.query_id;
             });
   size_t cracked = 0;
+  std::string fault;
   for (const DeferredCrack& crack : deferred_cracks_) {
-    cracked += index_->CrackFromLabels(crack.records, crack.labels);
+    const size_t applied = index_->CrackFromLabels(crack.records, crack.labels);
+    cracked += applied;
+    if (applied > 0 && fault.empty()) {
+      // Each deferred crack gets its own WAL record in query-id order, so
+      // replay re-applies them in exactly this sequence.
+      durable::WalRecord record;
+      record.type = durable::WalRecordType::kCrack;
+      record.records.assign(crack.records.begin(), crack.records.end());
+      record.labels = crack.labels;
+      fault = LogMutationLocked(std::move(record));
+    }
   }
   deferred_cracks_.clear();
   bool published = false;
@@ -187,12 +335,16 @@ void TastiServer::Drain() {
     // One delta spanning every deferred crack: the parent is the epoch the
     // whole wave read, so a single incremental pass advances to it.
     const uint64_t epoch = next_epoch_++;
+    if (fault.empty()) fault = CommitEpochLocked(epoch);
     epochs_.Publish(
         IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
     published = true;
   }
   lock.unlock();
   if (published) NotifyEpochPublished();
+  if (!fault.empty() && monitor_ != nullptr) {
+    monitor_->OnFault("durability", fault);
+  }
 }
 
 void TastiServer::Shutdown() {
@@ -202,10 +354,29 @@ void TastiServer::Shutdown() {
   }
   work_cv_.notify_all();
   admit_cv_.notify_all();
+  const bool quiesced = !workers_.empty();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // A clean shutdown leaves a fresh checkpoint so the next Open replays an
+  // empty WAL. Only after a real quiesce (first Shutdown of a running
+  // server): repeated Shutdown calls must not re-checkpoint.
+  std::string fault;
+  {
+    std::lock_guard<std::mutex> lock(crack_mu_);
+    if (quiesced && durability_ != nullptr && index_.has_value() &&
+        durability_->dirty_since_checkpoint()) {
+      Status checkpointed =
+          durability_->Checkpoint(*index_, epochs_.current_epoch());
+      if (!checkpointed.ok()) {
+        fault = "shutdown checkpoint failed: " + checkpointed.message();
+      }
+    }
+  }
+  if (!fault.empty() && monitor_ != nullptr) {
+    monitor_->OnFault("durability", fault);
+  }
 }
 
 ServerStats TastiServer::stats() const {
@@ -444,6 +615,7 @@ size_t TastiServer::ApplyCrackNow(
   TASTI_SPAN("serve.crack");
   size_t cracked = 0;
   bool published = false;
+  std::string fault;
   {
     std::lock_guard<std::mutex> lock(crack_mu_);
     cracked = index_->CrackFromLabels(records, labels);
@@ -454,27 +626,48 @@ size_t TastiServer::ApplyCrackNow(
       // LRU — an entry for a retired epoch is still useful as the next
       // delta's parent.
       const uint64_t epoch = next_epoch_++;
+      // Log-before-publish: once readers can see this epoch, the WAL has
+      // its crack and its commit marker synced (or durability has already
+      // degraded to memory-only and raised a fault).
+      durable::WalRecord record;
+      record.type = durable::WalRecordType::kCrack;
+      record.records.assign(records.begin(), records.end());
+      record.labels = labels;
+      fault = LogMutationLocked(std::move(record));
+      if (fault.empty()) fault = CommitEpochLocked(epoch);
       epochs_.Publish(
           IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
       published = true;
     }
   }
   if (published) NotifyEpochPublished();
+  if (!fault.empty() && monitor_ != nullptr) {
+    monitor_->OnFault("durability", fault);
+  }
   return cracked;
 }
 
 size_t TastiServer::AppendRecords(const nn::Matrix& features) {
   TASTI_SPAN("serve.append_records");
   size_t first_new = 0;
+  std::string fault;
   {
     std::lock_guard<std::mutex> lock(crack_mu_);
     TASTI_CHECK(index_.has_value(), "Start() the server before appending");
     first_new = index_->AppendRecords(features);
     const uint64_t epoch = next_epoch_++;
+    durable::WalRecord record;
+    record.type = durable::WalRecordType::kAppend;
+    record.features = features;
+    fault = LogMutationLocked(std::move(record));
+    if (fault.empty()) fault = CommitEpochLocked(epoch);
     epochs_.Publish(
         IndexSnapshot::FromIndexAndTakeDelta(&*index_, epoch, epoch - 1));
   }
   NotifyEpochPublished();
+  if (!fault.empty() && monitor_ != nullptr) {
+    monitor_->OnFault("durability", fault);
+  }
   return first_new;
 }
 

@@ -44,6 +44,8 @@
 #include "core/proxy.h"
 #include "core/scorer.h"
 #include "data/dataset.h"
+#include "durable/checkpoint.h"
+#include "durable/recovery.h"
 #include "labeler/labeler.h"
 #include "obs/query_log.h"
 #include "queries/aggregation.h"
@@ -139,6 +141,13 @@ struct ServerOptions {
   SchedulerOptions scheduler;
   /// Bounds on the server-wide proxy-score cache.
   ScoreCacheOptions score_cache;
+  /// Crash-safe durability (durable/checkpoint.h): when `durability.dir`
+  /// is set, every crack/append is WAL-logged with an fsync barrier at its
+  /// epoch publish and checkpointed on the configured cadence, so
+  /// RecoverFrom() can rebuild the exact published epoch after a crash.
+  /// Empty dir (the default) disables durability. Logging failures degrade
+  /// to memory-only serving with a monitor fault — they never fail a query.
+  durable::DurabilityOptions durability;
   /// Index construction parameters (Start() builds the index).
   core::IndexOptions index;
   /// Success probability shared by guarantee-carrying queries.
@@ -183,6 +192,19 @@ class TastiServer {
   /// the scheduler and workers. Call once.
   Status Start();
 
+  /// Crash recovery: instead of rebuilding, loads the latest checkpoint
+  /// from `dir` (default: options().durability.dir), replays the WAL's
+  /// committed records — yielding an index bit-identical to the last
+  /// durably published epoch — republishes that epoch, and starts serving.
+  /// The proxy-score cache is explicitly invalidated (a warm restart
+  /// reuses epoch ids whose cached state the crash threw away) and the
+  /// oracle scheduler starts cold. Unreadable WAL segments are quarantined
+  /// with a monitor fault rather than refusing to start; durable logging
+  /// resumes into a fresh segment plus an immediate checkpoint. Callable
+  /// on a fresh server or after Shutdown() (warm restart); NotFound means
+  /// no durable state exists and the caller should Start() cold.
+  Status RecoverFrom(const std::string& dir = "");
+
   /// Enqueues a query; returns its id immediately. Fails with
   /// ResourceExhausted when the queue is full and block_on_admission is
   /// off, Unavailable after Shutdown, FailedPrecondition before Start.
@@ -220,6 +242,16 @@ class TastiServer {
     return scheduler_ == nullptr ? SchedulerStats{} : scheduler_->stats();
   }
   ScoreCacheStats score_cache_stats() const { return score_cache_.stats(); }
+  /// Zeros when durability is disabled (or its manager failed to open).
+  durable::DurabilityStats durability_stats() const;
+  /// Stats of the last RecoverFrom(); nullopt if never recovered.
+  const std::optional<durable::RecoveryStats>& last_recovery() const {
+    return recovery_stats_;
+  }
+  /// Serialized bytes of the master index (core/serialize.h). The crash
+  /// harness hashes this to compare a recovered server against a control
+  /// run. Call quiescent (after Drain).
+  Result<std::string> SerializeIndex() const;
   uint64_t current_epoch() const { return epochs_.current_epoch(); }
   /// Snapshots alive right now (current + retired-but-pinned).
   size_t live_snapshots() const { return epochs_.live_snapshots(); }
@@ -253,6 +285,15 @@ class TastiServer {
   /// representatives added.
   size_t ApplyCrackNow(const std::vector<size_t>& records,
                        const std::vector<data::LabelerOutput>& labels);
+  /// WAL-logs one mutation under crack_mu_; returns a fault detail (empty
+  /// on success / durability disabled) for the caller to raise outside
+  /// locks — logging failures degrade durability, never the query.
+  std::string LogMutationLocked(durable::WalRecord record);
+  /// Logs the epoch-publish marker and issues the fsync barrier (plus the
+  /// cadenced checkpoint). Same fault convention as LogMutationLocked.
+  std::string CommitEpochLocked(uint64_t epoch);
+  /// Spawns the worker pool (Start and RecoverFrom share it).
+  void SpawnWorkers();
   void AppendQueryRecord(const QueryResponse& response, const QuerySpec& spec,
                          double algorithm_seconds, double oracle_seconds,
                          double crack_seconds,
@@ -272,10 +313,14 @@ class TastiServer {
   size_t index_invocations_ = 0;
 
   // Master index: mutated only under crack_mu_; queries read snapshots.
-  std::mutex crack_mu_;
+  mutable std::mutex crack_mu_;
   std::optional<core::TastiIndex> index_;
   uint64_t next_epoch_ = 1;
   std::vector<DeferredCrack> deferred_cracks_;
+  // Durable logging state (null when durability is disabled or degraded);
+  // guarded by crack_mu_ like the index it persists.
+  std::unique_ptr<durable::DurabilityManager> durability_;
+  std::optional<durable::RecoveryStats> recovery_stats_;
 
   EpochManager epochs_;
   std::unique_ptr<OracleScheduler> scheduler_;

@@ -131,6 +131,11 @@ void EpochManager::Publish(IndexSnapshot snapshot) {
                  current_->rep_record_ids.size());
 }
 
+void EpochManager::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.reset();
+}
+
 std::shared_ptr<const IndexSnapshot> EpochManager::Acquire() const {
   std::lock_guard<std::mutex> lock(mu_);
   return current_;

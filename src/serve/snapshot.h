@@ -90,6 +90,13 @@ class EpochManager {
   /// the current one.
   void Publish(IndexSnapshot snapshot);
 
+  /// Forgets the current snapshot so recovery can republish an epoch that
+  /// is not newer than the last id this manager handed out (a warm restart
+  /// rewinds to the last *durable* epoch, which a crash may have left
+  /// behind the last *published* one). Readers still pinning retired
+  /// epochs are unaffected.
+  void Reset();
+
   /// The current snapshot, pinned: the returned pointer keeps its epoch
   /// alive until released. Null until the first Publish.
   std::shared_ptr<const IndexSnapshot> Acquire() const;

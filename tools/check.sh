@@ -25,6 +25,12 @@
 #            workload with a breach-everything SLO, then asserts the
 #            Prometheus exposition carries the expected metric families
 #            and the flight-recorder dump passes validate_trace --flight.
+#   crash    deterministic crash injection: `crash_loop` runs a durable
+#            serve workload once as a control, then re-runs it crashing
+#            the filesystem at every mutating op N, recovering each time
+#            and asserting the recovered index is bit-identical to a
+#            committed control epoch (plus idempotent double recovery and
+#            the attribution invariant). Also runs ctest -L durable.
 #
 # --incremental skips the configure step for any build directory that
 # already has a CMakeCache.txt, so repeated local runs (and CI runs with a
@@ -39,7 +45,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  sed -n '2,36p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,42p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 STAGES=()
@@ -56,12 +62,13 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(tier1 sanitize chaos tsan monitor)
+  STAGES=(tier1 sanitize chaos tsan monitor crash)
 fi
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    tier1|sanitize|chaos|tsan|monitor) ;;
-    *) echo "error: unknown stage '$stage' (tier1|sanitize|chaos|tsan|monitor)" >&2
+    tier1|sanitize|chaos|tsan|monitor|crash) ;;
+    *) echo "error: unknown stage '$stage'" \
+            "(tier1|sanitize|chaos|tsan|monitor|crash)" >&2
        exit 2 ;;
   esac
 done
@@ -107,12 +114,14 @@ stage_tier1() {
 }
 
 stage_sanitize() {
-  echo "== sanitize: ASan/UBSan build of kernel + cluster + obs tests =="
+  echo "== sanitize: ASan/UBSan build of kernel + cluster + obs + durable tests =="
   require_sanitizer address sanitize
   configure build-sanitize --preset sanitize
   cmake --build build-sanitize -j "$(nproc)" \
-    --target kernels_test cluster_test nn_test util_test obs_test
-  for t in kernels_test cluster_test nn_test util_test obs_test; do
+    --target kernels_test cluster_test nn_test util_test obs_test \
+    durable_test
+  for t in kernels_test cluster_test nn_test util_test obs_test \
+           durable_test; do
     echo "-- build-sanitize/tests/$t"
     "build-sanitize/tests/$t"
   done
@@ -180,6 +189,20 @@ print(f"monitor exposition OK ({sum(1 for l in text.splitlines() if l and not l.
 PYEOF
   echo "-- validate_trace --flight $flight-1.json"
   build/tools/validate_trace "$flight"-1.json --flight --max-events=40000
+}
+
+stage_crash() {
+  echo "== crash: durable tests + deterministic crash-injection grid =="
+  configure build -B build -S .
+  cmake --build build -j "$(nproc)" --target durable_test crash_loop
+  (cd build && ctest -L durable --output-on-failure -j "$(nproc)")
+  # The grid crashes the filesystem at every mutating op of a durable
+  # serve workload (build -> serve -> crack -> append -> drain) and
+  # requires every recovery to land bit-identical on a committed control
+  # epoch. Seeded, so failures reproduce exactly.
+  rm -rf build/tools/check_crash_runs
+  build/tools/crash_loop --records 600 --reps 50 --queries 6 --stride 1 \
+    --seed 33 --dir build/tools/check_crash_runs
 }
 
 for stage in "${STAGES[@]}"; do

@@ -7,9 +7,10 @@ Asserts, from the repository root:
      tests/CMakeLists.txt, and every registration has a source file;
   2. every <name>_test binary that tools/check.sh builds or runs is a
      registered test (no stale names after a rename/delete);
-  3. every test registered with a `serve` or `chaos` label is exercised by
-     the matching sanitizer stage in tools/check.sh (serve -> tsan targets,
-     chaos -> `ctest -L chaos`);
+  3. every test registered with a `serve`, `chaos`, or `durable` label is
+     exercised by the matching stage in tools/check.sh (serve -> tsan
+     targets, chaos -> `ctest -L chaos`, durable -> the ASan sanitize
+     stage and `ctest -L durable` in the crash stage);
   4. every bench/*.cc has a registration (tasti_add_bench or
      add_executable) in bench/CMakeLists.txt and vice versa;
   5. every committed bench baseline (bench/baselines/BENCH_*.json) is
@@ -74,12 +75,22 @@ def main():
                 f"{name} is labeled `serve` (concurrency-sensitive) but "
                 "tools/check.sh never builds or runs it under TSan"
             )
-    if "chaos" in {l for labels in registrations.values() for l in labels}:
-        if "-L chaos" not in check_sh:
+        if "durable" in labels and not re.search(rf"\b{name}\b", check_sh):
             errors.append(
-                "tests carry the `chaos` label but tools/check.sh has no "
-                "`ctest -L chaos` stage"
+                f"{name} is labeled `durable` (crash-recovery IO paths) but "
+                "tools/check.sh never builds or runs it under ASan"
             )
+    all_labels = {l for labels in registrations.values() for l in labels}
+    if "chaos" in all_labels and "-L chaos" not in check_sh:
+        errors.append(
+            "tests carry the `chaos` label but tools/check.sh has no "
+            "`ctest -L chaos` stage"
+        )
+    if "durable" in all_labels and "-L durable" not in check_sh:
+        errors.append(
+            "tests carry the `durable` label but tools/check.sh has no "
+            "`ctest -L durable` stage"
+        )
 
     bench_sources = {p.stem for p in (ROOT / "bench").glob("*.cc")}
     bench_cmake = (ROOT / "bench" / "CMakeLists.txt").read_text()

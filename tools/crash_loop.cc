@@ -1,0 +1,364 @@
+// crash_loop: deterministic crash-injection harness for the durability
+// subsystem (durable/).
+//
+// One control run executes a serving workload — index build, a mix of
+// queries that crack the index, a streaming append — against a counting
+// durable::File, recording the (epoch, index fingerprint) pair at every
+// published epoch and the total number of filesystem mutations M. Then,
+// for every op number N in 1..M (or a strided subset), the same workload
+// runs against a File armed to crash at exactly op N: the N-th mutation
+// lands only a seeded prefix (a torn write) and every later one fails.
+// Recovery from the surviving directory must then yield
+//
+//   - an index bit-identical to the control at some published epoch,
+//   - the matching epoch counter, and
+//   - a server that passes its oracle-attribution invariant after
+//     serving a fresh query,
+//
+// and recovering a second time must land on the identical state
+// (idempotence — recovery's truncations/quarantines are convergent).
+// A crash before the first checkpoint completed may instead recover
+// NotFound (cold start), which is only legal for N within the ops Start()
+// itself consumed. Exits nonzero on any violation.
+//
+// Usage:
+//   crash_loop [--records 600] [--reps 50] [--queries 6] [--stride 1]
+//              [--seed 33] [--checkpoint-every 3] [--dir DIR]
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scorer.h"
+#include "data/dataset.h"
+#include "durable/file.h"
+#include "labeler/labeler.h"
+#include "serve/server.h"
+#include "util/checksum.h"
+
+namespace {
+
+using tasti::Fnv1a64;
+using tasti::Result;
+using tasti::Status;
+using tasti::StatusCode;
+
+struct Config {
+  size_t records = 600;
+  size_t reps = 50;
+  size_t queries = 6;
+  uint64_t stride = 1;
+  uint64_t seed = 33;
+  size_t checkpoint_every = 3;
+  std::string dir = "crash_loop_runs";
+};
+
+struct EpochState {
+  uint64_t epoch = 0;
+  uint64_t fingerprint = 0;
+};
+
+tasti::serve::ServerOptions MakeServerOptions(const Config& config,
+                                              tasti::durable::File* fs,
+                                              const std::string& dir) {
+  tasti::serve::ServerOptions opts;
+  // Pretrained embedder: fast deterministic builds, and kAppend replay
+  // re-embeds through it bit-identically.
+  opts.index.use_triplet_training = false;
+  opts.index.num_representatives = config.reps;
+  opts.index.embedding_dim = 16;
+  opts.index.k = 3;
+  // One worker + sequential Execute: the filesystem op sequence of every
+  // run is identical to the control's, so "crash at op N" is meaningful.
+  opts.num_workers = 1;
+  opts.seed = config.seed;
+  opts.durability.dir = dir;
+  opts.durability.fs = fs;
+  opts.durability.checkpoint_every_epochs = config.checkpoint_every;
+  return opts;
+}
+
+std::vector<tasti::serve::QuerySpec> MakeWorkload(
+    const Config& config, const tasti::core::CountScorer* cars,
+    const tasti::core::PresenceScorer* present) {
+  std::vector<tasti::serve::QuerySpec> specs;
+  for (size_t i = 0; i < config.queries; ++i) {
+    tasti::serve::QuerySpec spec;
+    switch (i % 3) {
+      case 0:
+        spec.kind = tasti::serve::QueryKind::kAggregate;
+        spec.scorer = cars;
+        spec.error_target = 0.2;
+        break;
+      case 1:
+        spec.kind = tasti::serve::QueryKind::kSupgRecall;
+        spec.scorer = present;
+        spec.target = 0.85;
+        spec.budget = 80;
+        break;
+      default:
+        spec.kind = tasti::serve::QueryKind::kLimit;
+        spec.scorer = present;
+        spec.want = 5;
+        break;
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+uint64_t Fingerprint(const tasti::serve::TastiServer& server) {
+  Result<std::string> blob = server.SerializeIndex();
+  if (!blob.ok()) {
+    std::fprintf(stderr, "fatal: SerializeIndex: %s\n",
+                 blob.status().message().c_str());
+    std::exit(2);
+  }
+  return Fnv1a64(blob->data(), blob->size());
+}
+
+/// Runs the full workload; with `history` non-null (the control run)
+/// records every published epoch's state and requires OK statuses.
+/// Returns false if Start() failed (possible in crash runs only).
+bool RunWorkload(const Config& config, const tasti::data::Dataset& dataset,
+                 const tasti::data::Dataset& extra,
+                 tasti::labeler::FallibleLabeler* oracle,
+                 tasti::durable::File* fs, const std::string& dir,
+                 std::vector<EpochState>* history) {
+  tasti::serve::TastiServer server(&dataset, oracle,
+                                   MakeServerOptions(config, fs, dir));
+  tasti::core::CountScorer cars(tasti::data::ObjectClass::kCar);
+  tasti::core::PresenceScorer present(tasti::data::ObjectClass::kCar);
+
+  Status started = server.Start();
+  if (!started.ok()) {
+    if (history != nullptr) {
+      std::fprintf(stderr, "fatal: control Start(): %s\n",
+                   started.message().c_str());
+      std::exit(2);
+    }
+    return false;
+  }
+  auto record = [&] {
+    if (history == nullptr) return;
+    if (!history->empty() && history->back().epoch == server.current_epoch())
+      return;  // the step published no epoch
+    history->push_back({server.current_epoch(), Fingerprint(server)});
+  };
+  record();  // epoch 1, the built index
+
+  for (const tasti::serve::QuerySpec& spec :
+       MakeWorkload(config, &cars, &present)) {
+    tasti::serve::QueryResponse response = server.Execute(spec);
+    if (history != nullptr && !response.status.ok()) {
+      std::fprintf(stderr, "fatal: control query failed: %s\n",
+                   response.status.message().c_str());
+      std::exit(2);
+    }
+    record();
+  }
+  server.AppendRecords(extra.features);  // streaming ingestion epoch
+  record();
+  server.Drain();
+  if (history != nullptr) {
+    Status invariant = server.CheckAttributionInvariant();
+    if (!invariant.ok()) {
+      std::fprintf(stderr, "fatal: control attribution: %s\n",
+                   invariant.message().c_str());
+      std::exit(2);
+    }
+  }
+  server.Shutdown();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IONBF, 0);  // progress survives an abort
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--records") == 0) {
+      config.records = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      config.reps = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--queries") == 0) {
+      config.queries = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stride") == 0) {
+      config.stride = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.seed = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      config.checkpoint_every = std::strtoull(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--dir") == 0) {
+      config.dir = value();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (config.stride == 0) config.stride = 1;
+
+  tasti::data::DatasetOptions data_opts;
+  data_opts.num_records = config.records;
+  data_opts.seed = config.seed;
+  tasti::data::Dataset dataset = tasti::data::MakeNightStreet(data_opts);
+  tasti::data::DatasetOptions extra_opts;
+  extra_opts.num_records = 80;
+  extra_opts.seed = config.seed + 1000;
+  tasti::data::Dataset extra = tasti::data::MakeNightStreet(extra_opts);
+  tasti::labeler::SimulatedLabeler truth(&dataset);
+  tasti::labeler::FallibleAdapter oracle(&truth);
+
+  // --- Control run: never crashes; defines M and the epoch history ---
+  std::vector<EpochState> history;
+  tasti::durable::File control_fs;
+  const std::string control_dir = config.dir + "/control";
+  RunWorkload(config, dataset, extra, &oracle, &control_fs, control_dir,
+              &history);
+  const uint64_t total_ops = control_fs.ops();
+  // Ops Start() alone consumes (dir + initial checkpoint + manifest): a
+  // crash inside this window may legally leave nothing recoverable.
+  tasti::durable::File probe_fs;
+  uint64_t start_ops = 0;
+  {
+    tasti::serve::TastiServer probe(
+        &dataset, &oracle,
+        MakeServerOptions(config, &probe_fs, config.dir + "/probe"));
+    if (!probe.Start().ok()) {
+      std::fprintf(stderr, "fatal: probe Start() failed\n");
+      return 2;
+    }
+    start_ops = probe_fs.ops();
+    probe.Shutdown();
+  }
+  std::printf("control: %zu epochs, %llu fs ops (%llu in Start)\n",
+              history.size(), static_cast<unsigned long long>(total_ops),
+              static_cast<unsigned long long>(start_ops));
+  for (const EpochState& state : history) {
+    std::printf("  epoch %llu fingerprint %016llx\n",
+                static_cast<unsigned long long>(state.epoch),
+                static_cast<unsigned long long>(state.fingerprint));
+  }
+
+  // --- Crash at every op N, then recover and compare ---
+  size_t failures = 0;
+  size_t cold_starts = 0;
+  size_t tested = 0;
+  for (uint64_t n = 1; n <= total_ops; n += config.stride) {
+    ++tested;
+    char name[64];
+    std::snprintf(name, sizeof(name), "%s/crash-%04llu", config.dir.c_str(),
+                  static_cast<unsigned long long>(n));
+    const std::string dir = name;
+    auto fail = [&](const std::string& why) {
+      std::printf("  op %4llu: FAIL — %s\n",
+                  static_cast<unsigned long long>(n), why.c_str());
+      ++failures;
+    };
+
+    tasti::durable::File crash_fs(
+        tasti::durable::CrashPoint{n, config.seed ^ n});
+    RunWorkload(config, dataset, extra, &oracle, &crash_fs, dir, nullptr);
+    if (!crash_fs.crashed()) {
+      fail("workload finished without reaching the crash point");
+      continue;
+    }
+
+    tasti::durable::File clean_fs;
+    tasti::serve::TastiServer revived(
+        &dataset, &oracle, MakeServerOptions(config, &clean_fs, dir));
+    Status recovered = revived.RecoverFrom();
+    if (recovered.code() == StatusCode::kNotFound) {
+      if (n > start_ops) {
+        fail("nothing recoverable after the first checkpoint existed");
+      } else {
+        ++cold_starts;
+        std::printf("  op %4llu: cold start (crash inside Start)\n",
+                    static_cast<unsigned long long>(n));
+      }
+      continue;
+    }
+    if (!recovered.ok()) {
+      fail("RecoverFrom: " + recovered.message());
+      continue;
+    }
+    const uint64_t epoch = revived.current_epoch();
+    const uint64_t fingerprint = Fingerprint(revived);
+    const EpochState* match = nullptr;
+    for (const EpochState& state : history) {
+      if (state.epoch == epoch) match = &state;
+    }
+    if (match == nullptr) {
+      fail("recovered epoch " + std::to_string(epoch) +
+           " was never published by the control");
+      continue;
+    }
+    if (match->fingerprint != fingerprint) {
+      fail("epoch " + std::to_string(epoch) +
+           " index differs from the control (not bit-identical)");
+      continue;
+    }
+
+    // Idempotence: a second, independent recovery lands on the same state.
+    {
+      tasti::durable::File again_fs;
+      tasti::serve::TastiServer again(
+          &dataset, &oracle, MakeServerOptions(config, &again_fs, dir));
+      Status re = again.RecoverFrom();
+      if (!re.ok()) {
+        fail("second recovery failed: " + re.message());
+        continue;
+      }
+      if (again.current_epoch() != epoch ||
+          Fingerprint(again) != fingerprint) {
+        fail("second recovery diverged from the first");
+        continue;
+      }
+      again.Shutdown();
+    }
+
+    // The recovered server serves and keeps its attribution books. (Skip
+    // the query when the recovered epoch includes the streaming append:
+    // appended records have no oracle coverage, which queries require.)
+    if (revived.epochs().Acquire()->num_records == dataset.size()) {
+      tasti::core::CountScorer cars(tasti::data::ObjectClass::kCar);
+      tasti::serve::QuerySpec spec;
+      spec.kind = tasti::serve::QueryKind::kAggregate;
+      spec.scorer = &cars;
+      spec.error_target = 0.2;
+      tasti::serve::QueryResponse response = revived.Execute(spec);
+      revived.Drain();
+      if (!response.status.ok()) {
+        fail("post-recovery query: " + response.status.message());
+        continue;
+      }
+    }
+    Status invariant = revived.CheckAttributionInvariant();
+    if (!invariant.ok()) {
+      fail("post-recovery attribution: " + invariant.message());
+      continue;
+    }
+    revived.Shutdown();
+    std::printf("  op %4llu: ok — recovered epoch %llu\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(epoch));
+  }
+
+  std::printf(
+      "crash_loop: %zu crash points tested, %zu cold starts, %zu failures\n",
+      tested, cold_starts, failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -43,6 +43,7 @@
 #include "core/scorer.h"
 #include "core/serialize.h"
 #include "data/dataset.h"
+#include "durable/recovery.h"
 #include "eval/reporting.h"
 #include "labeler/faults.h"
 #include "labeler/labeler.h"
@@ -86,8 +87,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: tasti_cli "
-      "<build|info|aggregate|select|limit|workload|serve-workload|monitor> "
-      "[flags]\n"
+      "<build|info|aggregate|select|limit|workload|serve-workload|monitor"
+      "|recover> [flags]\n"
       "  common: --dataset <name> --records N --seed S --index PATH\n"
       "          --trace=PATH (Chrome trace JSON) --metrics=PATH (snapshot)\n"
       "  build:  --train N1 --reps N2 --k K --out PATH [--pretrained]\n"
@@ -104,6 +105,15 @@ int Usage() {
       "oracle\n"
       "          savings; nonzero exit if the attribution invariant or "
       "checks fail)\n"
+      "          [--wal-dir DIR --checkpoint-every N] (crash-safe "
+      "durability:\n"
+      "          WAL-log mutations with an fsync barrier per epoch "
+      "publish,\n"
+      "          checkpoint every N epochs, print a durability summary)\n"
+      "  recover: --wal-dir DIR [--out PATH] (replay checkpoint + "
+      "committed\n"
+      "          WAL, report replay/quarantine stats, optionally save the\n"
+      "          recovered index)\n"
       "  monitor: serve-workload flags plus --rounds R --frame-ms MS\n"
       "          --out PROM (exposition, default monitor.prom) --flight-dump "
       "PREFIX\n"
@@ -640,6 +650,12 @@ int RunServeWorkload(const Args& args) {
       args.flags.count("serial-dispatch") == 0;
   server_opts.scheduler.dispatch_threads = std::max<size_t>(clients, 8);
   server_opts.scheduler.batch_window_ms = 0.5;
+  // --wal-dir turns on crash-safe durability: cracks and epoch publishes
+  // are WAL-logged with an fsync barrier per epoch, checkpointed every
+  // --checkpoint-every epochs. `tasti_cli recover --wal-dir DIR` replays.
+  server_opts.durability.dir = args.Get("wal-dir", "");
+  server_opts.durability.checkpoint_every_epochs = static_cast<size_t>(
+      std::max<long>(1, args.GetInt("checkpoint-every", 16)));
   serve::TastiServer server(&dataset, &served_oracle, server_opts);
   {
     const Status status = server.Start();
@@ -706,6 +722,20 @@ int RunServeWorkload(const Args& args) {
               static_cast<unsigned long long>(cache.full_computes),
               static_cast<unsigned long long>(cache.delta_rows),
               static_cast<unsigned long long>(cache.evictions));
+  if (!server_opts.durability.dir.empty()) {
+    const durable::DurabilityStats dur = server.durability_stats();
+    std::printf("durability: %llu WAL records (%llu bytes), %llu fsync "
+                "barriers, %llu epochs committed, %llu checkpoints, %llu "
+                "segments GC'd%s -> %s\n",
+                static_cast<unsigned long long>(dur.records_logged),
+                static_cast<unsigned long long>(dur.bytes_logged),
+                static_cast<unsigned long long>(dur.syncs),
+                static_cast<unsigned long long>(dur.epochs_published),
+                static_cast<unsigned long long>(dur.checkpoints_written),
+                static_cast<unsigned long long>(dur.segments_deleted),
+                dur.failed ? " [FAILED: logging stopped]" : "",
+                server_opts.durability.dir.c_str());
+  }
   if (obs::MetricsEnabled()) {
     const obs::Histogram* wait = obs::MetricsRegistry::Global().histogram(
         "serve.queue_wait_ms", obs::ExponentialBuckets(0.05, 2.0, 16), "ms");
@@ -1002,6 +1032,61 @@ int RunMonitor(const Args& args) {
   return WriteObservability(args, &server.query_log());
 }
 
+// Replays durable state from --wal-dir (newest readable checkpoint plus
+// committed WAL records) and reports what survived: the recovered epoch,
+// replay counts, torn-tail truncation, and any quarantined segments.
+// --out saves the recovered index (atomically) for the other subcommands.
+int RunRecover(const Args& args) {
+  const std::string dir = args.Get("wal-dir", "");
+  if (dir.empty()) {
+    std::fprintf(stderr, "recover: --wal-dir DIR is required\n");
+    return 2;
+  }
+  Result<durable::RecoveredState> recovered =
+      durable::Recover(/*fs=*/nullptr, dir);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "%s\n", recovered.status().ToString().c_str());
+    return 1;
+  }
+  const durable::RecoveryStats& stats = recovered->stats;
+  std::printf("recovered epoch %llu from checkpoint %llu (epoch %llu)%s\n",
+              static_cast<unsigned long long>(recovered->epoch),
+              static_cast<unsigned long long>(stats.checkpoint_seq),
+              static_cast<unsigned long long>(stats.checkpoint_epoch),
+              stats.manifest_missing ? " [manifest missing: scanned dir]"
+                                     : "");
+  std::printf("wal: %zu segments read, %zu records replayed (%zu cracks, "
+              "%zu appends, %zu repairs, %zu epoch commits)\n",
+              stats.segments_read, stats.records_replayed,
+              stats.cracks_replayed, stats.appends_replayed,
+              stats.repairs_replayed, stats.epochs_replayed);
+  if (stats.uncommitted_records_discarded > 0 ||
+      stats.torn_bytes_truncated > 0) {
+    std::printf("crash tail: %zu uncommitted records discarded, %zu torn "
+                "bytes truncated\n",
+                stats.uncommitted_records_discarded,
+                stats.torn_bytes_truncated);
+  }
+  for (const std::string& file : stats.quarantined_files) {
+    std::printf("quarantined: %s\n", file.c_str());
+  }
+  for (const std::string& fault : stats.faults) {
+    std::fprintf(stderr, "fault: %s\n", fault.c_str());
+  }
+  std::printf("%s\n",
+              core::ComputeIndexStats(recovered->index).ToString().c_str());
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    const Status saved = core::IndexSerializer::Save(recovered->index, out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("saved recovered index to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1038,6 +1123,8 @@ int main(int argc, char** argv) {
     return RunServeWorkload(args);
   } else if (args.command == "monitor") {
     return RunMonitor(args);
+  } else if (args.command == "recover") {
+    rc = RunRecover(args);
   } else {
     return Usage();
   }
