@@ -1,0 +1,51 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace tasti::core {
+
+Partitioner::Partitioner(size_t num_records, size_t num_shards) {
+  TASTI_CHECK(num_shards >= 1, "Partitioner requires at least one shard");
+  bounds_.reserve(num_shards + 1);
+  const size_t base = num_records / num_shards;
+  const size_t remainder = num_records % num_shards;
+  size_t offset = 0;
+  bounds_.push_back(offset);
+  for (size_t s = 0; s < num_shards; ++s) {
+    offset += base + (s < remainder ? 1 : 0);
+    bounds_.push_back(offset);
+  }
+}
+
+size_t Partitioner::ShardOf(size_t record_id) const {
+  TASTI_CHECK(num_shards() > 0, "ShardOf on an empty Partitioner");
+  if (record_id >= bounds_.back()) return num_shards() - 1;
+  // First boundary strictly above record_id; its predecessor's shard owns
+  // the id. Empty shards (equal adjacent bounds) are skipped naturally.
+  const auto it =
+      std::upper_bound(bounds_.begin(), bounds_.end(), record_id);
+  return static_cast<size_t>(it - bounds_.begin()) - 1;
+}
+
+std::vector<size_t> Partitioner::ShardOffsets() const {
+  std::vector<size_t> offsets(num_shards());
+  for (size_t s = 0; s < offsets.size(); ++s) offsets[s] = bounds_[s];
+  return offsets;
+}
+
+std::vector<size_t> Partitioner::ShardSizes() const {
+  std::vector<size_t> sizes(num_shards());
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    sizes[s] = bounds_[s + 1] - bounds_[s];
+  }
+  return sizes;
+}
+
+void Partitioner::ExtendLastShard(size_t additional_records) {
+  TASTI_CHECK(num_shards() > 0, "ExtendLastShard on an empty Partitioner");
+  bounds_.back() += additional_records;
+}
+
+}  // namespace tasti::core

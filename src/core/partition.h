@@ -1,0 +1,78 @@
+#ifndef TASTI_CORE_PARTITION_H_
+#define TASTI_CORE_PARTITION_H_
+
+/// \file partition.h
+/// Record-range partitioning for sharded indexes (src/shard/).
+///
+/// Records are split into K contiguous ranges so global record ids remain
+/// stable under sharding: shard s owns [begin(s), end(s)) and a record's
+/// global id never changes when the shard count does. Contiguity is what
+/// makes scatter-gather merges cheap — a shard's selected set maps back to
+/// global ids by adding one offset, and per-shard sorted lists concatenate
+/// into a globally sorted list.
+///
+/// Appended records (streaming ingestion) always extend the *last* shard,
+/// keeping the global id space dense and the owning-shard computation a
+/// binary search over K+1 boundaries.
+
+#include <cstddef>
+#include <vector>
+
+namespace tasti::core {
+
+/// Contiguous, balanced partition of [0, num_records) into K ranges.
+/// Shard sizes differ by at most one record (earlier shards get the
+/// remainder). Copyable and cheap: K+1 boundary offsets.
+class Partitioner {
+ public:
+  /// Empty partition (0 shards, 0 records).
+  Partitioner() = default;
+
+  /// Splits `num_records` into `num_shards` contiguous ranges. Shards may
+  /// be empty when num_shards > num_records; num_shards must be >= 1.
+  Partitioner(size_t num_records, size_t num_shards);
+
+  size_t num_shards() const {
+    return bounds_.empty() ? 0 : bounds_.size() - 1;
+  }
+  size_t num_records() const { return bounds_.empty() ? 0 : bounds_.back(); }
+
+  /// Shard owning `record_id`. Ids at or beyond num_records() belong to
+  /// the last shard (appends extend it).
+  size_t ShardOf(size_t record_id) const;
+
+  /// The [begin, end) global-id range of shard `shard`.
+  size_t ShardBegin(size_t shard) const { return bounds_[shard]; }
+  size_t ShardEnd(size_t shard) const { return bounds_[shard + 1]; }
+  size_t ShardSize(size_t shard) const {
+    return bounds_[shard + 1] - bounds_[shard];
+  }
+
+  /// Global record id -> the owning shard's local id.
+  size_t ToLocal(size_t record_id) const {
+    return record_id - bounds_[ShardOf(record_id)];
+  }
+
+  /// Shard-local id -> global record id.
+  size_t ToGlobal(size_t shard, size_t local_id) const {
+    return bounds_[shard] + local_id;
+  }
+
+  /// Per-shard global-id offsets (begin of each shard), e.g. for
+  /// queries::Merge* calls.
+  std::vector<size_t> ShardOffsets() const;
+
+  /// Per-shard record counts.
+  std::vector<size_t> ShardSizes() const;
+
+  /// Grows the last shard by `additional_records` (streaming appends keep
+  /// global ids dense, so only the final boundary moves).
+  void ExtendLastShard(size_t additional_records);
+
+ private:
+  std::vector<size_t> bounds_;  ///< K+1 offsets; bounds_[0] == 0
+};
+
+}  // namespace tasti::core
+
+#endif  // TASTI_CORE_PARTITION_H_

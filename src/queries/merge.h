@@ -1,0 +1,92 @@
+#ifndef TASTI_QUERIES_MERGE_H_
+#define TASTI_QUERIES_MERGE_H_
+
+/// \file merge.h
+/// Scatter-gather mergers: combine per-shard partial results of each query
+/// kind into one dataset-level answer (src/shard/ serving).
+///
+/// Merge semantics per kind (DESIGN.md §14):
+///  - Aggregation: the dataset mean is the record-count-weighted mean of
+///    shard means, so estimate = sum(w_s * est_s) with w_s = n_s / N and
+///    half_width = sum(w_s * hw_s) — if every shard hits an absolute error
+///    target eps, the merged error is at most eps. Confidence composes by
+///    union bound: run each shard at ShardConfidence(c, K) = 1 - (1-c)/K.
+///  - Predicate aggregation: a self-normalized (Hajek) combine weighted by
+///    each shard's estimated match mass; shards with no observed matches
+///    contribute nothing.
+///  - SUPG (recall / precision) and threshold selection: union of the
+///    per-shard selected sets mapped to global ids. Recall of a union is
+///    at least the per-shard minimum (each shard covers >= r of its own
+///    matches), precision is the match-weighted mean of shard precisions,
+///    so per-shard targets carry to the union; confidence again composes
+///    by union bound.
+///  - Limit: a rank-interleaving heap merge of per-shard found lists,
+///    truncated to `want`. The router additionally early-terminates —
+///    it stops querying shards once enough matches were found — which the
+///    merger supports by accepting fewer partials than shards.
+///
+/// Every merger sums labeler invocations and failure counts, so the cost
+/// ledger (paper metric) stays exact under sharding.
+
+#include <cstddef>
+#include <vector>
+
+#include "queries/aggregation.h"
+#include "queries/limit.h"
+#include "queries/noguarantee.h"
+#include "queries/predicate_aggregation.h"
+#include "queries/supg.h"
+
+namespace tasti::queries {
+
+/// Per-shard success probability such that K sub-queries jointly meet
+/// `confidence` by union bound: 1 - (1 - confidence) / num_shards.
+double ShardConfidence(double confidence, size_t num_shards);
+
+/// Splits a labeler budget across shards proportionally to shard size
+/// (ceil, min 1 per non-empty shard), so the merged spend tracks the
+/// single-index budget. Empty shards get 0.
+std::vector<size_t> SplitBudget(size_t budget,
+                                const std::vector<size_t>& shard_sizes);
+
+/// Record-count-weighted merge of per-shard mean estimates.
+/// `shard_sizes[s]` is the record count behind `parts[s]`; the vectors
+/// must be parallel and non-empty.
+AggregationResult MergeAggregates(const std::vector<AggregationResult>& parts,
+                                  const std::vector<size_t>& shard_sizes);
+
+/// Match-mass-weighted (self-normalized) merge of conditional means. The
+/// weight of shard s is its estimated match count,
+/// shard_sizes[s] * sample_matches / samples — exact when shards sample
+/// uniformly, an estimate under importance sampling. Shards that observed
+/// no matches get zero weight; if no shard observed a match the merged
+/// estimate is 0 with converged = false.
+PredicateAggregationResult MergePredicateAggregates(
+    const std::vector<PredicateAggregationResult>& parts,
+    const std::vector<size_t>& shard_sizes);
+
+/// Union of per-shard SUPG selections mapped to global ids
+/// (global = shard_offsets[s] + local). The merged `selected` is sorted;
+/// `threshold` reports the per-shard minimum (the loosest admitted).
+SupgResult MergeSupg(const std::vector<SupgResult>& parts,
+                     const std::vector<size_t>& shard_offsets);
+
+/// Union of per-shard threshold selections mapped to global ids. The
+/// merged threshold / validation F1 are invocation-weighted means
+/// (informational — each shard enforces its own fit).
+ThresholdSelectResult MergeThresholdSelects(
+    const std::vector<ThresholdSelectResult>& parts,
+    const std::vector<size_t>& shard_offsets);
+
+/// Rank-interleaving heap merge of per-shard limit results: found records
+/// are taken in order of their per-shard examination rank (position 0 of
+/// every shard first), mapped to global ids, truncated to `want`.
+/// Accepts fewer partials than shards (early termination skips shards);
+/// satisfied = found >= want.
+LimitResult MergeLimits(const std::vector<LimitResult>& parts,
+                        const std::vector<size_t>& shard_offsets,
+                        size_t want);
+
+}  // namespace tasti::queries
+
+#endif  // TASTI_QUERIES_MERGE_H_

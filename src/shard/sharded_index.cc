@@ -1,0 +1,161 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tasti::shard {
+
+data::Dataset SliceDataset(const data::Dataset& dataset, size_t begin,
+                           size_t end, size_t shard) {
+  TASTI_CHECK(begin <= end && end <= dataset.size(),
+              "SliceDataset: range out of bounds");
+  data::Dataset slice;
+  slice.name = dataset.name + ".shard" + std::to_string(shard);
+  slice.modality = dataset.modality;
+  slice.ground_truth.assign(dataset.ground_truth.begin() + begin,
+                            dataset.ground_truth.begin() + end);
+  slice.features = dataset.features.RowSlice(begin, end);
+  slice.closeness = dataset.closeness;
+  slice.classes = dataset.classes;
+  return slice;
+}
+
+core::IndexOptions ShardIndexOptions(const core::IndexOptions& base,
+                                     size_t shard, size_t divisor,
+                                     bool scale_budgets) {
+  core::IndexOptions opts = base;
+  opts.seed = base.seed + shard;
+  if (scale_budgets && divisor > 1) {
+    opts.num_representatives =
+        std::max<size_t>(1, base.num_representatives / divisor);
+    opts.num_training_records =
+        std::max<size_t>(8, base.num_training_records / divisor);
+  }
+  return opts;
+}
+
+size_t ShardedBuildStats::TotalInvocations() const {
+  size_t total = 0;
+  for (const auto& s : per_shard) total += s.TotalInvocations();
+  return total;
+}
+
+double ShardedBuildStats::SumBuildSeconds() const {
+  double total = 0.0;
+  for (const auto& s : per_shard) total += s.TotalSeconds();
+  return total;
+}
+
+ShardedIndex::ShardedIndex(const data::Dataset* dataset,
+                           ShardedIndexOptions options)
+    : dataset_(dataset),
+      options_(options),
+      partitioner_(dataset->size(), options.num_shards) {
+  const size_t k = partitioner_.num_shards();
+  shard_datasets_.reserve(k);
+  views_.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    shard_datasets_.push_back(SliceDataset(
+        *dataset_, partitioner_.ShardBegin(s), partitioner_.ShardEnd(s), s));
+  }
+  shards_.resize(k);
+}
+
+Status ShardedIndex::Build(labeler::FallibleLabeler* oracle) {
+  TASTI_CHECK(!built_, "ShardedIndex::Build called twice");
+  TASTI_CHECK(oracle->num_records() >= partitioner_.num_records(),
+              "oracle does not cover the dataset");
+  const size_t k = num_shards();
+  views_.clear();
+  for (size_t s = 0; s < k; ++s) {
+    views_.push_back(std::make_unique<ShardLabelerView>(
+        oracle, partitioner_.ShardBegin(s), partitioner_.ShardSize(s)));
+  }
+  build_stats_.per_shard.resize(k);
+  WallTimer wall;
+  auto build_shard = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      const core::IndexOptions opts =
+          ShardIndexOptions(options_.index, s, k, options_.scale_index_budgets);
+      shards_[s] =
+          core::TastiIndex::Build(shard_datasets_[s], views_[s].get(), opts);
+      build_stats_.per_shard[s] = shards_[s].build_stats();
+    }
+  };
+  if (options_.parallel_build && k > 1) {
+    // ParallelFor workers mark themselves in-pool, so each shard's inner
+    // embedding/distance parallelism runs inline on its worker instead of
+    // deadlocking on a saturated pool (which RunBatch tasks would).
+    ParallelFor(0, k, build_shard, /*min_shard_size=*/1);
+  } else {
+    build_shard(0, k);
+  }
+  build_stats_.wall_seconds = wall.Seconds();
+  built_ = true;
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const builds =
+        obs::MetricsRegistry::Global().counter("shard.builds", "calls");
+    static obs::Gauge* const count =
+        obs::MetricsRegistry::Global().gauge("shard.count", "shards");
+    builds->Increment();
+    count->Set(static_cast<double>(k));
+  }
+  return Status::OK();
+}
+
+size_t ShardedIndex::CrackFromLabels(
+    const std::vector<size_t>& records,
+    const std::vector<data::LabelerOutput>& labels,
+    std::vector<size_t>* touched_shards) {
+  TASTI_CHECK(built_, "CrackFromLabels before Build");
+  TASTI_CHECK(records.size() == labels.size(),
+              "CrackFromLabels: records / labels mismatch");
+  const size_t k = num_shards();
+  std::vector<std::vector<size_t>> local_records(k);
+  std::vector<std::vector<data::LabelerOutput>> local_labels(k);
+  for (size_t i = 0; i < records.size(); ++i) {
+    const size_t s = partitioner_.ShardOf(records[i]);
+    local_records[s].push_back(records[i] - partitioner_.ShardBegin(s));
+    local_labels[s].push_back(labels[i]);
+  }
+  size_t added = 0;
+  if (touched_shards != nullptr) touched_shards->clear();
+  for (size_t s = 0; s < k; ++s) {
+    if (local_records[s].empty()) continue;
+    added += shards_[s].CrackFromLabels(local_records[s], local_labels[s]);
+    if (touched_shards != nullptr) touched_shards->push_back(s);
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const cracked =
+          obs::MetricsRegistry::Global().counter("shard.cracks_routed",
+                                                 "calls");
+      cracked->Increment();
+    }
+  }
+  return added;
+}
+
+size_t ShardedIndex::AppendRecords(const nn::Matrix& features) {
+  TASTI_CHECK(built_, "AppendRecords before Build");
+  const size_t last = num_shards() - 1;
+  const size_t local_first = shards_[last].AppendRecords(features);
+  const size_t global_first = partitioner_.ToGlobal(last, local_first);
+  partitioner_.ExtendLastShard(features.rows());
+  return global_first;
+}
+
+bool ShardedIndex::IsRepresentative(size_t record_id) const {
+  const size_t s = partitioner_.ShardOf(record_id);
+  return shards_[s].IsRepresentative(record_id - partitioner_.ShardBegin(s));
+}
+
+size_t ShardedIndex::num_representatives() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard.num_representatives();
+  return total;
+}
+
+}  // namespace tasti::shard

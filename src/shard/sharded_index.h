@@ -1,0 +1,174 @@
+#ifndef TASTI_SHARD_SHARDED_INDEX_H_
+#define TASTI_SHARD_SHARDED_INDEX_H_
+
+/// \file sharded_index.h
+/// ShardedIndex: K independent TASTI indexes over contiguous record
+/// ranges (core/partition.h), built in parallel on the global ThreadPool.
+///
+/// Sharding is the scale step after one box saturates: each shard embeds,
+/// clusters, and propagates over only its own records, so construction
+/// parallelizes across shards and a crack republish touches one shard's
+/// top-k structure instead of every record in the dataset. Global record
+/// ids stay stable — shard s owns [ShardBegin(s), ShardEnd(s)) and local
+/// ids are globals minus the shard offset — so callers keep speaking
+/// global ids and routing is a binary search.
+///
+/// Per-shard oracle accounting goes through ShardLabelerView: a shard sees
+/// a labeler over its own records that forwards to the dataset-wide oracle
+/// with the offset applied, while counting the shard's invocations
+/// separately so per-shard cost ledgers and attribution invariants hold.
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/index.h"
+#include "core/partition.h"
+#include "data/dataset.h"
+#include "labeler/labeler.h"
+#include "nn/matrix.h"
+#include "util/status.h"
+
+namespace tasti::shard {
+
+/// Copies the [begin, end) record range of `dataset` into a standalone
+/// shard-local dataset (ground truth, features, closeness, classes). The
+/// shard's name is "<name>.shard<shard>".
+data::Dataset SliceDataset(const data::Dataset& dataset, size_t begin,
+                           size_t end, size_t shard);
+
+/// A shard's window onto the dataset-wide oracle: local ids [0, size) map
+/// to global ids [offset, offset + size). Invocations are counted per view
+/// (atomically — views are hit from concurrent shard servers), so each
+/// shard's cost ledger is independent; the underlying oracle still counts
+/// every call per the FallibleLabeler contract, which is what makes the
+/// cross-shard attribution check in ShardedServer exact.
+class ShardLabelerView : public labeler::FallibleLabeler {
+ public:
+  /// The global oracle must outlive the view and be thread-safe when
+  /// multiple shards dispatch concurrently.
+  ShardLabelerView(labeler::FallibleLabeler* global, size_t offset,
+                   size_t size)
+      : global_(global), offset_(offset), size_(size) {}
+
+  Result<data::LabelerOutput> TryLabel(size_t index) override {
+    invocations_.fetch_add(1, std::memory_order_relaxed);
+    return global_->TryLabel(offset_ + index);
+  }
+  size_t num_records() const override { return size_; }
+  size_t invocations() const override {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  /// Resets only this view's counter; the global oracle keeps counting.
+  void ResetInvocations() override {
+    invocations_.store(0, std::memory_order_relaxed);
+  }
+  double last_call_latency_ms() const override {
+    return global_->last_call_latency_ms();
+  }
+
+  size_t offset() const { return offset_; }
+
+ private:
+  labeler::FallibleLabeler* global_;
+  size_t offset_;
+  size_t size_;
+  std::atomic<size_t> invocations_{0};
+};
+
+struct ShardedIndexOptions {
+  size_t num_shards = 2;
+  /// Build shards concurrently on the global ThreadPool (each shard's
+  /// inner parallelism then runs inline on its worker). Off = one shard at
+  /// a time, for deterministic debugging of a single shard.
+  bool parallel_build = true;
+  /// Divide num_representatives / num_training_records by K (floor 1 and
+  /// 8 respectively) so the K-shard construction spends the same total
+  /// oracle budget as K=1 would, instead of K times it.
+  bool scale_index_budgets = true;
+  /// Per-shard construction parameters; shard s builds with seed
+  /// `index.seed + s` so shards are independent but reproducible.
+  core::IndexOptions index;
+};
+
+/// Per-shard construction cost plus the parallel wall time (the point of
+/// the exercise: wall_seconds ~ max over shards, not the sum).
+struct ShardedBuildStats {
+  std::vector<core::BuildStats> per_shard;
+  double wall_seconds = 0.0;
+
+  size_t TotalInvocations() const;
+  double SumBuildSeconds() const;
+};
+
+/// K per-shard TASTI indexes behind one global-id facade. Not thread-safe
+/// for mutation (callers serialize cracks/appends, as with TastiIndex);
+/// distinct shards may be read concurrently.
+class ShardedIndex {
+ public:
+  /// The dataset must outlive the index. Slices it into
+  /// options.num_shards contiguous ranges immediately; Build() does the
+  /// expensive work.
+  ShardedIndex(const data::Dataset* dataset, ShardedIndexOptions options);
+
+  /// Builds every shard's index against `oracle` (through per-shard
+  /// ShardLabelerViews). With parallel_build, shards build concurrently.
+  /// The oracle must be thread-safe in that case.
+  Status Build(labeler::FallibleLabeler* oracle);
+
+  size_t num_shards() const { return partitioner_.num_shards(); }
+  size_t num_records() const { return partitioner_.num_records(); }
+  const core::Partitioner& partitioner() const { return partitioner_; }
+  const ShardedIndexOptions& options() const { return options_; }
+
+  /// Shard s's index / sliced dataset / oracle view. Valid after Build().
+  core::TastiIndex& shard(size_t s) { return shards_[s]; }
+  const core::TastiIndex& shard(size_t s) const { return shards_[s]; }
+  const data::Dataset& shard_dataset(size_t s) const {
+    return shard_datasets_[s];
+  }
+  ShardLabelerView* shard_view(size_t s) { return views_[s].get(); }
+
+  const ShardedBuildStats& build_stats() const { return build_stats_; }
+
+  /// Routes annotated records (global ids) to their owning shards and
+  /// cracks only those shards — the sharding win: each touched shard
+  /// updates min-k lists over its own records, not the whole dataset.
+  /// Returns representatives added; `touched_shards` (optional, sorted)
+  /// reports which shards republished.
+  size_t CrackFromLabels(const std::vector<size_t>& records,
+                         const std::vector<data::LabelerOutput>& labels,
+                         std::vector<size_t>* touched_shards = nullptr);
+
+  /// Appends new records to the *last* shard (keeps global ids dense) and
+  /// extends the partition. Returns the first appended record's global id.
+  size_t AppendRecords(const nn::Matrix& features);
+
+  /// True if the record's owning shard holds it as a representative.
+  bool IsRepresentative(size_t record_id) const;
+
+  /// Sum of per-shard representative counts.
+  size_t num_representatives() const;
+
+ private:
+  const data::Dataset* dataset_;
+  ShardedIndexOptions options_;
+  core::Partitioner partitioner_;
+  std::vector<data::Dataset> shard_datasets_;
+  std::vector<std::unique_ptr<ShardLabelerView>> views_;
+  std::vector<core::TastiIndex> shards_;
+  ShardedBuildStats build_stats_;
+  bool built_ = false;
+};
+
+/// The per-shard IndexOptions ShardedIndex/ShardedServer derive from a
+/// template: seed offset by `seed_offset`, budgets divided by `divisor`
+/// when scaling is on.
+core::IndexOptions ShardIndexOptions(const core::IndexOptions& base,
+                                     size_t shard, size_t divisor,
+                                     bool scale_budgets);
+
+}  // namespace tasti::shard
+
+#endif  // TASTI_SHARD_SHARDED_INDEX_H_

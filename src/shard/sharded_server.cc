@@ -1,0 +1,353 @@
+#include "shard/sharded_server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "queries/merge.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace tasti::shard {
+
+namespace {
+
+void BumpCounter(const char* name) {
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global().counter(name, "calls")->Increment();
+  }
+}
+
+/// Shard directory under a durability base: "<dir>/shard-<s>".
+std::string ShardDir(const std::string& dir, size_t s) {
+  return dir + "/shard-" + std::to_string(s);
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(const data::Dataset* dataset,
+                             labeler::FallibleLabeler* oracle,
+                             ShardedServerOptions options)
+    : dataset_(dataset),
+      oracle_(oracle),
+      options_(std::move(options)),
+      partitioner_(dataset->size(), options_.num_shards) {
+  TASTI_CHECK(oracle_->num_records() >= dataset_->size(),
+              "oracle does not cover the dataset");
+  baseline_invocations_ = oracle_->invocations();
+  const size_t k = partitioner_.num_shards();
+  shard_datasets_.reserve(k);
+  views_.reserve(k);
+  servers_.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    shard_datasets_.push_back(SliceDataset(
+        *dataset_, partitioner_.ShardBegin(s), partitioner_.ShardEnd(s), s));
+    views_.push_back(std::make_unique<ShardLabelerView>(
+        oracle_, partitioner_.ShardBegin(s), partitioner_.ShardSize(s)));
+  }
+  // Servers are constructed after every slice exists: the vectors above
+  // no longer reallocate, so the pointers handed to TastiServer are stable.
+  for (size_t s = 0; s < k; ++s) {
+    servers_.push_back(std::make_unique<serve::TastiServer>(
+        &shard_datasets_[s], views_[s].get(), ShardServerOptions(s)));
+  }
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .gauge("shard.count", "shards")
+        ->Set(static_cast<double>(k));
+  }
+}
+
+serve::ServerOptions ShardedServer::ShardServerOptions(size_t s) const {
+  const size_t k = partitioner_.num_shards();
+  serve::ServerOptions opts = options_.server;
+  opts.index = ShardIndexOptions(options_.server.index, s, k,
+                                 options_.scale_index_budgets);
+  // Large odd stride keeps per-shard seed streams disjoint even after the
+  // server derives per-query seeds from them.
+  opts.seed = options_.server.seed + 1000003 * s;
+  // Union bound: K sub-queries at 1-(1-c)/K jointly succeed with prob c.
+  opts.confidence = queries::ShardConfidence(options_.server.confidence, k);
+  if (!options_.server.durability.dir.empty()) {
+    opts.durability.dir = ShardDir(options_.server.durability.dir, s);
+  }
+  return opts;
+}
+
+void ShardedServer::AttachMonitor(size_t s, serve::ServerMonitor* monitor) {
+  servers_[s]->AttachMonitor(monitor);
+}
+
+Status ShardedServer::Start() {
+  const size_t k = num_shards();
+  std::vector<Status> statuses(k, Status::OK());
+  auto start_range = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) statuses[s] = servers_[s]->Start();
+  };
+  if (options_.parallel_start && k > 1) {
+    ParallelFor(0, k, start_range, /*min_shard_size=*/1);
+  } else {
+    start_range(0, k);
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+Status ShardedServer::RecoverFrom(const std::string& dir) {
+  const std::string base =
+      dir.empty() ? options_.server.durability.dir : dir;
+  if (base.empty()) {
+    return Status::FailedPrecondition(
+        "ShardedServer::RecoverFrom: no durability directory configured");
+  }
+  const size_t k = num_shards();
+  std::vector<Status> statuses(k, Status::OK());
+  auto recover_range = [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      statuses[s] = servers_[s]->RecoverFrom(ShardDir(base, s));
+    }
+  };
+  if (options_.parallel_start && k > 1) {
+    ParallelFor(0, k, recover_range, /*min_shard_size=*/1);
+  } else {
+    recover_range(0, k);
+  }
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+ShardedQueryResponse ShardedServer::Execute(const serve::QuerySpec& spec) {
+  BumpCounter("shard.queries");
+  WallTimer wall;
+  ShardedQueryResponse response = spec.kind == serve::QueryKind::kLimit
+                                      ? ExecuteLimit(spec)
+                                      : ExecuteScattered(spec);
+  response.merged.kind = spec.kind;
+  FoldAccounting(&response);
+  response.merged.execute_seconds = wall.Seconds();
+  return response;
+}
+
+ShardedQueryResponse ShardedServer::ExecuteScattered(
+    const serve::QuerySpec& spec) {
+  const size_t k = num_shards();
+  std::vector<size_t> sizes;
+  std::vector<size_t> offsets;
+  {
+    std::lock_guard<std::mutex> lock(partition_mu_);
+    sizes = partitioner_.ShardSizes();
+    offsets = partitioner_.ShardOffsets();
+  }
+  const std::vector<size_t> budgets =
+      options_.scale_query_budgets ? queries::SplitBudget(spec.budget, sizes)
+                                   : std::vector<size_t>(k, spec.budget);
+  const std::vector<size_t> validation_budgets =
+      options_.scale_query_budgets
+          ? queries::SplitBudget(spec.validation_budget, sizes)
+          : std::vector<size_t>(k, spec.validation_budget);
+
+  ShardedQueryResponse response;
+  response.partials.resize(k);
+  std::vector<Result<uint64_t>> submitted;
+  submitted.reserve(k);
+  for (size_t s = 0; s < k; ++s) {
+    serve::QuerySpec sub = spec;
+    sub.budget = budgets[s];
+    sub.validation_budget = validation_budgets[s];
+    submitted.push_back(servers_[s]->Submit(sub));
+    BumpCounter("shard.partials");
+  }
+  for (size_t s = 0; s < k; ++s) {
+    if (submitted[s].ok()) {
+      response.partials[s] = servers_[s]->Wait(submitted[s].value());
+    } else {
+      response.partials[s].kind = spec.kind;
+      response.partials[s].status = submitted[s].status();
+    }
+    response.shard_epochs.push_back(response.partials[s].epoch);
+  }
+  response.shards_queried = k;
+
+  bool all_ok = true;
+  for (const auto& partial : response.partials) {
+    all_ok = all_ok && partial.status.ok();
+  }
+  if (!all_ok) return response;  // FoldAccounting surfaces the failure
+
+  switch (spec.kind) {
+    case serve::QueryKind::kAggregate: {
+      std::vector<queries::AggregationResult> parts;
+      parts.reserve(k);
+      for (const auto& p : response.partials) parts.push_back(p.aggregate);
+      response.merged.aggregate = queries::MergeAggregates(parts, sizes);
+      break;
+    }
+    case serve::QueryKind::kAggregateWhere: {
+      std::vector<queries::PredicateAggregationResult> parts;
+      parts.reserve(k);
+      for (const auto& p : response.partials) {
+        parts.push_back(p.aggregate_where);
+      }
+      response.merged.aggregate_where =
+          queries::MergePredicateAggregates(parts, sizes);
+      break;
+    }
+    case serve::QueryKind::kSupgRecall:
+    case serve::QueryKind::kSupgPrecision: {
+      std::vector<queries::SupgResult> parts;
+      parts.reserve(k);
+      for (const auto& p : response.partials) parts.push_back(p.supg);
+      response.merged.supg = queries::MergeSupg(parts, offsets);
+      break;
+    }
+    case serve::QueryKind::kThresholdSelect: {
+      std::vector<queries::ThresholdSelectResult> parts;
+      parts.reserve(k);
+      for (const auto& p : response.partials) parts.push_back(p.select);
+      response.merged.select = queries::MergeThresholdSelects(parts, offsets);
+      break;
+    }
+    case serve::QueryKind::kLimit:
+      TASTI_CHECK(false, "limit takes the sequential path");
+  }
+  return response;
+}
+
+ShardedQueryResponse ShardedServer::ExecuteLimit(
+    const serve::QuerySpec& spec) {
+  const size_t k = num_shards();
+  std::vector<size_t> offsets;
+  {
+    std::lock_guard<std::mutex> lock(partition_mu_);
+    offsets = partitioner_.ShardOffsets();
+  }
+  ShardedQueryResponse response;
+  size_t found = 0;
+  for (size_t s = 0; s < k; ++s) {
+    serve::QuerySpec sub = spec;
+    sub.want = spec.want - found;  // only what's still missing
+    response.partials.push_back(servers_[s]->Execute(sub));
+    response.shard_epochs.push_back(response.partials.back().epoch);
+    BumpCounter("shard.partials");
+    found += response.partials.back().limit.found.size();
+    if (!response.partials.back().status.ok()) break;
+    if (options_.limit_early_stop && found >= spec.want && s + 1 < k) {
+      BumpCounter("shard.limit_early_stops");
+      break;
+    }
+  }
+  response.shards_queried = response.partials.size();
+
+  bool all_ok = true;
+  for (const auto& partial : response.partials) {
+    all_ok = all_ok && partial.status.ok();
+  }
+  if (!all_ok) return response;
+
+  std::vector<queries::LimitResult> parts;
+  parts.reserve(response.partials.size());
+  for (const auto& p : response.partials) parts.push_back(p.limit);
+  response.merged.limit = queries::MergeLimits(parts, offsets, spec.want);
+  return response;
+}
+
+void ShardedServer::FoldAccounting(ShardedQueryResponse* response) {
+  serve::QueryResponse& merged = response->merged;
+  for (const auto& partial : response->partials) {
+    merged.epoch = std::max(merged.epoch, partial.epoch);
+    merged.attributed_invocations += partial.attributed_invocations;
+    merged.logical_oracle_calls += partial.logical_oracle_calls;
+    merged.scheduler_cache_hits += partial.scheduler_cache_hits;
+    merged.scheduler_dedup_hits += partial.scheduler_dedup_hits;
+    merged.cracked_representatives += partial.cracked_representatives;
+    merged.proxy_delta_rows += partial.proxy_delta_rows;
+    merged.queue_wait_ms = std::max(merged.queue_wait_ms, partial.queue_wait_ms);
+    if (merged.status.ok() && !partial.status.ok()) {
+      merged.status = partial.status;
+    }
+  }
+}
+
+void ShardedServer::Drain() {
+  for (auto& server : servers_) server->Drain();
+}
+
+void ShardedServer::Shutdown() {
+  for (auto& server : servers_) server->Shutdown();
+}
+
+size_t ShardedServer::AppendRecords(const nn::Matrix& features) {
+  std::lock_guard<std::mutex> lock(partition_mu_);
+  const size_t last = num_shards() - 1;
+  const size_t local_first = servers_[last]->AppendRecords(features);
+  const size_t global_first = partitioner_.ToGlobal(last, local_first);
+  partitioner_.ExtendLastShard(features.rows());
+  return global_first;
+}
+
+serve::ServerStats ShardedServer::stats() const {
+  serve::ServerStats total;
+  for (const auto& server : servers_) {
+    const serve::ServerStats s = server->stats();
+    total.queries_submitted += s.queries_submitted;
+    total.queries_completed += s.queries_completed;
+    total.index_invocations += s.index_invocations;
+    total.query_invocations += s.query_invocations;
+    total.epochs_published += s.epochs_published;
+    total.live_snapshots += s.live_snapshots;
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedServer::shard_epochs() const {
+  std::vector<uint64_t> epochs;
+  epochs.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    epochs.push_back(server->current_epoch());
+  }
+  return epochs;
+}
+
+Status ShardedServer::CheckAttributionInvariant() const {
+  size_t view_invocations = 0;
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    const Status status = servers_[s]->CheckAttributionInvariant();
+    if (!status.ok()) {
+      return Status::Internal("shard " + std::to_string(s) + ": " +
+                              status.message());
+    }
+    view_invocations += views_[s]->invocations();
+  }
+  // Every view call forwards to exactly one oracle call (FallibleLabeler
+  // counts every TryLabel), so the per-shard ledgers must tile the
+  // dataset-wide count exactly.
+  const size_t oracle_delta = oracle_->invocations() - baseline_invocations_;
+  if (view_invocations != oracle_delta) {
+    return Status::Internal(
+        "cross-shard attribution mismatch: shard views saw " +
+        std::to_string(view_invocations) + " calls, oracle saw " +
+        std::to_string(oracle_delta));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ShardedServer::SerializeIndex() const {
+  std::string blob = "TASTI-SHARDS v1\n";
+  blob += std::to_string(servers_.size());
+  blob += '\n';
+  for (const auto& server : servers_) {
+    Result<std::string> part = server->SerializeIndex();
+    if (!part.ok()) return part.status();
+    blob += std::to_string(part.value().size());
+    blob += '\n';
+    blob += part.value();
+  }
+  return blob;
+}
+
+}  // namespace tasti::shard

@@ -1,0 +1,160 @@
+#ifndef TASTI_SHARD_SHARDED_SERVER_H_
+#define TASTI_SHARD_SHARDED_SERVER_H_
+
+/// \file sharded_server.h
+/// ShardedServer: scatter-gather serving over K per-shard TastiServers.
+///
+/// Each shard is a full TastiServer over its record range — own index,
+/// worker pool, oracle scheduler, ScoreCache partition, epoch chain, and
+/// (when durability is on) its own WAL/checkpoint directory
+/// `<dir>/shard-<s>`. A query scatters to every shard as a sub-query
+/// (budgets split proportionally to shard size, confidence tightened to
+/// ShardConfidence so the union bound recovers the requested level) and
+/// the partials gather through the per-kind mergers in queries/merge.h.
+/// Limit queries dispatch shards sequentially and stop as soon as enough
+/// matches accumulated, so a hit-rich first shard spares the rest any
+/// oracle spend.
+///
+/// Cracks stay shard-local by construction: a sub-query's annotations are
+/// records of its own shard, so auto-crack republishes only that shard's
+/// epoch — the other K-1 shards keep serving their current snapshots and
+/// their ScoreCache entries stay warm.
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/partition.h"
+#include "serve/server.h"
+#include "shard/sharded_index.h"
+
+namespace tasti::shard {
+
+struct ShardedServerOptions {
+  size_t num_shards = 2;
+  /// Start / recover shards concurrently on the global ThreadPool.
+  bool parallel_start = true;
+  /// Split SUPG / validation budgets across shards proportionally to
+  /// shard size (queries::SplitBudget). Off = every shard gets the full
+  /// budget (spends ~K times the oracle calls for tighter per-shard fits).
+  bool scale_query_budgets = true;
+  /// Stop dispatching limit sub-queries once `want` matches accumulated.
+  bool limit_early_stop = true;
+  /// Divide index construction budgets by K (see ShardedIndexOptions).
+  bool scale_index_budgets = true;
+  /// Per-shard server template. Applied per shard with: seed offset by
+  /// shard, index options via ShardIndexOptions, confidence tightened to
+  /// ShardConfidence(confidence, K), durability.dir suffixed "/shard-<s>".
+  /// num_workers is per shard — K shards run K * num_workers workers.
+  serve::ServerOptions server;
+};
+
+/// One scatter-gathered query: the merged dataset-level answer plus the
+/// per-shard partials that produced it.
+struct ShardedQueryResponse {
+  /// Merged payload; `epoch` is the max shard epoch involved and the
+  /// accounting fields are sums over partials.
+  serve::QueryResponse merged;
+  /// Per-shard responses, in shard order. For early-terminated limit
+  /// queries only the first shards_queried entries exist.
+  std::vector<serve::QueryResponse> partials;
+  /// Shards actually dispatched (== num_shards except limit early stop).
+  size_t shards_queried = 0;
+  /// Epoch each dispatched shard answered at.
+  std::vector<uint64_t> shard_epochs;
+};
+
+/// Scatter-gather serving engine. Execute/AppendRecords/stats are
+/// thread-safe; Start/RecoverFrom/Drain/Shutdown follow TastiServer's
+/// lifecycle rules applied to every shard.
+class ShardedServer {
+ public:
+  /// The dataset and oracle must outlive the server; the oracle must be
+  /// thread-safe (shards dispatch to it concurrently).
+  ShardedServer(const data::Dataset* dataset,
+                labeler::FallibleLabeler* oracle, ShardedServerOptions options);
+
+  ShardedServer(const ShardedServer&) = delete;
+  ShardedServer& operator=(const ShardedServer&) = delete;
+
+  /// Attaches a monitor to shard `s` (before Start, as with TastiServer).
+  void AttachMonitor(size_t s, serve::ServerMonitor* monitor);
+
+  /// Builds every shard's index (in parallel with parallel_start) and
+  /// starts its serving stack. Returns the first shard failure, if any.
+  Status Start();
+
+  /// Per-shard recovery fan-out: shard s recovers from
+  /// `<dir>/shard-<s>` (dir defaults to the template durability dir).
+  /// NotFound from any shard means the sharded deployment has no complete
+  /// durable state and the caller should Start() cold.
+  Status RecoverFrom(const std::string& dir = "");
+
+  /// Scatters `spec` to the shards and merges the partials. Blocks until
+  /// the merged answer is ready (sub-queries of one call run concurrently
+  /// across shards; distinct Execute calls may also overlap).
+  ShardedQueryResponse Execute(const serve::QuerySpec& spec);
+
+  /// Drains every shard (deterministic mode: applies deferred cracks).
+  void Drain();
+
+  /// Drains and stops every shard; idempotent.
+  void Shutdown();
+
+  /// Appends records to the last shard's server (keeps global ids dense)
+  /// and extends the partition. Returns the first appended global id.
+  size_t AppendRecords(const nn::Matrix& features);
+
+  // --- Introspection ---
+
+  size_t num_shards() const { return servers_.size(); }
+  const core::Partitioner& partitioner() const { return partitioner_; }
+  serve::TastiServer& shard(size_t s) { return *servers_[s]; }
+  const serve::TastiServer& shard(size_t s) const { return *servers_[s]; }
+  ShardLabelerView* shard_view(size_t s) { return views_[s].get(); }
+
+  /// Summed per-shard tallies (live-safe).
+  serve::ServerStats stats() const;
+
+  /// Current epoch of every shard (live-safe).
+  std::vector<uint64_t> shard_epochs() const;
+
+  /// Every shard's attribution invariant, plus the cross-shard ledger:
+  /// the sum of per-shard accounted invocations must equal the calls the
+  /// dataset-wide oracle saw since this server was constructed (exact
+  /// because every view call forwards to exactly one oracle call). Call
+  /// quiescent (after Drain).
+  Status CheckAttributionInvariant() const;
+
+  /// Concatenated per-shard serialized indexes (shard count + lengths +
+  /// payloads); the crash harness hashes this to compare a recovered
+  /// deployment against a control. Call quiescent.
+  Result<std::string> SerializeIndex() const;
+
+ private:
+  serve::ServerOptions ShardServerOptions(size_t s) const;
+  /// Scatter to all shards and gather all partials (non-limit kinds).
+  ShardedQueryResponse ExecuteScattered(const serve::QuerySpec& spec);
+  /// Sequential shard dispatch with early termination (limit).
+  ShardedQueryResponse ExecuteLimit(const serve::QuerySpec& spec);
+  /// Fills the merged response's kind/epoch/accounting from the partials.
+  static void FoldAccounting(ShardedQueryResponse* response);
+
+  const data::Dataset* dataset_;
+  labeler::FallibleLabeler* oracle_;
+  const ShardedServerOptions options_;
+  size_t baseline_invocations_ = 0;
+
+  mutable std::mutex partition_mu_;  ///< guards partitioner_ growth
+  core::Partitioner partitioner_;
+
+  std::vector<data::Dataset> shard_datasets_;
+  std::vector<std::unique_ptr<ShardLabelerView>> views_;
+  std::vector<std::unique_ptr<serve::TastiServer>> servers_;
+};
+
+}  // namespace tasti::shard
+
+#endif  // TASTI_SHARD_SHARDED_SERVER_H_

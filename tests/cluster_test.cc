@@ -296,7 +296,9 @@ TEST(IvfTest, DistancesAscendAndAreExactForFoundReps) {
   TopKDistances topk = ivf.SearchAll(queries, 4);
   for (size_t i = 0; i < queries.rows(); ++i) {
     for (size_t j = 0; j < topk.k; ++j) {
-      if (j > 0) EXPECT_LE(topk.Dist(i, j - 1), topk.Dist(i, j));
+      if (j > 0) {
+        EXPECT_LE(topk.Dist(i, j - 1), topk.Dist(i, j));
+      }
       // Reported distances are true distances to the reported rep.
       EXPECT_NEAR(topk.Dist(i, j),
                   nn::Distance(queries, i, reps, topk.RepId(i, j)), 1e-5f);

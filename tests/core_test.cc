@@ -420,7 +420,9 @@ TEST(StreamingTest, AppendRecordsExtendsIndex) {
   for (size_t i = first_new; i < index.num_records(); ++i) {
     for (size_t j = 0; j < index.k(); ++j) {
       EXPECT_LT(index.topk().RepId(i, j), index.num_representatives());
-      if (j > 0) EXPECT_LE(index.topk().Dist(i, j - 1), index.topk().Dist(i, j));
+      if (j > 0) {
+        EXPECT_LE(index.topk().Dist(i, j - 1), index.topk().Dist(i, j));
+      }
     }
     EXPECT_FALSE(index.IsRepresentative(i));
   }

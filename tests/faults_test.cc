@@ -162,7 +162,9 @@ TEST(FaultInjectorTest, CrashWindowFailsEveryCallInside) {
     Result<data::LabelerOutput> r = inj.TryLabel(attempt % ds.size());
     const bool in_window = attempt >= 2 && attempt < 5;
     EXPECT_EQ(r.ok(), !in_window) << "attempt " << attempt;
-    if (in_window) EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    if (in_window) {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    }
   }
   EXPECT_EQ(inj.fault_counts().crash, 3u);
 }

@@ -14,12 +14,17 @@ Asserts, from the repository root:
   4. every bench/*.cc has a registration (tasti_add_bench or
      add_executable) in bench/CMakeLists.txt and vice versa;
   5. every committed bench baseline (bench/baselines/BENCH_*.json) is
-     gated by the CI bench-regression job in .github/workflows/ci.yml;
+     gated by the CI bench-regression job in .github/workflows/ci.yml,
+     and every baseline path ci.yml names exists in-tree;
   6. every tools/*.cc has an add_executable in tools/CMakeLists.txt and
      vice versa;
   7. every stage_<name>() function in tools/check.sh is runnable (listed
      in the default stage set and the case validation) and has a matching
-     `stage: <name>` entry in the CI matrix.
+     `stage: <name>` entry in the CI matrix;
+  8. the sharded-serving suite stays wired end to end: shard_test carries
+     the `shard` label, `shard`-labeled tests are exercised by check.sh,
+     and the registered bench_shard target is built and gated by the CI
+     bench-regression job.
 
 Run directly (tools/check.sh tier1 and the CI lint job both do):
     python3 tools/check_targets.py
@@ -80,6 +85,16 @@ def main():
                 f"{name} is labeled `durable` (crash-recovery IO paths) but "
                 "tools/check.sh never builds or runs it under ASan"
             )
+        if "shard" in labels and not re.search(rf"\b{name}\b", check_sh):
+            errors.append(
+                f"{name} is labeled `shard` (scatter-gather serving) but "
+                "tools/check.sh never builds or runs it"
+            )
+    if "shard_test" in registrations and "shard" not in registrations["shard_test"]:
+        errors.append(
+            "tests/shard_test.cc is registered without the `shard` label, "
+            "so the sharded-serving stage checks cannot find it"
+        )
     all_labels = {l for labels in registrations.values() for l in labels}
     if "chaos" in all_labels and "-L chaos" not in check_sh:
         errors.append(
@@ -161,6 +176,20 @@ def main():
                 f"bench/baselines/{baseline.name} is committed but the CI "
                 "bench-regression job never gates it"
             )
+    # The reverse: a baseline path in ci.yml that is not committed would
+    # make bench_compare fail on every run.
+    for name in sorted(set(re.findall(r"bench/baselines/(BENCH_\w+\.json)", ci))):
+        if not (ROOT / "bench" / "baselines" / name).exists():
+            errors.append(
+                f"ci.yml gates bench/baselines/{name}, which does not exist "
+                "in-tree"
+            )
+
+    if "bench_shard" in bench_registered and "bench_shard" not in ci:
+        errors.append(
+            "bench_shard is registered in bench/CMakeLists.txt but the CI "
+            "bench-regression job never builds or runs it"
+        )
 
     fail(errors)
 

@@ -1,19 +1,19 @@
 // tasti_cli: build, inspect, and query TASTI indexes from the command line
 // over the bundled synthetic datasets.
 //
-//   tasti_cli build     --dataset night-street --records 20000 \
+//   tasti_cli build     --dataset night-street --records 20000
 //                       --train 1000 --reps 2000 --out /tmp/ns.idx
 //   tasti_cli info      --index /tmp/ns.idx
-//   tasti_cli aggregate --dataset night-street --records 20000 \
-//                       --index /tmp/ns.idx --query count --class car \
+//   tasti_cli aggregate --dataset night-street --records 20000
+//                       --index /tmp/ns.idx --query count --class car
 //                       --error 0.07
-//   tasti_cli select    --dataset night-street --records 20000 \
-//                       --index /tmp/ns.idx --query atleast --min-count 2 \
+//   tasti_cli select    --dataset night-street --records 20000
+//                       --index /tmp/ns.idx --query atleast --min-count 2
 //                       --recall 0.9 --budget 500
-//   tasti_cli limit     --dataset night-street --records 20000 \
-//                       --index /tmp/ns.idx --query atleast --min-count 5 \
+//   tasti_cli limit     --dataset night-street --records 20000
+//                       --index /tmp/ns.idx --query atleast --min-count 5
 //                       --want 10
-//   tasti_cli workload  --dataset night-street --records 8000 \
+//   tasti_cli workload  --dataset night-street --records 8000
 //                       --trace=trace.json --metrics=metrics.json
 //
 // Datasets are regenerated deterministically from (--dataset, --records,
@@ -58,6 +58,7 @@
 #include "queries/limit.h"
 #include "queries/supg.h"
 #include "serve/server.h"
+#include "shard/sharded_server.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -99,6 +100,10 @@ int Usage() {
       "  workload: --train N1 --reps N2 --error E --budget B --want W\n"
       "  serve-workload: --clients K --queries-per-client Q "
       "--oracle-latency-ms L\n"
+      "          [--shards S] (S>1 serves scatter-gather over S shards: "
+      "per-shard\n"
+      "          indexes built in parallel, budgets split, partials "
+      "merged)\n"
       "          [--serial-dispatch] [--check-speedup X] (replays a mixed "
       "workload\n"
       "          serialized vs concurrently served; reports throughput and "
@@ -115,6 +120,7 @@ int Usage() {
       "          WAL, report replay/quarantine stats, optionally save the\n"
       "          recovered index)\n"
       "  monitor: serve-workload flags plus --rounds R --frame-ms MS\n"
+      "          [--shards S] (S>1 attaches one monitor per shard)\n"
       "          --out PROM (exposition, default monitor.prom) --flight-dump "
       "PREFIX\n"
       "          --slo-latency-ms T --inject-drift N --require-alert\n"
@@ -418,7 +424,7 @@ int RunLimit(const Args& args) {
 // per-query cost ledger printed and exported. This is the one-command
 // demonstration of the observability surface:
 //
-//   tasti_cli workload --dataset night-street --records 8000 \
+//   tasti_cli workload --dataset night-street --records 8000
 //       --trace=trace.json --metrics=metrics.json
 int RunWorkload(const Args& args) {
   data::DatasetOptions dataset_opts;
@@ -521,7 +527,7 @@ int RunWorkload(const Args& args) {
 // throughput, oracle-call savings from the cross-query scheduler, and the
 // server-wide attribution invariant:
 //
-//   tasti_cli serve-workload --dataset night-street --records 6000 \
+//   tasti_cli serve-workload --dataset night-street --records 6000
 //       --clients 8 --oracle-latency-ms 2 --check-speedup 1.5
 int RunServeWorkload(const Args& args) {
   const data::Dataset dataset = LoadDataset(args);
@@ -656,6 +662,90 @@ int RunServeWorkload(const Args& args) {
   server_opts.durability.dir = args.Get("wal-dir", "");
   server_opts.durability.checkpoint_every_epochs = static_cast<size_t>(
       std::max<long>(1, args.GetInt("checkpoint-every", 16)));
+
+  // --shards S>1: serve the same workload scatter-gather across S shards
+  // instead of one monolithic server. Per-shard indexes build in parallel,
+  // each sub-query gets a proportional budget slice, and the partials
+  // merge into dataset-level answers.
+  const size_t shards = static_cast<size_t>(args.GetInt("shards", 1));
+  if (shards > 1) {
+    labeler::SimulatedLabeler sharded_sim(&dataset);
+    labeler::FallibleAdapter sharded_adapter(&sharded_sim);
+    serve::LatencyInjectingOracle sharded_oracle(&sharded_adapter, latency_ms);
+    shard::ShardedServerOptions sharded_opts;
+    sharded_opts.num_shards = shards;
+    sharded_opts.server = server_opts;
+    shard::ShardedServer sharded(&dataset, &sharded_oracle, sharded_opts);
+    {
+      const Status status = sharded.Start();
+      if (!status.ok()) {
+        std::fprintf(stderr, "sharded start failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    WallTimer sharded_timer;
+    std::vector<std::thread> sharded_clients;
+    std::atomic<size_t> sharded_failures{0};
+    for (size_t c = 0; c < clients; ++c) {
+      sharded_clients.emplace_back([&, c] {
+        for (size_t q = 0; q < per_client; ++q) {
+          const shard::ShardedQueryResponse response =
+              sharded.Execute(specs[c * per_client + q]);
+          if (!response.merged.status.ok()) {
+            sharded_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : sharded_clients) thread.join();
+    sharded.Drain();
+    const double sharded_seconds = sharded_timer.Seconds();
+    const serve::ServerStats totals = sharded.stats();
+
+    const double serial_qps =
+        serial_seconds > 0 ? total_queries / serial_seconds : 0.0;
+    const double sharded_qps =
+        sharded_seconds > 0 ? total_queries / sharded_seconds : 0.0;
+    const double speedup =
+        sharded_seconds > 0 ? serial_seconds / sharded_seconds : 0.0;
+    std::printf("workload: %zu queries (%zu clients x %zu), oracle latency "
+                "%.1f ms, %zu shards\n",
+                total_queries, clients, per_client, latency_ms, shards);
+    std::printf("serialized: %.2fs (%.2f queries/s), %zu oracle calls\n",
+                serial_seconds, serial_qps, serial_query_calls);
+    std::printf("sharded:    %.2fs (%.2f queries/s), %zu oracle calls -- "
+                "%.2fx throughput\n",
+                sharded_seconds, sharded_qps, totals.query_invocations,
+                speedup);
+    const std::vector<uint64_t> epochs = sharded.shard_epochs();
+    std::printf("shard epochs:");
+    for (size_t s = 0; s < epochs.size(); ++s) {
+      std::printf(" %zu:%llu", s, static_cast<unsigned long long>(epochs[s]));
+    }
+    std::printf("\n");
+    if (sharded_failures.load() > 0) {
+      std::fprintf(stderr, "%zu sharded queries failed\n",
+                   sharded_failures.load());
+      return 1;
+    }
+    const Status invariant = sharded.CheckAttributionInvariant();
+    if (!invariant.ok()) {
+      std::fprintf(stderr, "%s\n", invariant.ToString().c_str());
+      return 1;
+    }
+    std::printf("attribution invariant holds across %zu shards: index %zu + "
+                "queries %zu == oracle %zu\n",
+                shards, totals.index_invocations, totals.query_invocations,
+                sharded_oracle.invocations());
+    if (check_speedup > 0.0 && speedup < check_speedup) {
+      std::fprintf(stderr, "FAIL: speedup %.2fx below required %.2fx\n",
+                   speedup, check_speedup);
+      return 1;
+    }
+    return 0;
+  }
+
   serve::TastiServer server(&dataset, &served_oracle, server_opts);
   {
     const Status status = server.Start();
@@ -805,8 +895,8 @@ int RunServeWorkload(const Args& args) {
 // out-of-distribution records after the workload so the drift gauges and
 // alert fire end to end:
 //
-//   tasti_cli monitor --dataset night-street --records 6000 --clients 8 \
-//       --rounds 2 --slo-latency-ms 50 --out monitor.prom \
+//   tasti_cli monitor --dataset night-street --records 6000 --clients 8
+//       --rounds 2 --slo-latency-ms 50 --out monitor.prom
 //       --flight-dump flight --inject-drift 500
 int RunMonitor(const Args& args) {
   const data::Dataset dataset = LoadDataset(args);
@@ -928,6 +1018,140 @@ int RunMonitor(const Args& args) {
       args.flags.count("serial-dispatch") == 0;
   server_opts.scheduler.dispatch_threads = std::max<size_t>(clients, 8);
   server_opts.scheduler.batch_window_ms = 0.5;
+
+  // --shards S>1: the same monitored workload over a ShardedServer, one
+  // ServerMonitor per shard. `monitor` (already wired to the chaos fault
+  // hook) watches shard 0; shards 1..S-1 get their own instances. Drift
+  // injection appends to the last shard, so its monitor owns that check.
+  const size_t shards = static_cast<size_t>(args.GetInt("shards", 1));
+  if (shards > 1) {
+    shard::ShardedServerOptions sharded_opts;
+    sharded_opts.num_shards = shards;
+    sharded_opts.server = server_opts;
+    shard::ShardedServer sharded(&dataset, &oracle, sharded_opts);
+    std::vector<std::unique_ptr<serve::ServerMonitor>> extra_monitors;
+    std::vector<serve::ServerMonitor*> monitors{&monitor};
+    for (size_t s = 1; s < shards; ++s) {
+      // Own dump prefix per shard so concurrent flight dumps don't
+      // overwrite each other.
+      serve::MonitorOptions shard_mopts = mopts;
+      if (!shard_mopts.flight_dump_path.empty()) {
+        shard_mopts.flight_dump_path += "-shard" + std::to_string(s);
+      }
+      extra_monitors.push_back(
+          std::make_unique<serve::ServerMonitor>(shard_mopts));
+      monitors.push_back(extra_monitors.back().get());
+    }
+    for (size_t s = 0; s < shards; ++s) {
+      sharded.AttachMonitor(s, monitors[s]);
+    }
+    {
+      const Status status = sharded.Start();
+      if (!status.ok()) {
+        std::fprintf(stderr, "sharded start failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("monitor: %zu queries (%zu clients x %zu) over %zu shards, "
+                "slo latency %.2f ms, dumps -> %s-*.json\n",
+                total_queries, clients, per_client, shards,
+                mopts.slo.latency_threshold_ms,
+                mopts.flight_dump_path.empty()
+                    ? "(disabled)"
+                    : mopts.flight_dump_path.c_str());
+
+    std::atomic<bool> done{false};
+    std::thread frame_thread([&] {
+      if (frame_ms <= 0.0) return;
+      while (!done.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<long>(frame_ms * 1000.0)));
+        for (size_t s = 0; s < shards; ++s) {
+          std::printf("frame shard %zu %s\n", s,
+                      monitors[s]->StatusLine().c_str());
+        }
+        std::fflush(stdout);
+      }
+    });
+
+    std::vector<std::thread> client_threads;
+    std::atomic<size_t> failures{0};
+    for (size_t c = 0; c < clients; ++c) {
+      client_threads.emplace_back([&, c] {
+        for (size_t q = 0; q < per_client; ++q) {
+          const shard::ShardedQueryResponse response =
+              sharded.Execute(specs[c * per_client + q]);
+          if (!response.merged.status.ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : client_threads) thread.join();
+    sharded.Drain();
+
+    if (inject_drift > 0) {
+      data::DatasetOptions drift_opts;
+      drift_opts.num_records = inject_drift;
+      drift_opts.feature_dim = dataset.feature_dim();
+      drift_opts.seed = index_opts.seed + 1;
+      const data::Dataset shifted = data::MakeTaipei(drift_opts);
+      const size_t first_new = sharded.AppendRecords(shifted.features);
+      const serve::IndexHealth health = monitors.back()->index_health();
+      std::printf("injected drift: appended %zu records at %zu (last "
+                  "shard); drift ratio %.3f (threshold %.2f) drifted=%s\n",
+                  inject_drift, first_new, health.drift_ratio,
+                  mopts.drift_ratio_threshold, health.drifted ? "yes" : "no");
+    }
+
+    done.store(true, std::memory_order_relaxed);
+    frame_thread.join();
+    size_t total_alerts = 0;
+    size_t total_dumps = 0;
+    for (size_t s = 0; s < shards; ++s) {
+      std::printf("final shard %zu %s\n", s, monitors[s]->StatusLine().c_str());
+      for (const obs::Alert& alert : monitors[s]->alerts()) {
+        std::printf("alert shard %zu [%s] t=%.1fs %s\n", s,
+                    obs::SloObjectiveName(alert.objective),
+                    alert.fired_at_seconds, alert.message.c_str());
+        ++total_alerts;
+      }
+      for (const std::string& path : monitors[s]->dump_files()) {
+        std::printf("flight dump shard %zu: %s\n", s, path.c_str());
+        ++total_dumps;
+      }
+    }
+
+    const Status invariant = sharded.CheckAttributionInvariant();
+    if (!invariant.ok()) {
+      std::fprintf(stderr, "%s\n", invariant.ToString().c_str());
+      return 1;
+    }
+
+    // One exposition file; the shared metrics registry already carries
+    // every shard's counters, and the last shard's monitor contributes
+    // the index-health section the drift injection targets.
+    const Status written = obs::WriteExpositionFile(
+        obs::MetricsRegistry::Global(), monitors.back()->Collect(), out_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "exposition write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote exposition to %s (%zu alerts, %zu flight dumps, "
+                "%zu query failures across %zu shards)\n",
+                out_path.c_str(), total_alerts, total_dumps, failures.load(),
+                shards);
+    if (args.flags.count("require-alert") != 0 &&
+        (total_alerts == 0 || total_dumps == 0)) {
+      std::fprintf(stderr, "FAIL: --require-alert but %zu alerts, %zu dumps\n",
+                   total_alerts, total_dumps);
+      return 1;
+    }
+    return 0;
+  }
+
   serve::TastiServer server(&dataset, &oracle, server_opts);
   server.AttachMonitor(&monitor);
   {
