@@ -55,6 +55,18 @@ class FallibleLabeler {
   /// Attempts to label record `index`.
   virtual Result<data::LabelerOutput> TryLabel(size_t index) = 0;
 
+  /// Attempts to label record `index` with at most `budget_ms` of (virtual
+  /// or wall) time left in the caller's deadline. Budget-aware wrappers
+  /// (ResilientLabeler caps retry backoff; the oracle scheduler forwards
+  /// to its inner labeler) override this; the default ignores the budget,
+  /// so a chain with a non-forwarding link degrades to plain TryLabel
+  /// rather than misbehaving.
+  virtual Result<data::LabelerOutput> TryLabelWithin(size_t index,
+                                                     double budget_ms) {
+    (void)budget_ms;
+    return TryLabel(index);
+  }
+
   /// Number of records this labeler can label.
   virtual size_t num_records() const = 0;
 

@@ -88,14 +88,28 @@ void ResilientLabeler::RecordAttemptOutcome(bool success) {
 
 Result<data::LabelerOutput> ResilientLabeler::TryLabel(size_t index) {
   std::lock_guard<std::mutex> lock(mu_);
-  return TryLabelLocked(index);
+  return TryLabelLocked(index, 0.0);
 }
 
-Result<data::LabelerOutput> ResilientLabeler::TryLabelLocked(size_t index) {
+Result<data::LabelerOutput> ResilientLabeler::TryLabelWithin(size_t index,
+                                                             double budget_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return TryLabelLocked(index, budget_ms);
+}
+
+Result<data::LabelerOutput> ResilientLabeler::TryLabelLocked(
+    size_t index, double caller_budget_ms) {
   TASTI_SPAN("oracle.try_label");
   ++stats_.calls;
   CountMetric("oracle.calls");
   const double call_start_ms = now_ms_;
+  // Effective per-call deadline: the tighter of the policy's own budget
+  // and whatever the caller has left (0 = unbounded for both).
+  double deadline_ms = options_.retry.call_deadline_ms;
+  if (caller_budget_ms > 0.0 &&
+      (deadline_ms <= 0.0 || caller_budget_ms < deadline_ms)) {
+    deadline_ms = caller_budget_ms;
+  }
 
   double backoff_ms = options_.retry.initial_backoff_ms;
   Status last_error = Status::Unavailable("oracle: no attempt made");
@@ -116,11 +130,22 @@ Result<data::LabelerOutput> ResilientLabeler::TryLabelLocked(size_t index) {
     }
 
     if (attempt > 0) {
-      ++stats_.retries;
-      CountMetric("oracle.retries");
       const double jitter =
           1.0 + options_.retry.jitter_fraction * (2.0 * jitter_rng_.Uniform() - 1.0);
-      now_ms_ += backoff_ms * jitter;
+      const double sleep_ms = backoff_ms * jitter;
+      // Never sleep past the deadline: if this backoff would overrun it,
+      // fail now instead of burning budget the caller no longer has.
+      if (deadline_ms > 0.0 &&
+          now_ms_ - call_start_ms + sleep_ms >= deadline_ms) {
+        last_error = Status::DeadlineExceeded(
+            "oracle: backoff would overrun the call deadline after " +
+            std::to_string(attempt) + " attempts (" + last_error.ToString() +
+            ")");
+        break;
+      }
+      ++stats_.retries;
+      CountMetric("oracle.retries");
+      now_ms_ += sleep_ms;
       backoff_ms = std::min(backoff_ms * options_.retry.backoff_multiplier,
                             options_.retry.max_backoff_ms);
     }
@@ -139,8 +164,7 @@ Result<data::LabelerOutput> ResilientLabeler::TryLabelLocked(size_t index) {
     }
     last_error = r.status();
     if (!IsRetryable(last_error.code())) break;
-    if (options_.retry.call_deadline_ms > 0.0 &&
-        now_ms_ - call_start_ms >= options_.retry.call_deadline_ms) {
+    if (deadline_ms > 0.0 && now_ms_ - call_start_ms >= deadline_ms) {
       last_error = Status::DeadlineExceeded(
           "oracle: call deadline exhausted after " +
           std::to_string(attempt + 1) + " attempts (" + last_error.ToString() +
@@ -162,7 +186,7 @@ BatchResult ResilientLabeler::TryLabelBatch(const std::vector<size_t>& indices) 
   result.labels.reserve(indices.size());
   const size_t attempts_before = stats_.attempts;
   for (size_t pos = 0; pos < indices.size(); ++pos) {
-    Result<data::LabelerOutput> r = TryLabelLocked(indices[pos]);
+    Result<data::LabelerOutput> r = TryLabelLocked(indices[pos], 0.0);
     if (r.ok()) {
       result.labels.push_back(std::move(r).value());
     } else {
@@ -182,9 +206,18 @@ CachingFallibleLabeler::CachingFallibleLabeler(FallibleLabeler* inner)
 }
 
 Result<data::LabelerOutput> CachingFallibleLabeler::TryLabel(size_t index) {
+  return TryLabelWithin(index, 0.0);
+}
+
+Result<data::LabelerOutput> CachingFallibleLabeler::TryLabelWithin(
+    size_t index, double budget_ms) {
   TASTI_CHECK(index < cache_.size(), "label index out of range");
-  if (cache_[index].has_value()) return *cache_[index];
-  Result<data::LabelerOutput> r = inner_->TryLabel(index);
+  if (cache_[index].has_value()) {
+    last_was_hit_ = true;
+    return *cache_[index];
+  }
+  last_was_hit_ = false;
+  Result<data::LabelerOutput> r = inner_->TryLabelWithin(index, budget_ms);
   if (r.ok()) {
     cache_[index] = r.value();
     labeled_order_.push_back(index);

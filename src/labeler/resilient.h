@@ -110,6 +110,13 @@ class ResilientLabeler : public FallibleLabeler {
   ResilientLabeler(FallibleLabeler* inner, Options options);
 
   Result<data::LabelerOutput> TryLabel(size_t index) override;
+  /// Budget-aware call: retries and backoff are capped by the tighter of
+  /// `budget_ms` (the caller's remaining deadline; <= 0 means unbounded)
+  /// and the policy's own call_deadline_ms. A backoff sleep that would
+  /// overrun the budget is skipped and the call fails DeadlineExceeded
+  /// immediately instead of sleeping past a deadline it cannot meet.
+  Result<data::LabelerOutput> TryLabelWithin(size_t index,
+                                             double budget_ms) override;
   size_t num_records() const override { return inner_->num_records(); }
   size_t invocations() const override { return inner_->invocations(); }
   void ResetInvocations() override { inner_->ResetInvocations(); }
@@ -135,7 +142,8 @@ class ResilientLabeler : public FallibleLabeler {
   static bool IsRetryable(StatusCode code);
 
  private:
-  Result<data::LabelerOutput> TryLabelLocked(size_t index);
+  Result<data::LabelerOutput> TryLabelLocked(size_t index,
+                                             double caller_budget_ms);
   void RecordAttemptOutcome(bool success);
   void TransitionBreaker(BreakerState next);
 
@@ -162,11 +170,16 @@ class CachingFallibleLabeler : public FallibleLabeler {
   explicit CachingFallibleLabeler(FallibleLabeler* inner);
 
   Result<data::LabelerOutput> TryLabel(size_t index) override;
+  /// Forwards the caller's remaining budget to the inner labeler; cache
+  /// hits cost nothing and never consult it.
+  Result<data::LabelerOutput> TryLabelWithin(size_t index,
+                                             double budget_ms) override;
   size_t num_records() const override { return inner_->num_records(); }
   size_t invocations() const override { return inner_->invocations(); }
   void ResetInvocations() override { inner_->ResetInvocations(); }
+  /// 0 for a cache hit (no oracle time was spent), else the inner latency.
   double last_call_latency_ms() const override {
-    return inner_->last_call_latency_ms();
+    return last_was_hit_ ? 0.0 : inner_->last_call_latency_ms();
   }
 
   /// Indices successfully labeled so far, in first-label order.
@@ -182,6 +195,7 @@ class CachingFallibleLabeler : public FallibleLabeler {
   FallibleLabeler* inner_;
   std::vector<std::optional<data::LabelerOutput>> cache_;
   std::vector<size_t> labeled_order_;
+  bool last_was_hit_ = false;
 };
 
 }  // namespace tasti::labeler

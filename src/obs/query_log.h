@@ -169,6 +169,17 @@ class TimedOracle : public labeler::FallibleLabeler {
     return out;
   }
 
+  Result<data::LabelerOutput> TryLabelWithin(size_t index,
+                                             double budget_ms) override {
+    const bool pause = paused_ != nullptr && paused_->running();
+    if (pause) paused_->Pause();
+    WallTimer call_timer;
+    Result<data::LabelerOutput> out = inner_->TryLabelWithin(index, budget_ms);
+    seconds_ += call_timer.Seconds();
+    if (pause) paused_->Resume();
+    return out;
+  }
+
   size_t num_records() const override { return inner_->num_records(); }
   size_t invocations() const override { return inner_->invocations(); }
   void ResetInvocations() override { inner_->ResetInvocations(); }

@@ -114,6 +114,11 @@ Result<AggregationResult> TryEstimateMean(
   {
     TASTI_SPAN("query.agg.sample");
     for (size_t taken = 0; taken < max_samples; ++taken) {
+      // Deadline boundary: stop sampling and finalize with what we have.
+      if (options.deadline.exhausted()) {
+        result.deadline_hit = true;
+        break;
+      }
       const size_t record = order[taken];
       Result<data::LabelerOutput> label = oracle->TryLabel(record);
       if (label.ok()) {
@@ -137,11 +142,17 @@ Result<AggregationResult> TryEstimateMean(
       }
     }
   }
-  if (!result.converged) {
-    // Exhausted the budget; produce the final estimate anyway.
+  if (!result.converged && !samples.f.empty()) {
+    // Exhausted the budget (or the deadline); produce the final estimate
+    // anyway — honest for the samples taken, just wider than requested.
     evaluate_stop(samples.f.size());
     // An exhaustive pass over the dataset is exact by construction.
     result.converged = samples.f.size() == n;
+  }
+  if (samples.f.empty() && result.deadline_hit) {
+    // The deadline expired before the first sample: no estimate at all.
+    return Status::DeadlineExceeded(
+        "aggregation: deadline expired before any sample was taken");
   }
   result.labeler_invocations = samples.f.size();
   result.proxy_correlation = PearsonCorrelation(samples.p, samples.f);

@@ -16,6 +16,7 @@
 
 #include "core/scorer.h"
 #include "labeler/labeler.h"
+#include "serve/deadline.h"
 
 namespace tasti::queries {
 
@@ -35,6 +36,10 @@ struct AggregationOptions {
   /// Hard cap on labeler invocations; 0 means the dataset size.
   size_t max_samples = 0;
   uint64_t seed = 101;
+  /// Deadline checked before each oracle call; on expiry sampling stops
+  /// and the result is finalized from the samples taken so far (honest
+  /// but wider interval, deadline_hit set). Default: unbounded.
+  serve::Deadline deadline;
 };
 
 /// Outcome of one aggregation query.
@@ -56,6 +61,9 @@ struct AggregationResult {
   /// Failed samples whose labeler score was replaced by the proxy score
   /// (keeps the sample size and stopping rule intact at some bias cost).
   size_t substituted_samples = 0;
+  /// True if the deadline expired before the stopping rule was satisfied;
+  /// the interval is valid for the samples taken but wider than requested.
+  bool deadline_hit = false;
 };
 
 /// Estimates the mean of `scorer` over all records.

@@ -47,6 +47,11 @@ Result<LimitResult> TryLimitQuery(const std::vector<double>& ranking_scores,
   LimitResult result;
   TASTI_SPAN("query.limit.scan");
   for (size_t i = 0; i < cap; ++i) {
+    // Deadline boundary: stop the scan with whatever has been found.
+    if (options.deadline.exhausted()) {
+      result.deadline_hit = true;
+      break;
+    }
     const size_t record = order[i];
     Result<data::LabelerOutput> label = oracle->TryLabel(record);
     ++result.labeler_invocations;

@@ -13,6 +13,7 @@
 
 #include "core/scorer.h"
 #include "labeler/labeler.h"
+#include "serve/deadline.h"
 
 namespace tasti::queries {
 
@@ -22,6 +23,10 @@ struct LimitOptions {
   size_t want = 10;
   /// Hard cap on labeler invocations; 0 means the dataset size.
   size_t max_invocations = 0;
+  /// Deadline checked before each scan step; on expiry the scan stops with
+  /// the matches found so far (satisfied stays false unless `want` was
+  /// already reached). Default: unbounded.
+  serve::Deadline deadline;
 };
 
 /// Outcome of one limit query.
@@ -35,6 +40,8 @@ struct LimitResult {
   /// Oracle calls that failed after retries (fallible path only); the
   /// scan skips those records and continues down the ranking.
   size_t failed_oracle_calls = 0;
+  /// True if the deadline expired before the scan finished.
+  bool deadline_hit = false;
 };
 
 /// Runs the ranked scan. `ranking_scores` orders records (descending);

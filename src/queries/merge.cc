@@ -211,4 +211,192 @@ LimitResult MergeLimits(const std::vector<LimitResult>& parts,
   return merged;
 }
 
+namespace {
+
+/// Counts present shards and the record fraction they cover; fills
+/// `quality` (if given) and returns the number of absent shards.
+size_t FillQuality(const std::vector<size_t>& shard_sizes,
+                   const std::vector<bool>& present, GatherQuality* quality) {
+  TASTI_CHECK(present.size() == shard_sizes.size(),
+              "degraded merge: present / shard_sizes mismatch");
+  size_t absent = 0;
+  size_t covered_records = 0;
+  for (size_t s = 0; s < present.size(); ++s) {
+    if (present[s]) {
+      covered_records += shard_sizes[s];
+    } else {
+      ++absent;
+    }
+  }
+  const size_t total = TotalRecords(shard_sizes);
+  const double covered =
+      total > 0 ? static_cast<double>(covered_records) /
+                      static_cast<double>(total)
+                : (absent == 0 ? 1.0 : 0.0);
+  if (quality != nullptr) {
+    quality->shards = present.size();
+    quality->absent = absent;
+    quality->covered_fraction = covered;
+    quality->effective_target = 0.0;
+  }
+  return absent;
+}
+
+/// Subsets `values` down to the present entries (parallel vectors).
+template <typename T>
+std::vector<T> PresentSubset(const std::vector<T>& values,
+                             const std::vector<bool>& present) {
+  std::vector<T> subset;
+  subset.reserve(values.size());
+  for (size_t s = 0; s < values.size(); ++s) {
+    if (present[s]) subset.push_back(values[s]);
+  }
+  return subset;
+}
+
+constexpr double kEnvelopeFloor = 1e-6;
+
+}  // namespace
+
+AggregationResult MergeAggregatesDegraded(
+    const std::vector<AggregationResult>& parts,
+    const std::vector<size_t>& shard_sizes, const std::vector<bool>& present,
+    GatherQuality* quality) {
+  TASTI_CHECK(parts.size() == shard_sizes.size(),
+              "MergeAggregatesDegraded: partials / shard_sizes mismatch");
+  const size_t absent = FillQuality(shard_sizes, present, quality);
+  if (absent == 0) return MergeAggregates(parts, shard_sizes);
+
+  const double total = static_cast<double>(TotalRecords(shard_sizes));
+  AggregationResult merged;
+  merged.converged = false;  // missing mass: never claim convergence
+  double covered = 0.0;
+  double env_lo = 0.0, env_hi = 0.0;
+  bool first = true;
+  for (size_t s = 0; s < parts.size(); ++s) {
+    if (!present[s]) continue;
+    const double w =
+        total > 0 ? static_cast<double>(shard_sizes[s]) / total : 0.0;
+    covered += w;
+    merged.estimate += w * parts[s].estimate;
+    merged.half_width += w * parts[s].half_width;
+    merged.proxy_correlation += w * parts[s].proxy_correlation;
+    merged.labeler_invocations += parts[s].labeler_invocations;
+    merged.failed_oracle_calls += parts[s].failed_oracle_calls;
+    merged.substituted_samples += parts[s].substituted_samples;
+    if (shard_sizes[s] == 0) continue;
+    const double lo = parts[s].estimate - parts[s].half_width;
+    const double hi = parts[s].estimate + parts[s].half_width;
+    if (first || lo < env_lo) env_lo = lo;
+    if (first || hi > env_hi) env_hi = hi;
+    first = false;
+  }
+  TASTI_CHECK(!first,
+              "MergeAggregatesDegraded: no non-empty shard is present");
+  // Missing mass is assumed to lie inside the present-shard envelope: it
+  // contributes the envelope midpoint to the estimate and half the
+  // envelope width (floored, so the interval strictly widens) to the
+  // half width.
+  const double missing = std::max(0.0, 1.0 - covered);
+  const double mid = (env_lo + env_hi) / 2.0;
+  const double env_half = std::max((env_hi - env_lo) / 2.0, kEnvelopeFloor);
+  merged.estimate += missing * mid;
+  merged.half_width += missing * env_half;
+  return merged;
+}
+
+PredicateAggregationResult MergePredicateAggregatesDegraded(
+    const std::vector<PredicateAggregationResult>& parts,
+    const std::vector<size_t>& shard_sizes, const std::vector<bool>& present,
+    GatherQuality* quality) {
+  TASTI_CHECK(parts.size() == shard_sizes.size(),
+              "MergePredicateAggregatesDegraded: partials / shard_sizes "
+              "mismatch");
+  const size_t absent = FillQuality(shard_sizes, present, quality);
+  if (absent == 0) return MergePredicateAggregates(parts, shard_sizes);
+
+  // Hajek merge over the present shards only (their match mass is all the
+  // evidence there is), then widen by the missing record fraction.
+  PredicateAggregationResult merged = MergePredicateAggregates(
+      PresentSubset(parts, present), PresentSubset(shard_sizes, present));
+  merged.converged = false;
+  double covered_records = 0.0, env_lo = 0.0, env_hi = 0.0;
+  bool first = true;
+  for (size_t s = 0; s < parts.size(); ++s) {
+    if (!present[s]) continue;
+    covered_records += static_cast<double>(shard_sizes[s]);
+    if (parts[s].sample_matches == 0 || parts[s].labeler_invocations == 0) {
+      continue;  // no observed matches: no envelope evidence
+    }
+    const double lo = parts[s].estimate - parts[s].half_width;
+    const double hi = parts[s].estimate + parts[s].half_width;
+    if (first || lo < env_lo) env_lo = lo;
+    if (first || hi > env_hi) env_hi = hi;
+    first = false;
+  }
+  const double total = static_cast<double>(TotalRecords(shard_sizes));
+  const double missing =
+      total > 0 ? std::max(0.0, 1.0 - covered_records / total) : 0.0;
+  const double env_half =
+      first ? kEnvelopeFloor
+            : std::max((env_hi - env_lo) / 2.0, kEnvelopeFloor);
+  merged.half_width += missing * env_half;
+  return merged;
+}
+
+SupgResult MergeSupgDegraded(const std::vector<SupgResult>& parts,
+                             const std::vector<size_t>& shard_offsets,
+                             const std::vector<size_t>& shard_sizes,
+                             const std::vector<bool>& present,
+                             double recall_target, GatherQuality* quality) {
+  TASTI_CHECK(parts.size() == shard_offsets.size(),
+              "MergeSupgDegraded: partials / shard_offsets mismatch");
+  const size_t absent = FillQuality(shard_sizes, present, quality);
+  if (quality != nullptr && recall_target > 0.0) {
+    quality->effective_target = quality->covered_fraction * recall_target;
+  }
+  if (absent == 0) return MergeSupg(parts, shard_offsets);
+  TASTI_CHECK(absent < parts.size(),
+              "MergeSupgDegraded: every shard is absent");
+  return MergeSupg(PresentSubset(parts, present),
+                   PresentSubset(shard_offsets, present));
+}
+
+ThresholdSelectResult MergeThresholdSelectsDegraded(
+    const std::vector<ThresholdSelectResult>& parts,
+    const std::vector<size_t>& shard_offsets,
+    const std::vector<size_t>& shard_sizes, const std::vector<bool>& present,
+    GatherQuality* quality) {
+  TASTI_CHECK(parts.size() == shard_offsets.size(),
+              "MergeThresholdSelectsDegraded: partials / shard_offsets "
+              "mismatch");
+  const size_t absent = FillQuality(shard_sizes, present, quality);
+  if (absent == 0) return MergeThresholdSelects(parts, shard_offsets);
+  TASTI_CHECK(absent < parts.size(),
+              "MergeThresholdSelectsDegraded: every shard is absent");
+  return MergeThresholdSelects(PresentSubset(parts, present),
+                               PresentSubset(shard_offsets, present));
+}
+
+LimitResult MergeLimitsDegraded(const std::vector<LimitResult>& parts,
+                                const std::vector<size_t>& shard_offsets,
+                                const std::vector<size_t>& shard_sizes,
+                                const std::vector<bool>& present, size_t want,
+                                GatherQuality* quality) {
+  TASTI_CHECK(parts.size() <= present.size(),
+              "MergeLimitsDegraded: more partials than shards");
+  const size_t absent = FillQuality(shard_sizes, present, quality);
+  if (absent == 0) return MergeLimits(parts, shard_offsets, want);
+  // Subset both vectors over the partials actually delivered (the limit
+  // router may already have stopped early, so parts can be shorter).
+  std::vector<LimitResult> kept;
+  std::vector<size_t> offsets;
+  for (size_t s = 0; s < parts.size(); ++s) {
+    if (!present[s]) continue;
+    kept.push_back(parts[s]);
+    offsets.push_back(shard_offsets[s]);
+  }
+  return MergeLimits(kept, offsets, want);
+}
+
 }  // namespace tasti::queries

@@ -27,6 +27,25 @@
 ///
 /// Every merger sums labeler invocations and failure counts, so the cost
 /// ledger (paper metric) stays exact under sharding.
+///
+/// Degraded gather (DESIGN.md §15): each merger has a *Degraded variant
+/// taking a `present` mask over shards. Absent shards (deadline-expired or
+/// failed sub-queries) contribute nothing, and the merged confidence is
+/// explicitly WIDENED to account for the missing mass instead of silently
+/// pretending full coverage:
+///  - Aggregation kinds assume the absent shards' means lie inside the
+///    cross-shard envelope observed on the present shards,
+///    [min(est_s - hw_s), max(est_s + hw_s)]; the missing record mass
+///    contributes the envelope midpoint to the estimate and half the
+///    envelope width (epsilon-floored) to the half width. The interval
+///    therefore widens monotonically as mass goes missing, and
+///    converged = false whenever any shard is absent.
+///  - Selection kinds union the present shards only; the reported
+///    `effective_target` in GatherQuality is the per-shard target scaled
+///    by the covered record fraction (recall-like guarantees dilute with
+///    missing mass; precision-like ones carry unchanged).
+/// With an all-present mask every degraded merger defers to its full
+/// counterpart, bitwise identically.
 
 #include <cstddef>
 #include <vector>
@@ -86,6 +105,62 @@ ThresholdSelectResult MergeThresholdSelects(
 LimitResult MergeLimits(const std::vector<LimitResult>& parts,
                         const std::vector<size_t>& shard_offsets,
                         size_t want);
+
+/// How complete a degraded gather was. Filled by the *Degraded mergers.
+struct GatherQuality {
+  /// Total shards the query was scattered to.
+  size_t shards = 0;
+  /// Shards absent from the gather (no usable partial).
+  size_t absent = 0;
+  /// Fraction of records behind present shards (1.0 = full coverage).
+  double covered_fraction = 1.0;
+  /// For recall-like selection targets: the target actually guaranteed
+  /// over the full dataset, covered_fraction * per-shard target. 0 when
+  /// not applicable.
+  double effective_target = 0.0;
+};
+
+/// Degraded aggregate merge over the present shards. `parts[s]` is only
+/// read where `present[s]`; the missing record mass widens the interval
+/// per the envelope assumption above. At least one non-empty shard must
+/// be present. `quality` may be null.
+AggregationResult MergeAggregatesDegraded(
+    const std::vector<AggregationResult>& parts,
+    const std::vector<size_t>& shard_sizes, const std::vector<bool>& present,
+    GatherQuality* quality);
+
+/// Degraded Hajek merge over the present shards: the estimate is the
+/// present-shard conditional mean, the half width widens by the missing
+/// record fraction times half the present-shard estimate envelope.
+PredicateAggregationResult MergePredicateAggregatesDegraded(
+    const std::vector<PredicateAggregationResult>& parts,
+    const std::vector<size_t>& shard_sizes, const std::vector<bool>& present,
+    GatherQuality* quality);
+
+/// Degraded SUPG union over the present shards. `recall_target` is the
+/// per-shard recall target when the query is recall-constrained (scaled
+/// into quality->effective_target by coverage), or 0 for precision-mode
+/// where the per-shard target carries to the union unchanged.
+SupgResult MergeSupgDegraded(const std::vector<SupgResult>& parts,
+                             const std::vector<size_t>& shard_offsets,
+                             const std::vector<size_t>& shard_sizes,
+                             const std::vector<bool>& present,
+                             double recall_target, GatherQuality* quality);
+
+/// Degraded threshold-select union over the present shards.
+ThresholdSelectResult MergeThresholdSelectsDegraded(
+    const std::vector<ThresholdSelectResult>& parts,
+    const std::vector<size_t>& shard_offsets,
+    const std::vector<size_t>& shard_sizes, const std::vector<bool>& present,
+    GatherQuality* quality);
+
+/// Degraded limit merge over the present shards; absent shards simply
+/// contribute no candidates (satisfied can only degrade to false).
+LimitResult MergeLimitsDegraded(const std::vector<LimitResult>& parts,
+                                const std::vector<size_t>& shard_offsets,
+                                const std::vector<size_t>& shard_sizes,
+                                const std::vector<bool>& present, size_t want,
+                                GatherQuality* quality);
 
 }  // namespace tasti::queries
 

@@ -12,11 +12,17 @@
 ///    threshold is fit on a small labeled validation sample to maximize
 ///    F1, and the quality metric is 100 - F1.
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "core/scorer.h"
 #include "labeler/labeler.h"
+#include "queries/aggregation.h"
+#include "queries/limit.h"
+#include "queries/predicate_aggregation.h"
+#include "queries/supg.h"
+#include "serve/deadline.h"
 
 namespace tasti::queries {
 
@@ -35,6 +41,9 @@ struct ThresholdSelectOptions {
   /// Candidate thresholds swept between the min and max proxy score.
   size_t num_candidates = 64;
   uint64_t seed = 303;
+  /// Deadline checked before each validation call; on expiry the
+  /// threshold is fit on the labels gathered so far. Default: unbounded.
+  serve::Deadline deadline;
 };
 
 /// Outcome of threshold selection.
@@ -47,6 +56,8 @@ struct ThresholdSelectResult {
   /// Oracle calls that failed after retries (fallible path only); the
   /// threshold is fit on the validation labels that succeeded.
   size_t failed_oracle_calls = 0;
+  /// True if the deadline cut the validation sample short.
+  bool deadline_hit = false;
 };
 
 /// Fits a threshold on a uniform validation sample and returns every
@@ -67,6 +78,43 @@ Result<ThresholdSelectResult> TryThresholdSelect(
 /// Evaluation helper: F1 of a selected set against exact 0/1 scores.
 double F1Score(const std::vector<size_t>& selected,
                const std::vector<double>& exact_scores);
+
+/// Proxy-only answers for brownout serving: every query kind answered
+/// from proxy scores with ZERO oracle calls. Results are marked
+/// unconverged / unsatisfied where the type allows, because nothing here
+/// carries a statistical guarantee — the serving layer reports the
+/// guarantee downgrade (GuaranteeLevel::kProxyOnly) alongside.
+
+/// Mean of the proxy scores; half_width is the trivial (max-min)/2 range
+/// bound on the proxy mean itself (not the true mean), converged=false.
+AggregationResult ProxyOnlyAggregate(const std::vector<double>& proxy_scores);
+
+/// Predicate-proxy-weighted mean of the statistic proxy (soft analogue of
+/// E[statistic | predicate]); converged=false.
+PredicateAggregationResult ProxyOnlyPredicateAggregate(
+    const std::vector<double>& predicate_proxy,
+    const std::vector<double>& statistic_proxy);
+
+/// Threshold at the largest proxy value keeping `recall_target` of the
+/// total clipped-proxy mass above it; selection is every record at or
+/// above the threshold.
+SupgResult ProxyOnlyRecallSelect(const std::vector<double>& proxy_scores,
+                                 double recall_target);
+
+/// Largest prefix of records in descending proxy order whose mean clipped
+/// proxy stays at or above `precision_target`.
+SupgResult ProxyOnlyPrecisionSelect(const std::vector<double>& proxy_scores,
+                                    double precision_target);
+
+/// Fixed threshold at the midpoint of the observed proxy range (no
+/// validation sample is available without the oracle); validation_f1 = 0.
+ThresholdSelectResult ProxyOnlyThresholdSelect(
+    const std::vector<double>& proxy_scores);
+
+/// Top-`want` records by ranking score (ties broken by index); none are
+/// oracle-verified, so satisfied=false.
+LimitResult ProxyOnlyLimit(const std::vector<double>& ranking_scores,
+                           size_t want);
 
 }  // namespace tasti::queries
 

@@ -105,6 +105,11 @@ Result<PredicateAggregationResult> TryEstimateMeanWithPredicate(
 
   TASTI_SPAN("query.predagg.sample");
   for (size_t taken = 0; taken < max_samples; ++taken) {
+    // Deadline boundary: stop drawing and finalize with what we have.
+    if (options.deadline.exhausted()) {
+      result.deadline_hit = true;
+      break;
+    }
     const double target = rng.Uniform() * total_weight;
     const size_t record = std::min(
         static_cast<size_t>(std::lower_bound(prefix.begin(), prefix.end(),

@@ -22,6 +22,7 @@
 
 #include "core/scorer.h"
 #include "labeler/labeler.h"
+#include "serve/deadline.h"
 
 namespace tasti::queries {
 
@@ -41,6 +42,9 @@ struct PredicateAggregationOptions {
   /// records the proxy wrongly scores ~0).
   double weight_floor = 0.05;
   uint64_t seed = 404;
+  /// Deadline checked before each draw; on expiry sampling stops and the
+  /// ratio estimate is finalized from the draws so far. Default: unbounded.
+  serve::Deadline deadline;
 };
 
 /// Outcome of one predicate aggregation query.
@@ -58,6 +62,8 @@ struct PredicateAggregationResult {
   /// Oracle calls that failed after retries (fallible path only); those
   /// draws are dropped from the estimator and the sample count shrinks.
   size_t failed_oracle_calls = 0;
+  /// True if the deadline expired before the stopping rule was satisfied.
+  bool deadline_hit = false;
 };
 
 /// Estimates E[statistic | predicate]. `predicate_proxy` guides sampling

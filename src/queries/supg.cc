@@ -68,9 +68,17 @@ Result<SupgResult> TrySupgRecallSelect(const std::vector<double>& proxy_scores,
   std::vector<Sampled> samples;
   samples.reserve(budget);
   size_t failed_calls = 0;
+  size_t attempted = 0;
+  bool deadline_hit = false;
   {
     TASTI_SPAN("query.supg.sample");
     for (size_t s = 0; s < budget; ++s) {
+      // Deadline boundary: fit the threshold to the samples so far.
+      if (options.deadline.exhausted()) {
+        deadline_hit = true;
+        break;
+      }
+      ++attempted;
       const double target = rng.Uniform() * total_weight;
       const size_t record = static_cast<size_t>(
           std::lower_bound(prefix.begin(), prefix.end(), target) -
@@ -92,7 +100,11 @@ Result<SupgResult> TrySupgRecallSelect(const std::vector<double>& proxy_scores,
       samples.push_back(sample);
     }
   }
-  if (failed_calls == budget) {
+  if (attempted == 0 && deadline_hit) {
+    return Status::DeadlineExceeded(
+        "supg: deadline expired before any sample was taken");
+  }
+  if (failed_calls == attempted) {
     return Status::Unavailable("supg: every oracle call failed (" +
                                std::to_string(failed_calls) + " attempts)");
   }
@@ -115,11 +127,12 @@ Result<SupgResult> TrySupgRecallSelect(const std::vector<double>& proxy_scores,
   }
 
   SupgResult result;
-  result.labeler_invocations = budget;
+  result.labeler_invocations = attempted;
   result.sample_positives = positives;
   result.failed_oracle_calls = failed_calls;
   result.requested_samples = budget;
   result.achieved_samples = samples.size();
+  result.deadline_hit = deadline_hit;
 
   double threshold = 0.0;
   if (total_positive_mass > 0.0) {
@@ -219,9 +232,17 @@ Result<SupgResult> TrySupgPrecisionSelect(
   std::vector<Sampled> samples;
   samples.reserve(budget);
   size_t failed_calls = 0;
+  size_t attempted = 0;
+  bool deadline_hit = false;
   {
     TASTI_SPAN("query.supg.sample");
     for (size_t s = 0; s < budget; ++s) {
+      // Deadline boundary: fit the threshold to the samples so far.
+      if (options.deadline.exhausted()) {
+        deadline_hit = true;
+        break;
+      }
+      ++attempted;
       const double target = rng.Uniform() * total_weight;
       const size_t record = std::min(
           static_cast<size_t>(std::lower_bound(prefix.begin(), prefix.end(),
@@ -239,7 +260,11 @@ Result<SupgResult> TrySupgPrecisionSelect(
                          scorer.Score(*label) >= 0.5});
     }
   }
-  if (failed_calls == budget) {
+  if (attempted == 0 && deadline_hit) {
+    return Status::DeadlineExceeded(
+        "supg: deadline expired before any sample was taken");
+  }
+  if (failed_calls == attempted) {
     return Status::Unavailable("supg: every oracle call failed (" +
                                std::to_string(failed_calls) + " attempts)");
   }
@@ -251,10 +276,11 @@ Result<SupgResult> TrySupgPrecisionSelect(
   std::sort(samples.begin(), samples.end(),
             [](const Sampled& a, const Sampled& b) { return a.proxy > b.proxy; });
   SupgResult result;
-  result.labeler_invocations = budget;
+  result.labeler_invocations = attempted;
   result.failed_oracle_calls = failed_calls;
   result.requested_samples = budget;
   result.achieved_samples = samples.size();
+  result.deadline_hit = deadline_hit;
   double threshold = 1.0 + 1e-9;  // empty set fallback
   double positive_mass = 0.0, total_mass = 0.0, total_mass2 = 0.0;
   size_t positives = 0;

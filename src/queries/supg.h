@@ -23,6 +23,7 @@
 
 #include "core/scorer.h"
 #include "labeler/labeler.h"
+#include "serve/deadline.h"
 
 namespace tasti::queries {
 
@@ -35,6 +36,10 @@ struct SupgOptions {
   /// Target labeler budget (fixed, unlike aggregation).
   size_t budget = 1000;
   uint64_t seed = 202;
+  /// Deadline checked before each sample draw; on expiry the threshold is
+  /// fitted to the samples taken so far (deadline_hit set). Default:
+  /// unbounded.
+  serve::Deadline deadline;
 };
 
 /// Outcome of one SUPG query.
@@ -53,6 +58,10 @@ struct SupgResult {
   /// Samples requested (the effective budget) vs actually labeled.
   size_t requested_samples = 0;
   size_t achieved_samples = 0;
+  /// True if the deadline expired before the full budget was spent; the
+  /// guarantee holds over the smaller achieved sample (more conservative
+  /// threshold), not the requested one.
+  bool deadline_hit = false;
 };
 
 /// Runs the recall-target selection. `scorer` must map labeler outputs to
@@ -83,6 +92,8 @@ struct SupgPrecisionOptions {
   /// Target labeler budget.
   size_t budget = 1000;
   uint64_t seed = 203;
+  /// Deadline checked before each sample draw (see SupgOptions::deadline).
+  serve::Deadline deadline;
 };
 
 /// Runs the precision-target selection: returns the largest

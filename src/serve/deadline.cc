@@ -1,0 +1,108 @@
+#include "serve/deadline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasti::serve {
+
+const char* GuaranteeLevelName(GuaranteeLevel level) {
+  switch (level) {
+    case GuaranteeLevel::kFull:
+      return "full";
+    case GuaranteeLevel::kReduced:
+      return "reduced";
+    case GuaranteeLevel::kProxyOnly:
+      return "proxy_only";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::Unbounded() { return Deadline(); }
+
+Deadline Deadline::WallAfter(double budget_ms) {
+  Deadline d;
+  d.state_ = std::make_shared<State>();
+  d.state_->virtual_time = false;
+  d.state_->budget_ms = std::max(0.0, budget_ms);
+  d.state_->start = std::chrono::steady_clock::now();
+  return d;
+}
+
+Deadline Deadline::VirtualBudget(double budget_ms) {
+  Deadline d;
+  d.state_ = std::make_shared<State>();
+  d.state_->virtual_time = true;
+  d.state_->budget_ms = std::max(0.0, budget_ms);
+  return d;
+}
+
+double Deadline::budget_ms() const {
+  if (state_ == nullptr) return std::numeric_limits<double>::infinity();
+  return state_->budget_ms;
+}
+
+void Deadline::Charge(double ms) {
+  if (state_ == nullptr || !state_->virtual_time || ms <= 0) return;
+  const auto us = static_cast<int64_t>(std::llround(ms * 1000.0));
+  state_->spent_us.fetch_add(us, std::memory_order_relaxed);
+}
+
+double Deadline::spent_ms() const {
+  if (state_ == nullptr) return 0.0;
+  if (state_->virtual_time) {
+    return static_cast<double>(
+               state_->spent_us.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - state_->start;
+  return std::chrono::duration<double, std::milli>(elapsed).count();
+}
+
+double Deadline::remaining_ms() const {
+  if (state_ == nullptr) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, state_->budget_ms - spent_ms());
+}
+
+bool Deadline::expired() const {
+  if (state_ == nullptr) return false;
+  return spent_ms() >= state_->budget_ms;
+}
+
+void Deadline::Cancel() {
+  if (state_ == nullptr) return;
+  state_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+bool Deadline::cancelled() const {
+  if (state_ == nullptr) return false;
+  return state_->cancelled.load(std::memory_order_relaxed);
+}
+
+DeadlineOracle::DeadlineOracle(labeler::FallibleLabeler* inner,
+                               Deadline deadline, double virtual_ms_per_call)
+    : inner_(inner),
+      deadline_(std::move(deadline)),
+      virtual_ms_per_call_(virtual_ms_per_call) {}
+
+Result<data::LabelerOutput> DeadlineOracle::TryLabel(size_t index) {
+  return TryLabelWithin(index, deadline_.remaining_ms());
+}
+
+Result<data::LabelerOutput> DeadlineOracle::TryLabelWithin(size_t index,
+                                                           double budget_ms) {
+  if (deadline_.exhausted()) {
+    ++rejected_;
+    return Status::DeadlineExceeded(
+        deadline_.cancelled() ? "oracle call rejected: query cancelled"
+                              : "oracle call rejected: query deadline spent");
+  }
+  const double budget = std::min(budget_ms, deadline_.remaining_ms());
+  ++forwarded_;
+  auto result = inner_->TryLabelWithin(index, budget);
+  // Flat per-logical-call charge: deterministic no matter which physical
+  // request (cache hit, deduped join, batch member) served this call.
+  deadline_.Charge(virtual_ms_per_call_);
+  return result;
+}
+
+}  // namespace tasti::serve

@@ -46,6 +46,13 @@ void ServerMonitor::OnSubmit(size_t queue_depth) {
   submitted_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ServerMonitor::OnShed(QueryPriority priority,
+                           const ShedDecision& decision) {
+  (void)decision;
+  shed_by_class_[static_cast<size_t>(priority)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
 void ServerMonitor::OnQueryComplete(const QueryResponse& response,
                                     const obs::QueryPhaseTimes& phases,
                                     size_t failed_oracle_calls) {
@@ -282,6 +289,15 @@ obs::LiveStats ServerMonitor::Collect() {
            static_cast<double>(failed_.load(std::memory_order_relaxed)), {},
            'c', "completed queries with non-ok status");
 
+  for (size_t p = 0; p < kNumQueryPriorities; ++p) {
+    live.Add("tasti_queries_shed_total",
+             static_cast<double>(
+                 shed_by_class_[p].load(std::memory_order_relaxed)),
+             {{"priority",
+               QueryPriorityName(static_cast<QueryPriority>(p))}},
+             'c', "queries rejected at admission by the load shedder");
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   live.Add("tasti_slo_alerts_total",
            static_cast<double>(slo_.alerts_raised() + direct_alerts_), {},
@@ -357,6 +373,19 @@ obs::LiveStats ServerMonitor::Collect() {
     live.Add("tasti_scheduler_physical_calls_total",
              static_cast<double>(scheduler_stats_.physical_calls), {}, 'c',
              "physical oracle calls made by the scheduler");
+
+    live.Add("tasti_degraded_responses_total",
+             static_cast<double>(server_stats_.degraded_responses), {}, 'c',
+             "completed queries whose answer was degraded");
+    live.Add("tasti_deadline_expired_total",
+             static_cast<double>(server_stats_.deadline_expired), {}, 'c',
+             "queries whose deadline expired mid-execution");
+    live.Add("tasti_brownout_queries_total",
+             static_cast<double>(server_stats_.brownout_queries), {}, 'c',
+             "queries answered proxy-only during brownout");
+    live.Add("tasti_brownout_active",
+             server_stats_.brownout_active ? 1.0 : 0.0, {}, 'g',
+             "1 while the server is browned out to proxy-only serving");
   }
   return live;
 }
@@ -383,6 +412,8 @@ std::string ServerMonitor::StatusLine() {
   size_t dumps = 0;
   double cache_hit = 0.0;
   uint64_t completed = 0;
+  uint64_t degraded = 0;
+  bool brownout = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     alerts += direct_alerts_;
@@ -390,17 +421,25 @@ std::string ServerMonitor::StatusLine() {
     cache_hit = cache_stats_.hit_ratio();
     completed = polled_ ? server_stats_.queries_completed
                         : completed_.load(std::memory_order_relaxed);
+    degraded = server_stats_.degraded_responses;
+    brownout = server_stats_.brownout_active;
+  }
+  uint64_t shed = 0;
+  for (const auto& count : shed_by_class_) {
+    shed += count.load(std::memory_order_relaxed);
   }
 
-  char buf[256];
+  char buf[320];
   std::snprintf(
       buf, sizeof(buf),
       "t=%.1fs q=%llu win=%llu p50=%.2fms p95=%.2fms p99=%.2fms "
-      "burn(lat)=%.2f/%.2f cache=%.2f alerts=%llu dumps=%zu",
+      "burn(lat)=%.2f/%.2f cache=%.2f shed=%llu degr=%llu bo=%d "
+      "alerts=%llu dumps=%zu",
       now, static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(all.count), all.Quantile(0.50),
       all.Quantile(0.95), all.Quantile(0.99), latency_burn.fast,
-      latency_burn.slow, cache_hit,
+      latency_burn.slow, cache_hit, static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(degraded), brownout ? 1 : 0,
       static_cast<unsigned long long>(alerts), dumps);
   return buf;
 }

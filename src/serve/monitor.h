@@ -100,6 +100,9 @@ class ServerMonitor {
   void BindServer(const TastiServer* server);
 
   void OnSubmit(size_t queue_depth);
+  /// A query was rejected at admission by the load shedder (DESIGN.md
+  /// §15). Called outside server locks, like every other hook.
+  void OnShed(QueryPriority priority, const ShedDecision& decision);
   void OnQueryComplete(const QueryResponse& response,
                        const obs::QueryPhaseTimes& phases,
                        size_t failed_oracle_calls);
@@ -169,6 +172,7 @@ class ServerMonitor {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::array<std::atomic<uint64_t>, kNumQueryPriorities> shed_by_class_{};
 
   mutable std::mutex mu_;
   std::vector<obs::Alert> alert_log_;

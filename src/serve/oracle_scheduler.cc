@@ -55,7 +55,8 @@ OracleScheduler::~OracleScheduler() {
 }
 
 Result<data::LabelerOutput> OracleScheduler::Label(size_t record,
-                                                   QueryOracleContext* ctx) {
+                                                   QueryOracleContext* ctx,
+                                                   double budget_ms) {
   ctx->logical_calls.fetch_add(1, std::memory_order_relaxed);
   std::shared_ptr<Pending> pending;
   bool joined = false;
@@ -80,6 +81,7 @@ Result<data::LabelerOutput> OracleScheduler::Label(size_t record,
     } else {
       pending = std::make_shared<Pending>();
       pending->owner = ctx;
+      pending->budget_ms = budget_ms;
       inflight_.emplace(record, pending);
       queue_.push_back(record);
     }
@@ -178,7 +180,7 @@ void OracleScheduler::DispatchBatch(
       size_t record = records[i];
       Pending* pending = pendings[i].get();
       tasks.push_back([this, record, pending] {
-        pending->result = inner_->TryLabel(record);
+        pending->result = inner_->TryLabelWithin(record, pending->budget_ms);
         pending->owner->attributed_invocations.fetch_add(
             1, std::memory_order_relaxed);
       });
@@ -194,7 +196,8 @@ void OracleScheduler::DispatchBatch(
   // full attempt count to the owning query.
   for (size_t i = 0; i < records.size(); ++i) {
     size_t before = inner_->invocations();
-    pendings[i]->result = inner_->TryLabel(records[i]);
+    pendings[i]->result =
+        inner_->TryLabelWithin(records[i], pendings[i]->budget_ms);
     size_t attempts = inner_->invocations() - before;
     pendings[i]->owner->attributed_invocations.fetch_add(
         attempts, std::memory_order_relaxed);

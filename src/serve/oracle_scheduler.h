@@ -107,7 +107,13 @@ class OracleScheduler {
 
   /// Labels `record` on behalf of `ctx`'s query: cache lookup, in-flight
   /// join, or batched physical call. Blocks until the result is known.
-  Result<data::LabelerOutput> Label(size_t record, QueryOracleContext* ctx);
+  /// `budget_ms` > 0 is the requesting query's remaining deadline; the
+  /// dispatcher forwards the *first* requester's budget to the inner
+  /// labeler (TryLabelWithin) so retry backoff can cap itself. Joiners
+  /// inherit whatever the owner negotiated — dedup means one physical
+  /// call, so only one budget can apply.
+  Result<data::LabelerOutput> Label(size_t record, QueryOracleContext* ctx,
+                                    double budget_ms = 0.0);
 
   /// The cached label for `record`, if any query has paid for it.
   std::optional<data::LabelerOutput> CachedLabel(size_t record) const;
@@ -119,6 +125,7 @@ class OracleScheduler {
     bool done = false;
     Result<data::LabelerOutput> result = Status::Internal("pending");
     QueryOracleContext* owner = nullptr;  ///< first requester; pays the call
+    double budget_ms = 0.0;  ///< owner's remaining deadline (0 = unbounded)
     std::condition_variable cv;
   };
 
@@ -160,6 +167,10 @@ class ScheduledOracle : public labeler::FallibleLabeler {
 
   Result<data::LabelerOutput> TryLabel(size_t index) override {
     return scheduler_->Label(index, ctx_);
+  }
+  Result<data::LabelerOutput> TryLabelWithin(size_t index,
+                                             double budget_ms) override {
+    return scheduler_->Label(index, ctx_, budget_ms);
   }
   size_t num_records() const override { return num_records_; }
   size_t invocations() const override {

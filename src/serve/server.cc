@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "api/session.h"
@@ -25,6 +26,36 @@ void ObserveQueueWait(double ms) {
   queries->Increment();
 }
 
+void CountShedQuery() {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter* const shed =
+      obs::MetricsRegistry::Global().counter("serve.shed.queries", "queries");
+  shed->Increment();
+}
+
+void CountDegradation(const QueryResponse& response) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter* const degraded =
+      obs::MetricsRegistry::Global().counter("serve.degraded.responses",
+                                             "queries");
+  static obs::Counter* const expired =
+      obs::MetricsRegistry::Global().counter("serve.deadline.expired",
+                                             "queries");
+  static obs::Counter* const brownout =
+      obs::MetricsRegistry::Global().counter("serve.brownout.queries",
+                                             "queries");
+  if (response.degraded) degraded->Increment();
+  if (response.deadline_hit) expired->Increment();
+  if (response.guarantee == GuaranteeLevel::kProxyOnly) brownout->Increment();
+}
+
+/// Monotonic ms for the shedder's CoDel interval timing.
+double SteadyNowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 const char* QueryKindName(QueryKind kind) {
@@ -45,7 +76,8 @@ TastiServer::TastiServer(const data::Dataset* dataset,
     : dataset_(dataset),
       oracle_(oracle),
       options_(std::move(options)),
-      score_cache_(options_.score_cache) {
+      score_cache_(options_.score_cache),
+      shedder_(options_.degrade.shedder) {
   TASTI_CHECK(dataset_ != nullptr, "TastiServer requires a dataset");
   TASTI_CHECK(oracle_ != nullptr, "TastiServer requires an oracle");
   TASTI_CHECK(oracle_->num_records() == dataset_->size(),
@@ -260,6 +292,24 @@ Result<uint64_t> TastiServer::Submit(const QuerySpec& spec) {
     return queue_.size() + executing_ >= options_.max_pending;
   };
   if (stopping_) return Status::Unavailable("server shutting down");
+  if (options_.degrade.shedder.enabled) {
+    // Shed ahead of the blocking admission gate: an overloaded server
+    // answers "retry later" immediately instead of parking the caller.
+    const ShedDecision decision =
+        shedder_.Admit(spec.priority, queue_.size() + executing_);
+    if (!decision.admit) {
+      ++queries_shed_;
+      lock.unlock();
+      CountShedQuery();
+      if (monitor_ != nullptr) monitor_->OnShed(spec.priority, decision);
+      return Status::ResourceExhausted(
+          "query shed under load (priority " +
+          std::string(QueryPriorityName(spec.priority)) +
+          ", estimated wait " + std::to_string(decision.estimated_wait_ms) +
+          " ms); retry after " + std::to_string(decision.retry_after_ms) +
+          " ms");
+    }
+  }
   if (full()) {
     if (!options_.block_on_admission) {
       return Status::ResourceExhausted("admission queue full");
@@ -285,6 +335,29 @@ QueryResponse TastiServer::Wait(uint64_t query_id) {
   QueryResponse response = std::move(completed_.at(query_id));
   completed_.erase(query_id);
   return response;
+}
+
+std::optional<QueryResponse> TastiServer::WaitFor(uint64_t query_id,
+                                                  double timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool done = done_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(std::max(0.0, timeout_ms)),
+      [&] { return completed_.count(query_id) != 0; });
+  if (!done) return std::nullopt;
+  QueryResponse response = std::move(completed_.at(query_id));
+  completed_.erase(query_id);
+  return response;
+}
+
+void TastiServer::Abandon(uint64_t query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (completed_.erase(query_id) > 0) return;
+  abandoned_.insert(query_id);
+  // Cancel an executing query's deadline so it stops at its next phase
+  // boundary (no-op for queries running without a deadline token — their
+  // response is still discarded on completion).
+  auto it = running_deadlines_.find(query_id);
+  if (it != running_deadlines_.end()) it->second.Cancel();
 }
 
 QueryResponse TastiServer::Execute(const QuerySpec& spec) {
@@ -386,7 +459,12 @@ ServerStats TastiServer::stats() const {
     stats.queries_submitted = next_query_id_;  // ids are dense from 1
     stats.queries_completed = queries_completed_;
     stats.query_invocations = query_invocations_;
+    stats.queries_shed = queries_shed_;
+    stats.degraded_responses = degraded_responses_;
+    stats.deadline_expired = deadline_expired_;
+    stats.brownout_queries = brownout_queries_;
   }
+  stats.brownout_active = brownout_.active();
   stats.index_invocations = index_invocations_;
   stats.epochs_published = epochs_.published();
   stats.live_snapshots = epochs_.live_snapshots();
@@ -449,6 +527,11 @@ void TastiServer::WorkerLoop() {
     const uint64_t client_id = pending.spec.client_id;
 
     QueryResponse response = RunQuery(std::move(pending));
+    CountDegradation(response);
+    if (options_.degrade.shedder.enabled) {
+      shedder_.OnQueryDone(response.queue_wait_ms,
+                           response.execute_seconds * 1000.0, SteadyNowMs());
+    }
 
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -456,7 +539,18 @@ void TastiServer::WorkerLoop() {
       --client_running_[client_id];
       ++queries_completed_;
       query_invocations_ += response.attributed_invocations;
-      completed_.emplace(response.query_id, std::move(response));
+      if (response.deadline_hit) ++deadline_expired_;
+      if (response.degraded) ++degraded_responses_;
+      if (response.guarantee == GuaranteeLevel::kProxyOnly) {
+        ++brownout_queries_;
+      }
+      running_deadlines_.erase(response.query_id);
+      if (abandoned_.erase(response.query_id) == 0) {
+        completed_.emplace(response.query_id, std::move(response));
+      }
+      // An abandoned query's payload is discarded, but its tallies (above)
+      // and oracle attribution were already counted — the invariant ledger
+      // never loses the calls it made.
     }
     done_cv_.notify_all();
     admit_cv_.notify_all();
@@ -488,24 +582,85 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
   response.proxy_delta_rows = proxy_outcome.delta_rows;
   const std::vector<double>& proxy_scores = proxy->scores;
 
+  // Per-query deadline token. Registered under mu_ so Abandon() can
+  // cancel it while the query executes.
+  Deadline deadline;
+  if (spec.deadline_ms > 0) {
+    deadline = options_.degrade.virtual_ms_per_call > 0
+                   ? Deadline::VirtualBudget(spec.deadline_ms)
+                   : Deadline::WallAfter(spec.deadline_ms);
+    response.deadline_budget_ms = spec.deadline_ms;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (abandoned_.count(pending.query_id) != 0) deadline.Cancel();
+    running_deadlines_.emplace(pending.query_id, deadline);
+  }
+
   QueryOracleContext ctx;
   ctx.query_id = pending.query_id;
   ScheduledOracle scheduled(scheduler_.get(), &ctx, dataset_->size());
   labeler::CachingFallibleLabeler cache(&scheduled);
   WallTimer algo_timer;
   obs::TimedOracle timed(&cache, &algo_timer);
+  // Deadline enforcement sits on top of the whole oracle chain: rejected
+  // calls never reach the scheduler, so they cost nothing and are never
+  // attributed.
+  DeadlineOracle gated(&timed, deadline, options_.degrade.virtual_ms_per_call);
   const uint64_t seed = api::DeriveQuerySeed(options_.seed, pending.query_id);
 
+  const bool brownout = options_.degrade.brownout && brownout_.active();
+  if (brownout) {
+    // Brownout: answer from proxy scores with ZERO oracle calls. The
+    // guarantee downgrade is explicit in the response; nothing here can
+    // fail or block on the oracle.
+    response.degraded = true;
+    response.guarantee = GuaranteeLevel::kProxyOnly;
+    brownout_.CountProxyOnlyQuery();
+    switch (spec.kind) {
+      case QueryKind::kAggregate:
+        response.aggregate = queries::ProxyOnlyAggregate(proxy_scores);
+        break;
+      case QueryKind::kAggregateWhere: {
+        core::ProxyTimings stat_timings;
+        ScoreCache::Outcome stat_outcome;
+        std::shared_ptr<const core::PropagationState> stat_proxy =
+            score_cache_.GetOrCompute(*snapshot, *spec.statistic,
+                                      core::PropagationMode::kNumeric, {},
+                                      &stat_timings, &stat_outcome);
+        response.aggregate_where = queries::ProxyOnlyPredicateAggregate(
+            proxy_scores, stat_proxy->scores);
+        break;
+      }
+      case QueryKind::kSupgRecall:
+        response.supg =
+            queries::ProxyOnlyRecallSelect(proxy_scores, spec.target);
+        break;
+      case QueryKind::kSupgPrecision:
+        response.supg =
+            queries::ProxyOnlyPrecisionSelect(proxy_scores, spec.target);
+        break;
+      case QueryKind::kThresholdSelect:
+        response.select = queries::ProxyOnlyThresholdSelect(proxy_scores);
+        break;
+      case QueryKind::kLimit:
+        response.limit = queries::ProxyOnlyLimit(proxy_scores, spec.want);
+        break;
+    }
+    algo_timer.Pause();
+  } else {
   switch (spec.kind) {
     case QueryKind::kAggregate: {
       queries::AggregationOptions opts;
       opts.error_target = spec.error_target;
       opts.confidence = options_.confidence;
       opts.seed = seed;
+      opts.deadline = deadline;
       Result<queries::AggregationResult> r =
-          queries::TryEstimateMean(proxy_scores, &timed, *spec.scorer, opts);
+          queries::TryEstimateMean(proxy_scores, &gated, *spec.scorer, opts);
       response.status = r.status();
-      if (r.ok()) response.aggregate = std::move(r).value();
+      if (r.ok()) {
+        response.aggregate = std::move(r).value();
+        response.deadline_hit = response.aggregate.deadline_hit;
+      }
       break;
     }
     case QueryKind::kAggregateWhere: {
@@ -513,12 +668,16 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.error_target = spec.error_target;
       opts.confidence = options_.confidence;
       opts.seed = seed;
+      opts.deadline = deadline;
       Result<queries::PredicateAggregationResult> r =
-          queries::TryEstimateMeanWithPredicate(proxy_scores, &timed,
+          queries::TryEstimateMeanWithPredicate(proxy_scores, &gated,
                                                 *spec.scorer, *spec.statistic,
                                                 opts);
       response.status = r.status();
-      if (r.ok()) response.aggregate_where = std::move(r).value();
+      if (r.ok()) {
+        response.aggregate_where = std::move(r).value();
+        response.deadline_hit = response.aggregate_where.deadline_hit;
+      }
       break;
     }
     case QueryKind::kSupgRecall: {
@@ -527,11 +686,15 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.confidence = options_.confidence;
       opts.budget = spec.budget;
       opts.seed = seed;
+      opts.deadline = deadline;
       Result<queries::SupgResult> r =
-          queries::TrySupgRecallSelect(proxy_scores, &timed, *spec.scorer,
+          queries::TrySupgRecallSelect(proxy_scores, &gated, *spec.scorer,
                                        opts);
       response.status = r.status();
-      if (r.ok()) response.supg = std::move(r).value();
+      if (r.ok()) {
+        response.supg = std::move(r).value();
+        response.deadline_hit = response.supg.deadline_hit;
+      }
       break;
     }
     case QueryKind::kSupgPrecision: {
@@ -540,35 +703,60 @@ QueryResponse TastiServer::RunQuery(PendingQuery pending) {
       opts.confidence = options_.confidence;
       opts.budget = spec.budget;
       opts.seed = seed;
+      opts.deadline = deadline;
       Result<queries::SupgResult> r =
-          queries::TrySupgPrecisionSelect(proxy_scores, &timed, *spec.scorer,
+          queries::TrySupgPrecisionSelect(proxy_scores, &gated, *spec.scorer,
                                           opts);
       response.status = r.status();
-      if (r.ok()) response.supg = std::move(r).value();
+      if (r.ok()) {
+        response.supg = std::move(r).value();
+        response.deadline_hit = response.supg.deadline_hit;
+      }
       break;
     }
     case QueryKind::kThresholdSelect: {
       queries::ThresholdSelectOptions opts;
       opts.validation_budget = spec.validation_budget;
       opts.seed = seed;
+      opts.deadline = deadline;
       Result<queries::ThresholdSelectResult> r =
-          queries::TryThresholdSelect(proxy_scores, &timed, *spec.scorer,
+          queries::TryThresholdSelect(proxy_scores, &gated, *spec.scorer,
                                       opts);
       response.status = r.status();
-      if (r.ok()) response.select = std::move(r).value();
+      if (r.ok()) {
+        response.select = std::move(r).value();
+        response.deadline_hit = response.select.deadline_hit;
+      }
       break;
     }
     case QueryKind::kLimit: {
       queries::LimitOptions opts;
       opts.want = spec.want;
+      opts.deadline = deadline;
       Result<queries::LimitResult> r =
-          queries::TryLimitQuery(proxy_scores, &timed, *spec.scorer, opts);
+          queries::TryLimitQuery(proxy_scores, &gated, *spec.scorer, opts);
       response.status = r.status();
-      if (r.ok()) response.limit = std::move(r).value();
+      if (r.ok()) {
+        response.limit = std::move(r).value();
+        response.deadline_hit = response.limit.deadline_hit;
+      }
       break;
     }
   }
+  }
   algo_timer.Pause();
+  if (!response.status.ok() &&
+      response.status.code() == StatusCode::kDeadlineExceeded) {
+    // Expired before any sample: no payload, but the cause is recorded.
+    response.deadline_hit = true;
+  }
+  if (response.deadline_hit && !brownout) {
+    response.degraded = true;
+    response.guarantee = GuaranteeLevel::kReduced;
+  }
+  if (!deadline.unbounded()) {
+    response.deadline_spent_ms = deadline.spent_ms();
+  }
 
   double crack_seconds = 0.0;
   if (options_.auto_crack) {

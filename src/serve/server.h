@@ -38,6 +38,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/index.h"
@@ -53,8 +54,10 @@
 #include "queries/noguarantee.h"
 #include "queries/predicate_aggregation.h"
 #include "queries/supg.h"
+#include "serve/deadline.h"
 #include "serve/oracle_scheduler.h"
 #include "serve/score_cache.h"
+#include "serve/shedder.h"
 #include "serve/snapshot.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -88,6 +91,13 @@ struct QuerySpec {
   size_t want = 10;             ///< limit
   /// Client issuing the query (per-client concurrency slots).
   uint64_t client_id = 0;
+  /// Priority class for admission-time load shedding (shedder.h).
+  QueryPriority priority = QueryPriority::kInteractive;
+  /// Latency budget in ms; 0 = unbounded. Accounted in virtual time when
+  /// degrade.virtual_ms_per_call > 0, wall time otherwise. On expiry the
+  /// query stops at the next phase boundary and returns a degraded
+  /// (wider-interval / partial) answer instead of running over.
+  double deadline_ms = 0.0;
 };
 
 /// One completed query. The member matching `kind` carries the payload;
@@ -118,6 +128,30 @@ struct QueryResponse {
   size_t proxy_delta_rows = 0;
   double queue_wait_ms = 0.0;  ///< admission-queue time before a worker ran it
   double execute_seconds = 0.0;  ///< wall time from dequeue to completion
+
+  // Degradation accounting (DESIGN.md §15).
+  /// True when the answer is weaker than requested (deadline cut sampling
+  /// short, or the server was browned out to proxy-only).
+  bool degraded = false;
+  /// How much statistical guarantee the answer retains.
+  GuaranteeLevel guarantee = GuaranteeLevel::kFull;
+  /// True when the query's deadline expired mid-execution.
+  bool deadline_hit = false;
+  double deadline_budget_ms = 0.0;  ///< spec.deadline_ms (0 = unbounded)
+  double deadline_spent_ms = 0.0;   ///< deadline time consumed at completion
+};
+
+/// Overload/degradation policy (DESIGN.md §15).
+struct DegradeOptions {
+  /// Admission-time load shedding; disabled by default.
+  ShedderOptions shedder;
+  /// Allow brownout (proxy-only) serving while the BrownoutController is
+  /// tripped — by the oracle breaker opening or an SLO burn alert.
+  bool brownout = false;
+  /// > 0 switches per-query deadlines to virtual-time accounting, charging
+  /// this flat cost per logical oracle call — bit-reproducible expiry
+  /// independent of host speed (deadline.h). 0 = wall-clock deadlines.
+  double virtual_ms_per_call = 0.0;
 };
 
 struct ServerOptions {
@@ -139,6 +173,8 @@ struct ServerOptions {
   /// and scheduling order.
   bool deterministic = false;
   SchedulerOptions scheduler;
+  /// Overload behavior: load shedding, brownout, deadline accounting.
+  DegradeOptions degrade;
   /// Bounds on the server-wide proxy-score cache.
   ScoreCacheOptions score_cache;
   /// Crash-safe durability (durable/checkpoint.h): when `durability.dir`
@@ -167,6 +203,12 @@ struct ServerStats {
   size_t query_invocations = 0;
   uint64_t epochs_published = 0;
   size_t live_snapshots = 0;
+  // Degradation tallies (DESIGN.md §15).
+  uint64_t queries_shed = 0;        ///< rejected at admission by the shedder
+  uint64_t degraded_responses = 0;  ///< completed with degraded = true
+  uint64_t deadline_expired = 0;    ///< completed with deadline_hit = true
+  uint64_t brownout_queries = 0;    ///< answered proxy-only while browned out
+  bool brownout_active = false;
 };
 
 /// The serving engine. All public methods are thread-safe; Start() must
@@ -214,6 +256,16 @@ class TastiServer {
   /// (each id may be waited on once).
   QueryResponse Wait(uint64_t query_id);
 
+  /// Wait with a timeout: nullopt if the query has not completed within
+  /// `timeout_ms`. The query keeps running; call again or Abandon().
+  std::optional<QueryResponse> WaitFor(uint64_t query_id, double timeout_ms);
+
+  /// Gives up on a query: cancels its deadline token if it is executing
+  /// (it stops at the next phase boundary) and discards its response when
+  /// it completes. Used by the sharded gatherer for straggler shards the
+  /// merged answer no longer needs.
+  void Abandon(uint64_t query_id);
+
   /// Submit + Wait.
   QueryResponse Execute(const QuerySpec& spec);
 
@@ -242,6 +294,15 @@ class TastiServer {
     return scheduler_ == nullptr ? SchedulerStats{} : scheduler_->stats();
   }
   ScoreCacheStats score_cache_stats() const { return score_cache_.stats(); }
+  /// Live-safe admission shedder tallies.
+  ShedderStats shedder_stats() const { return shedder_.stats(); }
+  /// The brownout latch. Wire the oracle breaker to it via
+  /// ResilientLabeler's on_breaker_transition callback, or Trip()/Clear()
+  /// it directly (SLO burn, operator override). Only consulted when
+  /// options().degrade.brownout is set.
+  BrownoutController& brownout() { return brownout_; }
+  const BrownoutController& brownout() const { return brownout_; }
+  const ServerOptions& options() const { return options_; }
   /// Zeros when durability is disabled (or its manager failed to open).
   durable::DurabilityStats durability_stats() const;
   /// Stats of the last RecoverFrom(); nullopt if never recovered.
@@ -340,6 +401,18 @@ class TastiServer {
   std::unordered_map<uint64_t, QueryResponse> completed_;
   uint64_t queries_completed_ = 0;
   size_t query_invocations_ = 0;
+  // Degradation bookkeeping (guarded by mu_ like the tallies above).
+  uint64_t queries_shed_ = 0;
+  uint64_t degraded_responses_ = 0;
+  uint64_t deadline_expired_ = 0;
+  uint64_t brownout_queries_ = 0;
+  /// Deadline tokens of executing queries, so Abandon() can cancel them.
+  std::unordered_map<uint64_t, Deadline> running_deadlines_;
+  /// Queries whose response should be discarded on completion.
+  std::unordered_set<uint64_t> abandoned_;
+
+  LoadShedder shedder_;
+  BrownoutController brownout_;
 
   std::mutex log_mu_;
   obs::QueryLog query_log_;

@@ -1,6 +1,9 @@
 #include "shard/sharded_server.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -153,6 +156,8 @@ ShardedQueryResponse ShardedServer::ExecuteScattered(
 
   ShardedQueryResponse response;
   response.partials.resize(k);
+  response.shard_complete.assign(k, false);
+  WallTimer gather_timer;
   std::vector<Result<uint64_t>> submitted;
   submitted.reserve(k);
   for (size_t s = 0; s < k; ++s) {
@@ -162,103 +167,289 @@ ShardedQueryResponse ShardedServer::ExecuteScattered(
     submitted.push_back(servers_[s]->Submit(sub));
     BumpCounter("shard.partials");
   }
-  for (size_t s = 0; s < k; ++s) {
-    if (submitted[s].ok()) {
-      response.partials[s] = servers_[s]->Wait(submitted[s].value());
-    } else {
-      response.partials[s].kind = spec.kind;
-      response.partials[s].status = submitted[s].status();
+
+  // Gathering stops waiting at the query deadline only when partial
+  // gather is on — otherwise sub-queries self-degrade under their own
+  // deadlines and the gather blocks for all of them (legacy semantics).
+  const bool hard_stop = options_.partial_gather && spec.deadline_ms > 0;
+  auto wait_left_ms = [&] {
+    return hard_stop ? spec.deadline_ms - gather_timer.Seconds() * 1000.0
+                     : std::numeric_limits<double>::infinity();
+  };
+
+  std::vector<bool> have(k, false);
+  std::vector<uint64_t> hedge_ids(k, 0);
+  std::vector<bool> hedge_live(k, false);
+
+  if (options_.hedge.enabled) {
+    // Hedge phase: give every shard until the quantile-driven hedge delay
+    // to answer, then re-dispatch stragglers (and outright failures) once
+    // at a reduced oracle budget.
+    const double hedge_delay_ms = HedgeDelayMs();
+    for (size_t s = 0; s < k; ++s) {
+      if (!submitted[s].ok()) continue;
+      const double slice =
+          std::min(hedge_delay_ms - gather_timer.Seconds() * 1000.0,
+                   wait_left_ms());
+      std::optional<serve::QueryResponse> r =
+          servers_[s]->WaitFor(submitted[s].value(), std::max(0.0, slice));
+      if (r.has_value()) {
+        response.partials[s] = *std::move(r);
+        have[s] = true;
+      }
     }
+    for (size_t s = 0; s < k; ++s) {
+      const bool straggling = submitted[s].ok() && !have[s];
+      const bool failed = !submitted[s].ok() ||
+                          (have[s] && !response.partials[s].status.ok());
+      if (!straggling && !failed) continue;
+      serve::QuerySpec sub = spec;
+      sub.budget = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(budgets[s]) *
+                                 options_.hedge.budget_fraction));
+      sub.validation_budget = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<double>(validation_budgets[s]) *
+                                 options_.hedge.budget_fraction));
+      Result<uint64_t> hedge = servers_[s]->Submit(sub);
+      if (hedge.ok()) {
+        hedge_ids[s] = hedge.value();
+        hedge_live[s] = true;
+        ++response.hedged_shards;
+        BumpCounter("shard.hedges");
+      }
+    }
+  }
+
+  // Final gather: per shard, take the first usable answer from the
+  // primary or its hedge (alternating short waits while both are in
+  // flight), up to the deadline when partial gather is on.
+  for (size_t s = 0; s < k; ++s) {
+    uint64_t ids[2] = {submitted[s].ok() ? submitted[s].value() : 0,
+                       hedge_ids[s]};
+    bool live[2] = {submitted[s].ok() && !have[s], hedge_live[s]};
+    bool usable = have[s] && response.partials[s].status.ok();
+    while (!usable && (live[0] || live[1])) {
+      const double left = wait_left_ms();
+      if (left <= 0.0) break;
+      for (int a = 0; a < 2 && !usable; ++a) {
+        if (!live[a]) continue;
+        // Alternate 2 ms polls while racing two attempts; otherwise wait
+        // out the remaining budget in one shot.
+        double slice = (live[0] && live[1]) ? 2.0 : wait_left_ms();
+        slice = std::min(slice, wait_left_ms());
+        if (slice <= 0.0) break;
+        std::optional<serve::QueryResponse> r;
+        if (std::isfinite(slice)) {
+          r = servers_[s]->WaitFor(ids[a], slice);
+        } else {
+          r = servers_[s]->Wait(ids[a]);
+        }
+        if (!r.has_value()) continue;
+        live[a] = false;
+        if (r->status.ok() || !have[s]) {
+          response.partials[s] = *std::move(r);
+          have[s] = true;
+        }
+        usable = have[s] && response.partials[s].status.ok();
+      }
+    }
+    for (int a = 0; a < 2; ++a) {
+      if (live[a]) servers_[s]->Abandon(ids[a]);
+    }
+    if (!have[s]) {
+      response.partials[s].kind = spec.kind;
+      response.partials[s].status =
+          submitted[s].ok()
+              ? Status::DeadlineExceeded(
+                    "shard " + std::to_string(s) +
+                    " did not answer before the gather deadline")
+              : submitted[s].status();
+      BumpCounter("shard.gather.absent");
+    } else {
+      RecordShardLatency(response.partials[s].queue_wait_ms +
+                         response.partials[s].execute_seconds * 1000.0);
+    }
+    response.shard_complete[s] = have[s] && response.partials[s].status.ok();
     response.shard_epochs.push_back(response.partials[s].epoch);
   }
   response.shards_queried = k;
 
-  bool all_ok = true;
-  for (const auto& partial : response.partials) {
-    all_ok = all_ok && partial.status.ok();
+  MergePartials(spec, sizes, offsets, &response);
+  return response;
+}
+
+void ShardedServer::MergePartials(const serve::QuerySpec& spec,
+                                  const std::vector<size_t>& sizes,
+                                  const std::vector<size_t>& offsets,
+                                  ShardedQueryResponse* response) const {
+  const size_t k = response->partials.size();
+  const std::vector<bool>& present = response->shard_complete;
+  size_t absent = 0;
+  for (bool ok : present) absent += ok ? 0 : 1;
+  if (absent > 0 && (!options_.partial_gather || absent == k)) {
+    return;  // FoldAccounting surfaces the failure (legacy semantics)
   }
-  if (!all_ok) return response;  // FoldAccounting surfaces the failure
+  response->degraded_gather = absent > 0;
+  queries::GatherQuality* quality = &response->quality;
 
   switch (spec.kind) {
     case serve::QueryKind::kAggregate: {
       std::vector<queries::AggregationResult> parts;
       parts.reserve(k);
-      for (const auto& p : response.partials) parts.push_back(p.aggregate);
-      response.merged.aggregate = queries::MergeAggregates(parts, sizes);
+      for (const auto& p : response->partials) parts.push_back(p.aggregate);
+      response->merged.aggregate =
+          queries::MergeAggregatesDegraded(parts, sizes, present, quality);
       break;
     }
     case serve::QueryKind::kAggregateWhere: {
       std::vector<queries::PredicateAggregationResult> parts;
       parts.reserve(k);
-      for (const auto& p : response.partials) {
+      for (const auto& p : response->partials) {
         parts.push_back(p.aggregate_where);
       }
-      response.merged.aggregate_where =
-          queries::MergePredicateAggregates(parts, sizes);
+      response->merged.aggregate_where =
+          queries::MergePredicateAggregatesDegraded(parts, sizes, present,
+                                                    quality);
       break;
     }
     case serve::QueryKind::kSupgRecall:
     case serve::QueryKind::kSupgPrecision: {
       std::vector<queries::SupgResult> parts;
       parts.reserve(k);
-      for (const auto& p : response.partials) parts.push_back(p.supg);
-      response.merged.supg = queries::MergeSupg(parts, offsets);
+      for (const auto& p : response->partials) parts.push_back(p.supg);
+      const double recall_target =
+          spec.kind == serve::QueryKind::kSupgRecall ? spec.target : 0.0;
+      response->merged.supg = queries::MergeSupgDegraded(
+          parts, offsets, sizes, present, recall_target, quality);
       break;
     }
     case serve::QueryKind::kThresholdSelect: {
       std::vector<queries::ThresholdSelectResult> parts;
       parts.reserve(k);
-      for (const auto& p : response.partials) parts.push_back(p.select);
-      response.merged.select = queries::MergeThresholdSelects(parts, offsets);
+      for (const auto& p : response->partials) parts.push_back(p.select);
+      response->merged.select = queries::MergeThresholdSelectsDegraded(
+          parts, offsets, sizes, present, quality);
       break;
     }
     case serve::QueryKind::kLimit:
-      TASTI_CHECK(false, "limit takes the sequential path");
+      TASTI_CHECK(false, "limit merges in ExecuteLimit");
   }
-  return response;
 }
 
 ShardedQueryResponse ShardedServer::ExecuteLimit(
     const serve::QuerySpec& spec) {
   const size_t k = num_shards();
+  std::vector<size_t> sizes;
   std::vector<size_t> offsets;
   {
     std::lock_guard<std::mutex> lock(partition_mu_);
+    sizes = partitioner_.ShardSizes();
     offsets = partitioner_.ShardOffsets();
   }
   ShardedQueryResponse response;
+  // The deadline budget spans the whole sequential dispatch: each shard
+  // gets what the previous shards left. Virtual accounting subtracts the
+  // partials' reported spend (deterministic); wall accounting re-reads
+  // the clock.
+  const bool bounded = spec.deadline_ms > 0;
+  const bool virtual_time = options_.server.degrade.virtual_ms_per_call > 0;
+  WallTimer wall;
+  double budget_left_ms = spec.deadline_ms;
+  bool deadline_stopped = false;
   size_t found = 0;
   for (size_t s = 0; s < k; ++s) {
+    if (bounded && budget_left_ms <= 0.0) {
+      deadline_stopped = true;
+      BumpCounter("shard.gather.absent");
+      break;
+    }
     serve::QuerySpec sub = spec;
     sub.want = spec.want - found;  // only what's still missing
+    sub.deadline_ms = bounded ? budget_left_ms : 0.0;
     response.partials.push_back(servers_[s]->Execute(sub));
     response.shard_epochs.push_back(response.partials.back().epoch);
     BumpCounter("shard.partials");
-    found += response.partials.back().limit.found.size();
-    if (!response.partials.back().status.ok()) break;
+    const serve::QueryResponse& partial = response.partials.back();
+    if (bounded) {
+      budget_left_ms = virtual_time
+                           ? budget_left_ms - partial.deadline_spent_ms
+                           : spec.deadline_ms - wall.Seconds() * 1000.0;
+    }
+    found += partial.limit.found.size();
+    if (!partial.status.ok()) {
+      if (options_.partial_gather) continue;  // treat as absent, scan on
+      break;
+    }
     if (options_.limit_early_stop && found >= spec.want && s + 1 < k) {
       BumpCounter("shard.limit_early_stops");
       break;
     }
   }
   response.shards_queried = response.partials.size();
-
+  response.shard_complete.resize(response.partials.size());
   bool all_ok = true;
-  for (const auto& partial : response.partials) {
-    all_ok = all_ok && partial.status.ok();
+  for (size_t s = 0; s < response.partials.size(); ++s) {
+    response.shard_complete[s] = response.partials[s].status.ok();
+    all_ok = all_ok && response.shard_complete[s];
   }
-  if (!all_ok) return response;
 
+  if (all_ok && !deadline_stopped) {
+    std::vector<queries::LimitResult> parts;
+    parts.reserve(response.partials.size());
+    for (const auto& p : response.partials) parts.push_back(p.limit);
+    response.merged.limit = queries::MergeLimits(parts, offsets, spec.want);
+    return response;
+  }
+  if (!options_.partial_gather) return response;  // fold surfaces failure
+
+  // Degraded gather: merge what the queried shards found; unqueried and
+  // failed shards are absent (the full-size mask reports coverage).
+  std::vector<bool> present(k, false);
+  size_t usable = 0;
+  for (size_t s = 0; s < response.partials.size(); ++s) {
+    present[s] = response.partials[s].status.ok();
+    usable += present[s] ? 1 : 0;
+  }
+  if (usable == 0) return response;
   std::vector<queries::LimitResult> parts;
   parts.reserve(response.partials.size());
   for (const auto& p : response.partials) parts.push_back(p.limit);
-  response.merged.limit = queries::MergeLimits(parts, offsets, spec.want);
+  response.merged.limit = queries::MergeLimitsDegraded(
+      parts, offsets, sizes, present, spec.want, &response.quality);
+  response.degraded_gather = response.quality.absent > 0;
   return response;
+}
+
+double ShardedServer::HedgeDelayMs() const {
+  std::vector<double> history;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    history = recent_latency_ms_;
+  }
+  if (history.empty()) return options_.hedge.min_delay_ms;
+  std::sort(history.begin(), history.end());
+  const double q = std::clamp(options_.hedge.delay_quantile, 0.0, 1.0);
+  const size_t idx = std::min(
+      history.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(history.size())));
+  return std::max(history[idx], options_.hedge.min_delay_ms);
+}
+
+void ShardedServer::RecordShardLatency(double ms) {
+  constexpr size_t kLatencyHistory = 128;
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (recent_latency_ms_.size() < kLatencyHistory) {
+    recent_latency_ms_.push_back(ms);
+  } else {
+    recent_latency_ms_[latency_cursor_] = ms;
+    latency_cursor_ = (latency_cursor_ + 1) % kLatencyHistory;
+  }
 }
 
 void ShardedServer::FoldAccounting(ShardedQueryResponse* response) {
   serve::QueryResponse& merged = response->merged;
-  for (const auto& partial : response->partials) {
+  for (size_t s = 0; s < response->partials.size(); ++s) {
+    const serve::QueryResponse& partial = response->partials[s];
     merged.epoch = std::max(merged.epoch, partial.epoch);
     merged.attributed_invocations += partial.attributed_invocations;
     merged.logical_oracle_calls += partial.logical_oracle_calls;
@@ -267,9 +458,28 @@ void ShardedServer::FoldAccounting(ShardedQueryResponse* response) {
     merged.cracked_representatives += partial.cracked_representatives;
     merged.proxy_delta_rows += partial.proxy_delta_rows;
     merged.queue_wait_ms = std::max(merged.queue_wait_ms, partial.queue_wait_ms);
-    if (merged.status.ok() && !partial.status.ok()) {
+    const bool complete =
+        s < response->shard_complete.size() && response->shard_complete[s];
+    // A degraded gather already absorbed absent shards into the widened
+    // interval, so their failure statuses are informational; otherwise
+    // the first failure fails the whole query (legacy semantics).
+    if (!response->degraded_gather && merged.status.ok() &&
+        !partial.status.ok()) {
       merged.status = partial.status;
     }
+    if (complete) {
+      merged.degraded = merged.degraded || partial.degraded;
+      merged.deadline_hit = merged.deadline_hit || partial.deadline_hit;
+      merged.guarantee = std::max(merged.guarantee, partial.guarantee);
+      merged.deadline_spent_ms =
+          std::max(merged.deadline_spent_ms, partial.deadline_spent_ms);
+      merged.deadline_budget_ms =
+          std::max(merged.deadline_budget_ms, partial.deadline_budget_ms);
+    }
+  }
+  if (response->degraded_gather) {
+    merged.degraded = true;
+    merged.guarantee = std::max(merged.guarantee, serve::GuaranteeLevel::kReduced);
   }
 }
 
@@ -300,6 +510,11 @@ serve::ServerStats ShardedServer::stats() const {
     total.query_invocations += s.query_invocations;
     total.epochs_published += s.epochs_published;
     total.live_snapshots += s.live_snapshots;
+    total.queries_shed += s.queries_shed;
+    total.degraded_responses += s.degraded_responses;
+    total.deadline_expired += s.deadline_expired;
+    total.brownout_queries += s.brownout_queries;
+    total.brownout_active = total.brownout_active || s.brownout_active;
   }
   return total;
 }

@@ -27,10 +27,29 @@
 #include <vector>
 
 #include "core/partition.h"
+#include "queries/merge.h"
 #include "serve/server.h"
 #include "shard/sharded_index.h"
 
 namespace tasti::shard {
+
+/// Straggler hedging for scatter-gather queries (DESIGN.md §15). When a
+/// shard's sub-query has not answered within the hedge delay — a quantile
+/// of recently observed sub-query latencies — its sub-query is
+/// re-dispatched once at a reduced oracle budget; whichever attempt
+/// answers first wins and the other is abandoned.
+struct HedgePolicy {
+  bool enabled = false;
+  /// Latency quantile of recent sub-queries used as the hedge delay.
+  double delay_quantile = 0.95;
+  /// Floor for the hedge delay; also the cold-start delay before any
+  /// latency history exists.
+  double min_delay_ms = 5.0;
+  /// Hedge sub-queries run at this fraction of the primary's oracle
+  /// budget (min 1): the straggler is likely oracle-bound, so the retry
+  /// deliberately asks for a cheaper answer.
+  double budget_fraction = 0.25;
+};
 
 struct ShardedServerOptions {
   size_t num_shards = 2;
@@ -44,6 +63,16 @@ struct ShardedServerOptions {
   bool limit_early_stop = true;
   /// Divide index construction budgets by K (see ShardedIndexOptions).
   bool scale_index_budgets = true;
+  /// Straggler hedging for scattered sub-queries.
+  HedgePolicy hedge;
+  /// Degraded partial gather: when a deadline-bounded query's shards have
+  /// not all answered at the deadline (or a shard failed / was shed),
+  /// merge whatever answered through the queries/merge.h *Degraded
+  /// mergers — absent shards explicitly widen the merged confidence —
+  /// instead of failing the whole query. Requires at least one usable
+  /// partial; the response is marked degraded with a per-shard
+  /// completeness map.
+  bool partial_gather = false;
   /// Per-shard server template. Applied per shard with: seed offset by
   /// shard, index options via ShardIndexOptions, confidence tightened to
   /// ShardConfidence(confidence, K), durability.dir suffixed "/shard-<s>".
@@ -64,6 +93,18 @@ struct ShardedQueryResponse {
   size_t shards_queried = 0;
   /// Epoch each dispatched shard answered at.
   std::vector<uint64_t> shard_epochs;
+  /// Per-shard completeness map (parallel to partials): true when the
+  /// shard delivered a usable partial that the merge consumed.
+  std::vector<bool> shard_complete;
+  /// Shards whose sub-query was re-dispatched by the hedge policy.
+  size_t hedged_shards = 0;
+  /// True when the merge ran over a strict subset of shards (absent
+  /// shards widened the interval; merged.degraded is set). Absent-shard
+  /// failure statuses are then informational, not merged.status.
+  bool degraded_gather = false;
+  /// Coverage of the gather (filled by the degraded mergers; full
+  /// coverage defaults otherwise).
+  queries::GatherQuality quality;
 };
 
 /// Scatter-gather serving engine. Execute/AppendRecords/stats are
@@ -139,8 +180,18 @@ class ShardedServer {
   ShardedQueryResponse ExecuteScattered(const serve::QuerySpec& spec);
   /// Sequential shard dispatch with early termination (limit).
   ShardedQueryResponse ExecuteLimit(const serve::QuerySpec& spec);
+  /// Merges the present partials for a non-limit kind; uses the degraded
+  /// mergers (widening for absent shards) when any shard is absent.
+  void MergePartials(const serve::QuerySpec& spec,
+                     const std::vector<size_t>& sizes,
+                     const std::vector<size_t>& offsets,
+                     ShardedQueryResponse* response) const;
   /// Fills the merged response's kind/epoch/accounting from the partials.
   static void FoldAccounting(ShardedQueryResponse* response);
+  /// Current hedge delay: `delay_quantile` of recent sub-query latencies,
+  /// floored at min_delay_ms.
+  double HedgeDelayMs() const;
+  void RecordShardLatency(double ms);
 
   const data::Dataset* dataset_;
   labeler::FallibleLabeler* oracle_;
@@ -149,6 +200,11 @@ class ShardedServer {
 
   mutable std::mutex partition_mu_;  ///< guards partitioner_ growth
   core::Partitioner partitioner_;
+
+  // Sub-query latency history driving the hedge delay (bounded ring).
+  mutable std::mutex latency_mu_;
+  std::vector<double> recent_latency_ms_;
+  size_t latency_cursor_ = 0;
 
   std::vector<data::Dataset> shard_datasets_;
   std::vector<std::unique_ptr<ShardLabelerView>> views_;

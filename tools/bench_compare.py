@@ -31,7 +31,14 @@ import sys
 def load(path):
     rows = json.loads(pathlib.Path(path).read_text())
     out = {}
-    for row in rows:
+    for i, row in enumerate(rows):
+        # A truncated or hand-edited baseline should fail with the file
+        # and key named, not a bare KeyError traceback.
+        for key in ("kernel", "ns_per_op"):
+            if key not in row:
+                sys.exit(f"bench_compare: {path}: row {i} is missing "
+                         f"required key '{key}' "
+                         f"(has: {', '.join(sorted(row)) or 'nothing'})")
         out[row["kernel"]] = float(row["ns_per_op"])
         if row["ns_per_op"] <= 0:
             sys.exit(f"bench_compare: {path}: {row['kernel']} has "

@@ -28,6 +28,11 @@
 #            workload with a breach-everything SLO, then asserts the
 #            Prometheus exposition carries the expected metric families
 #            and the flight-recorder dump passes validate_trace --flight.
+#   overload degraded-mode gate: ctest -L overload (deadline tokens, the
+#            CoDel shedder, brownout, degraded scatter-gather merges),
+#            then a serve-workload run with tight virtual deadlines, one
+#            worker, and admission control that must shed load
+#            (--require-shed) with zero deadline overruns.
 #   crash    deterministic crash injection: `crash_loop` runs a durable
 #            serve workload once as a control, then re-runs it crashing
 #            the filesystem at every mutating op N, recovering each time
@@ -52,7 +57,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 usage() {
-  sed -n '2,49p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,54p' "$0" | sed 's/^# \{0,1\}//'
 }
 
 STAGES=()
@@ -69,13 +74,13 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 if [[ ${#STAGES[@]} -eq 0 ]]; then
-  STAGES=(tier1 warn sanitize chaos tsan monitor crash)
+  STAGES=(tier1 warn sanitize chaos tsan monitor overload crash)
 fi
 for stage in "${STAGES[@]}"; do
   case "$stage" in
-    tier1|warn|sanitize|chaos|tsan|monitor|crash) ;;
+    tier1|warn|sanitize|chaos|tsan|monitor|overload|crash) ;;
     *) echo "error: unknown stage '$stage'" \
-            "(tier1|warn|sanitize|chaos|tsan|monitor|crash)" >&2
+            "(tier1|warn|sanitize|chaos|tsan|monitor|overload|crash)" >&2
        exit 2 ;;
   esac
 done
@@ -145,7 +150,8 @@ stage_chaos() {
   require_sanitizer address chaos
   configure build-chaos --preset chaos
   cmake --build build-chaos -j "$(nproc)" --target faults_test
-  (cd build-chaos && ctest -L chaos --output-on-failure -j "$(nproc)")
+  (cd build-chaos && ctest -L chaos --no-tests=error --output-on-failure \
+    -j "$(nproc)")
 }
 
 stage_tsan() {
@@ -207,11 +213,31 @@ PYEOF
   build/tools/validate_trace "$flight"-1.json --flight --max-events=40000
 }
 
+stage_overload() {
+  echo "== overload: degraded-mode suite + shed/deadline workload gate =="
+  configure build -B build -S .
+  cmake --build build -j "$(nproc)" --target overload_test tasti_cli
+  (cd build && ctest -L overload --no-tests=error --output-on-failure \
+    -j "$(nproc)")
+  # One worker + tight virtual deadlines + admission control: the run
+  # must shed load (--require-shed) and no query may spend past its
+  # deadline budget plus one per-call charge (--max-deadline-overruns 0).
+  # Virtual time keeps the degraded answers deterministic; --skip-serial
+  # drops the serialized throughput baseline this gate does not need.
+  build/tools/tasti_cli serve-workload --dataset night-street \
+    --records 3000 --train 150 --reps 150 --clients 8 \
+    --queries-per-client 6 --oracle-latency-ms 2 --workers 1 \
+    --skip-serial --shed --shed-target-ms 1 --priority-mix \
+    --deadline-ms 25 --virtual-ms-per-call 1 \
+    --require-shed --max-deadline-overruns 0
+}
+
 stage_crash() {
   echo "== crash: durable tests + deterministic crash-injection grid =="
   configure build -B build -S .
   cmake --build build -j "$(nproc)" --target durable_test crash_loop
-  (cd build && ctest -L durable --output-on-failure -j "$(nproc)")
+  (cd build && ctest -L durable --no-tests=error --output-on-failure \
+    -j "$(nproc)")
   # The grid crashes the filesystem at mutating ops of a durable serve
   # workload (build -> serve -> crack -> append -> drain) and requires
   # every recovery to land bit-identical on a committed control epoch.

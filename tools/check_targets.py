@@ -7,10 +7,11 @@ Asserts, from the repository root:
      tests/CMakeLists.txt, and every registration has a source file;
   2. every <name>_test binary that tools/check.sh builds or runs is a
      registered test (no stale names after a rename/delete);
-  3. every test registered with a `serve`, `chaos`, or `durable` label is
-     exercised by the matching stage in tools/check.sh (serve -> tsan
-     targets, chaos -> `ctest -L chaos`, durable -> the ASan sanitize
-     stage and `ctest -L durable` in the crash stage);
+  3. every test registered with a `serve`, `chaos`, `durable`, or
+     `overload` label is exercised by the matching stage in
+     tools/check.sh (serve -> tsan targets, chaos -> `ctest -L chaos`,
+     durable -> the ASan sanitize stage and `ctest -L durable` in the
+     crash stage, overload -> `ctest -L overload`);
   4. every bench/*.cc has a registration (tasti_add_bench or
      add_executable) in bench/CMakeLists.txt and vice versa;
   5. every committed bench baseline (bench/baselines/BENCH_*.json) is
@@ -105,6 +106,19 @@ def main():
         errors.append(
             "tests carry the `durable` label but tools/check.sh has no "
             "`ctest -L durable` stage"
+        )
+    if "overload" in all_labels and "-L overload" not in check_sh:
+        errors.append(
+            "tests carry the `overload` label but tools/check.sh has no "
+            "`ctest -L overload` stage"
+        )
+    if (
+        "overload_test" in registrations
+        and "overload" not in registrations["overload_test"]
+    ):
+        errors.append(
+            "tests/overload_test.cc is registered without the `overload` "
+            "label, so the overload stage's ctest filter cannot find it"
         )
 
     bench_sources = {p.stem for p in (ROOT / "bench").glob("*.cc")}

@@ -115,6 +115,20 @@ int Usage() {
       "          WAL-log mutations with an fsync barrier per epoch "
       "publish,\n"
       "          checkpoint every N epochs, print a durability summary)\n"
+      "          [--deadline-ms D --virtual-ms-per-call V] (per-query "
+      "latency\n"
+      "          budgets; V>0 accounts them in deterministic virtual "
+      "time)\n"
+      "          [--workers W --shed --shed-target-ms T --priority-mix] "
+      "(load\n"
+      "          shedding at admission; priority-mix rotates query "
+      "classes)\n"
+      "          [--brownout --partial-gather --hedge] (degraded-mode "
+      "levers)\n"
+      "          [--require-shed --max-deadline-overruns N] (overload-"
+      "stage\n"
+      "          assertions: at least one shed, at most N deadline "
+      "overruns)\n"
       "  recover: --wal-dir DIR [--out PATH] (replay checkpoint + "
       "committed\n"
       "          WAL, report replay/quarantine stats, optionally save the\n"
@@ -542,6 +556,21 @@ int RunServeWorkload(const Args& args) {
   const uint64_t query_seed =
       static_cast<uint64_t>(args.GetInt("query-seed", 7));
 
+  // Degradation levers (DESIGN.md §15): per-query deadlines, admission
+  // shedding, brownout, and the sharded partial-gather/hedging paths.
+  const double deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  const double virtual_ms_per_call =
+      args.GetDouble("virtual-ms-per-call", 0.0);
+  const bool shed_enabled = args.flags.count("shed") > 0;
+  const double shed_target_ms = args.GetDouble("shed-target-ms", 5.0);
+  const bool priority_mix = args.flags.count("priority-mix") > 0;
+  const bool require_shed = args.flags.count("require-shed") > 0;
+  const long max_overruns = args.GetInt("max-deadline-overruns", -1);
+  // One phase-check interval of slack: a query may overshoot its budget
+  // by at most the cost of the call that crossed it.
+  const double overrun_slack_ms =
+      virtual_ms_per_call > 0 ? virtual_ms_per_call : 50.0;
+
   core::IndexOptions index_opts;
   index_opts.num_training_records =
       static_cast<size_t>(args.GetInt("train", 300));
@@ -569,6 +598,11 @@ int RunServeWorkload(const Args& args) {
     for (size_t q = 0; q < per_client; ++q) {
       serve::QuerySpec spec;
       spec.client_id = c;
+      spec.deadline_ms = deadline_ms;
+      if (priority_mix) {
+        spec.priority = static_cast<serve::QueryPriority>(
+            (c * per_client + q) % serve::kNumQueryPriorities);
+      }
       switch ((c * per_client + q) % 5) {
         case 0:
           spec.kind = serve::QueryKind::kAggregate;
@@ -612,8 +646,12 @@ int RunServeWorkload(const Args& args) {
   session_opts.seed = query_seed;
   api::TastiSession session(&dataset, &serial_oracle, session_opts);
   session.index();  // build outside the timed window
+  // --skip-serial drops the serialized baseline: the overload stage only
+  // cares about shed/deadline behavior, not the throughput comparison.
+  const bool skip_serial = args.flags.count("skip-serial") > 0;
   WallTimer serial_timer;
   for (const serve::QuerySpec& spec : specs) {
+    if (skip_serial) break;
     switch (spec.kind) {
       case serve::QueryKind::kAggregate:
         session.Aggregate(*spec.scorer, spec.error_target);
@@ -647,8 +685,15 @@ int RunServeWorkload(const Args& args) {
   serve::ServerOptions server_opts;
   server_opts.index = index_opts;
   server_opts.seed = query_seed;
-  server_opts.num_workers = clients;
+  // --workers below --clients oversubscribes the queue — the overload
+  // stage uses that to drive the shedder deterministically hard.
+  server_opts.num_workers = static_cast<size_t>(
+      std::max<long>(1, args.GetInt("workers", static_cast<long>(clients))));
   server_opts.max_pending = std::max<size_t>(total_queries, 1);
+  server_opts.degrade.virtual_ms_per_call = virtual_ms_per_call;
+  server_opts.degrade.brownout = args.flags.count("brownout") > 0;
+  server_opts.degrade.shedder.enabled = shed_enabled;
+  server_opts.degrade.shedder.target_wait_ms = shed_target_ms;
   // The latency-injected simulated oracle is thread-safe and counts one
   // invocation per call, so batches may dispatch in parallel — that
   // overlap of oracle waits is where served throughput comes from.
@@ -675,6 +720,8 @@ int RunServeWorkload(const Args& args) {
     shard::ShardedServerOptions sharded_opts;
     sharded_opts.num_shards = shards;
     sharded_opts.server = server_opts;
+    sharded_opts.partial_gather = args.flags.count("partial-gather") > 0;
+    sharded_opts.hedge.enabled = args.flags.count("hedge") > 0;
     shard::ShardedServer sharded(&dataset, &sharded_oracle, sharded_opts);
     {
       const Status status = sharded.Start();
@@ -687,13 +734,25 @@ int RunServeWorkload(const Args& args) {
     WallTimer sharded_timer;
     std::vector<std::thread> sharded_clients;
     std::atomic<size_t> sharded_failures{0};
+    std::atomic<size_t> sharded_shed{0};
+    std::atomic<size_t> sharded_overruns{0};
     for (size_t c = 0; c < clients; ++c) {
       sharded_clients.emplace_back([&, c] {
         for (size_t q = 0; q < per_client; ++q) {
           const shard::ShardedQueryResponse response =
               sharded.Execute(specs[c * per_client + q]);
-          if (!response.merged.status.ok()) {
-            sharded_failures.fetch_add(1, std::memory_order_relaxed);
+          const serve::QueryResponse& merged = response.merged;
+          if (!merged.status.ok()) {
+            if (shed_enabled &&
+                merged.status.code() == StatusCode::kResourceExhausted) {
+              sharded_shed.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              sharded_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else if (merged.deadline_budget_ms > 0 &&
+                     merged.deadline_spent_ms >
+                         merged.deadline_budget_ms + overrun_slack_ms) {
+            sharded_overruns.fetch_add(1, std::memory_order_relaxed);
           }
         }
       });
@@ -724,9 +783,30 @@ int RunServeWorkload(const Args& args) {
       std::printf(" %zu:%llu", s, static_cast<unsigned long long>(epochs[s]));
     }
     std::printf("\n");
+    if (deadline_ms > 0 || shed_enabled || sharded_opts.partial_gather ||
+        sharded_opts.hedge.enabled) {
+      std::printf("degradation: %llu shed, %llu degraded, %llu "
+                  "deadline-expired, %llu brownout, %zu overruns\n",
+                  static_cast<unsigned long long>(totals.queries_shed),
+                  static_cast<unsigned long long>(totals.degraded_responses),
+                  static_cast<unsigned long long>(totals.deadline_expired),
+                  static_cast<unsigned long long>(totals.brownout_queries),
+                  sharded_overruns.load());
+    }
     if (sharded_failures.load() > 0) {
       std::fprintf(stderr, "%zu sharded queries failed\n",
                    sharded_failures.load());
+      return 1;
+    }
+    if (require_shed && totals.queries_shed == 0 && sharded_shed.load() == 0) {
+      std::fprintf(stderr, "FAIL: --require-shed but nothing was shed\n");
+      return 1;
+    }
+    if (max_overruns >= 0 &&
+        sharded_overruns.load() > static_cast<size_t>(max_overruns)) {
+      std::fprintf(stderr,
+                   "FAIL: %zu deadline overruns exceed the allowed %ld\n",
+                   sharded_overruns.load(), max_overruns);
       return 1;
     }
     const Status invariant = sharded.CheckAttributionInvariant();
@@ -758,13 +838,25 @@ int RunServeWorkload(const Args& args) {
   WallTimer served_timer;
   std::vector<std::thread> client_threads;
   std::atomic<size_t> served_failures{0};
+  std::atomic<size_t> served_shed{0};
+  std::atomic<size_t> served_overruns{0};
   for (size_t c = 0; c < clients; ++c) {
     client_threads.emplace_back([&, c] {
       for (size_t q = 0; q < per_client; ++q) {
         const serve::QueryResponse response =
             server.Execute(specs[c * per_client + q]);
         if (!response.status.ok()) {
-          served_failures.fetch_add(1, std::memory_order_relaxed);
+          // A shed is the admission policy working, not a failure.
+          if (shed_enabled &&
+              response.status.code() == StatusCode::kResourceExhausted) {
+            served_shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            served_failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (response.deadline_budget_ms > 0 &&
+                   response.deadline_spent_ms >
+                       response.deadline_budget_ms + overrun_slack_ms) {
+          served_overruns.fetch_add(1, std::memory_order_relaxed);
         }
       }
     });
@@ -837,9 +929,31 @@ int RunServeWorkload(const Args& args) {
                   static_cast<unsigned long long>(wait->count()));
     }
   }
+  if (deadline_ms > 0 || shed_enabled || server_opts.degrade.brownout) {
+    std::printf("degradation: %llu shed, %llu degraded, %llu "
+                "deadline-expired, %llu brownout, %zu overruns "
+                "(slack %.1f ms)\n",
+                static_cast<unsigned long long>(server_stats.queries_shed),
+                static_cast<unsigned long long>(
+                    server_stats.degraded_responses),
+                static_cast<unsigned long long>(server_stats.deadline_expired),
+                static_cast<unsigned long long>(server_stats.brownout_queries),
+                served_overruns.load(), overrun_slack_ms);
+  }
   if (served_failures.load() > 0) {
     std::fprintf(stderr, "%zu served queries failed\n",
                  served_failures.load());
+    return 1;
+  }
+  if (require_shed && server_stats.queries_shed == 0) {
+    std::fprintf(stderr, "FAIL: --require-shed but nothing was shed\n");
+    return 1;
+  }
+  if (max_overruns >= 0 &&
+      served_overruns.load() > static_cast<size_t>(max_overruns)) {
+    std::fprintf(stderr,
+                 "FAIL: %zu deadline overruns exceed the allowed %ld\n",
+                 served_overruns.load(), max_overruns);
     return 1;
   }
 
